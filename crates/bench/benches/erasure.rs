@@ -1,0 +1,88 @@
+//! Criterion benches for the erasure-coding substrate (Figure 4's
+//! primitives): encode/decode/modify throughput across code families and
+//! block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fab_erasure::{Codec, Share};
+
+fn stripe(m: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..m)
+        .map(|i| (0..len).map(|k| (i * 131 + k * 7) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for (m, n) in [(1usize, 3usize), (3, 4), (5, 8), (10, 14)] {
+        for size in [4096usize, 65536] {
+            let codec = Codec::new(m, n).unwrap();
+            let data = stripe(m, size);
+            group.throughput(Throughput::Bytes((m * size) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{m}-of-{n}"), size),
+                &size,
+                |b, _| b.iter(|| codec.encode(&data).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for (m, n) in [(3usize, 4usize), (5, 8), (10, 14)] {
+        let size = 65536usize;
+        let codec = Codec::new(m, n).unwrap();
+        let data = stripe(m, size);
+        let blocks = codec.encode(&data).unwrap();
+        // Worst case: decode entirely from the tail (parity-heavy) shares.
+        let parity_shares: Vec<Share<'_>> = (n - m..n)
+            .map(|i| Share::new(i, blocks[i].as_slice()))
+            .collect();
+        group.throughput(Throughput::Bytes((m * size) as u64));
+        group.bench_function(BenchmarkId::new(format!("{m}-of-{n}"), "parity"), |b| {
+            b.iter(|| codec.decode(&parity_shares).unwrap())
+        });
+        // Best case: all data shares present (systematic fast path).
+        let data_shares: Vec<Share<'_>> = (0..m)
+            .map(|i| Share::new(i, blocks[i].as_slice()))
+            .collect();
+        group.bench_function(BenchmarkId::new(format!("{m}-of-{n}"), "systematic"), |b| {
+            b.iter(|| codec.decode(&data_shares).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_modify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modify");
+    let (m, n, size) = (5usize, 8usize, 65536usize);
+    let codec = Codec::new(m, n).unwrap();
+    let data = stripe(m, size);
+    let blocks = codec.encode(&data).unwrap();
+    let new_block = vec![0xA5u8; size];
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("incremental modify_{0,5}", |b| {
+        b.iter(|| {
+            codec
+                .modify(0, 5, &data[0], &new_block, &blocks[5])
+                .unwrap()
+        })
+    });
+    group.bench_function("coded_delta", |b| {
+        b.iter(|| codec.coded_delta(0, 5, &data[0], &new_block).unwrap())
+    });
+    // The alternative the paper's modify primitive avoids: re-encoding the
+    // whole stripe.
+    group.bench_function("full re-encode (baseline)", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            d[0] = new_block.clone();
+            codec.encode(&d).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_modify);
+criterion_main!(benches);

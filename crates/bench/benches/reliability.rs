@@ -1,0 +1,33 @@
+//! Criterion benches for the reliability models: full Figure-2 / Figure-3
+//! sweep cost (these are analytic, so this mostly guards against
+//! accidental complexity blow-ups in the Markov solver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fab_reliability::{
+    declustered_mttdl_hours, figure2, figure3, BrickParams, InternalLayout, Scheme, SystemDesign,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figure2_full_sweep", |b| {
+        let caps: Vec<f64> = (0..=30).map(|i| 10f64.powf(i as f64 / 10.0)).collect();
+        b.iter(|| figure2(&caps))
+    });
+    c.bench_function("figure3_full_sweep", |b| b.iter(|| figure3(256.0, 7, 13)));
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("markov_hitting_time", |b| {
+        b.iter(|| declustered_mttdl_hours(16, 7, 5e5, 24.0))
+    });
+    c.bench_function("system_design_mttdl", |b| {
+        let d = SystemDesign {
+            scheme: Scheme::ErasureCode { m: 5, n: 8 },
+            brick: BrickParams::commodity(),
+            layout: InternalLayout::Raid5,
+        };
+        b.iter(|| d.mttdl_years(256.0))
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Figure 3: storage overhead (raw/logical) vs achieved MTTDL
+//! at a 256 TB system, sweeping replication factor k and erasure-code
+//! width n (m = 5), over R0 and R5 bricks.
+//!
+//! Run: `cargo run -p fab-bench --bin fig3_overhead`
+
+use fab_reliability::{cheapest_meeting_target, figure3};
+
+fn main() {
+    let series = figure3(256.0, 7, 13);
+
+    println!("Figure 3 — storage overhead vs MTTDL (256 TB system)\n");
+    for s in &series {
+        println!("{}:", s.label);
+        println!(
+            "  {:>22} {:>16} {:>10}",
+            "scheme", "MTTDL (years)", "overhead"
+        );
+        for p in &s.points {
+            println!(
+                "  {:>22} {:>16.3e} {:>10.2}",
+                p.scheme, p.mttdl_years, p.overhead
+            );
+        }
+        println!();
+    }
+
+    println!("Cost to reach a one-million-year MTTDL (the paper's target):");
+    for label_prefix in [
+        "Replication/R0",
+        "Replication/R5",
+        "E.C.(5,n)/R0",
+        "E.C.(5,n)/R5",
+    ] {
+        let family: Vec<_> = series
+            .iter()
+            .filter(|s| s.label.starts_with(label_prefix))
+            .cloned()
+            .collect();
+        match cheapest_meeting_target(&family, 1e6) {
+            Some(p) => println!(
+                "  {label_prefix:<18} -> {} at overhead {:.2} ({:.3e} years)",
+                p.scheme, p.overhead, p.mttdl_years
+            ),
+            None => println!("  {label_prefix:<18} -> no swept design reaches 1e6 years"),
+        }
+    }
+    println!("\nThe paper's claim: replication needs ~4x (R0) / ~3.2x (R5) raw storage,");
+    println!("erasure coding meets the same target below 2.2x — a >= 1.8x saving.");
+}

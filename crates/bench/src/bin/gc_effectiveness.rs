@@ -1,0 +1,65 @@
+//! §5.1's garbage collection, measured: per-replica log growth with and
+//! without GC over a sustained write stream, and the message overhead GC
+//! costs.
+//!
+//! Run: `cargo run -p fab-bench --bin gc_effectiveness`
+
+use bytes::Bytes;
+use fab_core::{GcPolicy, RegisterConfig, SimCluster, StripeId};
+use fab_simnet::SimConfig;
+use fab_timestamp::ProcessId;
+
+fn run(gc: GcPolicy, writes: usize) -> (usize, usize, f64) {
+    let (m, n, bs) = (5usize, 8usize, 1024usize);
+    let cfg = RegisterConfig::new(m, n, bs).unwrap().with_gc(gc);
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(23));
+    let s = StripeId(0);
+    let m0 = c.net_metrics();
+    for i in 0..writes {
+        let data: Vec<Bytes> = (0..m)
+            .map(|k| Bytes::from(vec![(i + k) as u8; bs]))
+            .collect();
+        c.write_stripe(ProcessId::new((i % n) as u32), s, data);
+    }
+    c.sim_mut().run_until_idle(); // let async GC land
+    let max_len = (0..n as u32)
+        .filter_map(|i| {
+            c.sim()
+                .actor(ProcessId::new(i))
+                .replica_ref(s)
+                .map(|r| r.log().len())
+        })
+        .max()
+        .unwrap_or(0);
+    let total_bytes: usize = (0..n as u32)
+        .filter_map(|i| {
+            c.sim()
+                .actor(ProcessId::new(i))
+                .replica_ref(s)
+                .map(|r| r.log().data_bytes())
+        })
+        .sum();
+    let msgs_per_op = (c.net_metrics().messages_sent - m0.messages_sent) as f64 / writes as f64;
+    (max_len, total_bytes, msgs_per_op)
+}
+
+fn main() {
+    println!("§5.1 garbage collection — 5-of-8, 1 KiB blocks, one hot stripe\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>18} {:>16} {:>12}",
+        "writes", "log len (GC)", "log len (none)", "bytes (GC)", "bytes (none)", "msgs/op (GC)"
+    );
+    println!("{}", "-".repeat(92));
+    for writes in [10usize, 50, 200] {
+        let (len_gc, bytes_gc, msgs_gc) = run(GcPolicy::AfterCompleteWrite, writes);
+        let (len_off, bytes_off, _) = run(GcPolicy::Disabled, writes);
+        println!(
+            "{writes:>8} {len_gc:>16} {len_off:>16} {bytes_gc:>18} {bytes_off:>16} {msgs_gc:>12.1}"
+        );
+    }
+    println!("\nWith GC every replica retains the sentinel plus the newest complete");
+    println!("version (log length <= 3 regardless of history), at the cost of n");
+    println!("fire-and-forget messages per completed write (4n -> 5n per op).");
+    println!("Without GC the log and its bytes grow linearly with every write —");
+    println!("the pseudocode's unbounded history the paper flags as impractical.");
+}

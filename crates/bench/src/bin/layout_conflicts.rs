@@ -1,0 +1,78 @@
+//! §3's layout advice, measured: "we can make stripe-level conflicts
+//! unlikely by laying out data so that consecutive blocks in a logical
+//! volume are mapped to different stripes."
+//!
+//! Concurrent clients write *adjacent logical blocks* at the same moment —
+//! parallel producers appending to one shared region, the access pattern
+//! the paper's remark targets. Under the linear layout m adjacent blocks
+//! share one stripe, so neighbors collide; the interleaved layout sends
+//! adjacent blocks to different stripes and the collisions vanish.
+//!
+//! Run: `cargo run -p fab-bench --bin layout_conflicts`
+
+use fab_core::{RegisterConfig, SimCluster, StripeId};
+use fab_simnet::SimConfig;
+use fab_timestamp::ProcessId;
+use fab_volume::{Layout, VolumeGeometry};
+
+/// Runs `clients` parallel writers sweeping consecutive logical blocks
+/// (at step s, client c writes block `s·clients + c`) and returns
+/// (aborted ops, total ops).
+fn run(layout: Layout, clients: usize) -> (u64, u64) {
+    let (m, n, bs) = (4usize, 6usize, 256usize);
+    let stripes = 16u64;
+    let cfg = RegisterConfig::new(m, n, bs).unwrap();
+    let mut cluster = SimCluster::new(cfg, SimConfig::ideal(17));
+    let geometry = VolumeGeometry::new(stripes, m, bs, layout);
+    let steps = (geometry.capacity_blocks() / clients as u64).min(24);
+
+    let mut total = 0u64;
+    let mut aborted = 0u64;
+    // Each step: the client group writes `clients` ADJACENT blocks, all at
+    // the same instant (the conflict window §3 worries about).
+    for step in 0..steps {
+        let at = cluster.sim().now();
+        for c in 0..clients {
+            let logical = step * clients as u64 + c as u64;
+            let (stripe, j) = geometry.locate(logical);
+            let coordinator = ProcessId::new((c % n) as u32);
+            let payload = bytes::Bytes::from(vec![(step + c as u64) as u8; bs]);
+            cluster
+                .sim_mut()
+                .schedule_call(at, coordinator, move |b, ctx| {
+                    b.write_block(ctx, StripeId(stripe.0), j, payload).unwrap();
+                });
+        }
+        cluster.sim_mut().run_until_idle();
+        for (_, done) in cluster.drain_all_completions() {
+            total += 1;
+            if !done.result.is_ok() {
+                aborted += 1;
+            }
+        }
+    }
+    (aborted, total)
+}
+
+fn main() {
+    println!("§3 layout study — parallel writers of adjacent logical blocks");
+    println!("(4-of-6, 16 stripes, one shared region, simultaneous steps)\n");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "clients", "Linear abort rate", "Interleaved abort rate"
+    );
+    println!("{}", "-".repeat(58));
+    for clients in [2usize, 4, 8] {
+        let (la, lt) = run(Layout::Linear, clients);
+        let (ia, it) = run(Layout::Interleaved, clients);
+        println!(
+            "{clients:>10} {:>21.1}% {:>21.1}%",
+            100.0 * la as f64 / lt as f64,
+            100.0 * ia as f64 / it as f64,
+        );
+    }
+    println!("\nLinear layout packs m = 4 consecutive blocks into one stripe, so");
+    println!("writers of adjacent addresses conflict on the same register and abort.");
+    println!("Interleaving maps consecutive blocks to different stripes — the");
+    println!("paper's recommendation — and the same workload runs conflict-free.");
+}

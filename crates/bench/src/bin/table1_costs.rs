@@ -1,0 +1,46 @@
+//! Regenerates Table 1: operation costs of the storage register vs LS97.
+//!
+//! Run: `cargo run -p fab-bench --bin table1_costs [-- m n block_size]`
+//! (default 5 8 1024 — the paper's flagship 5-of-8 configuration).
+
+use fab_bench::table1::{measure_ls97, measure_ours, render};
+use fab_core::WriteStrategy;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (m, n, block_size) = match args.as_slice() {
+        [m, n, b, ..] => (*m, *n, *b),
+        [m, n] => (*m, *n, 1024),
+        _ => (5, 8, 1024),
+    };
+    let k = n - m;
+    println!("Table 1 — operation costs, {m}-of-{n} erasure coding, B = {block_size} bytes");
+    println!("(n = {n} processes, k = {k} parity blocks, delta = 1 simulator tick)\n");
+
+    println!("Our algorithm:");
+    let ours = measure_ours(m, n, block_size, WriteStrategy::Paper);
+    print!("{}", render(&ours));
+
+    println!("\nLS97 baseline (replication over the same {n} processes):");
+    let theirs = measure_ls97(n, block_size);
+    print!("{}", render(&theirs));
+
+    let our_read = &ours[0];
+    let ls_read = &theirs[0];
+    println!("\nHeadline comparison (failure-free stripe read):");
+    println!(
+        "  latency: ours {}δ vs LS97 {}δ — the optimistic single-round read",
+        our_read.measured.latency, ls_read.measured.latency
+    );
+    println!(
+        "  disk reads: ours {} vs LS97 {} — m targeted reads vs n replica reads",
+        our_read.measured.disk_reads, ls_read.measured.disk_reads
+    );
+    println!(
+        "  disk writes: ours {} vs LS97 {} — no write-back on the fast path",
+        our_read.measured.disk_writes, ls_read.measured.disk_writes
+    );
+}

@@ -1,0 +1,74 @@
+//! Decentralized-coordination scaling study: simulated throughput as the
+//! number of concurrent client streams grows.
+//!
+//! The paper's architectural claim (§1.1) is that FAB avoids the central
+//! controller bottleneck because every brick coordinates requests. In the
+//! simulator this shows up as *flat per-operation virtual latency* no
+//! matter how many disjoint streams run concurrently — operations on
+//! different stripes never serialize against each other.
+//!
+//! Run: `cargo run -p fab-bench --bin throughput_scaling`
+
+use bytes::Bytes;
+use fab_core::{GcPolicy, RegisterConfig, SimCluster, StripeId};
+use fab_simnet::SimConfig;
+use fab_timestamp::ProcessId;
+
+fn run(m: usize, n: usize, streams: usize, rounds: usize) -> (f64, f64, f64) {
+    let size = 1024;
+    let cfg = RegisterConfig::new(m, n, size)
+        .unwrap()
+        .with_gc(GcPolicy::Disabled);
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(7));
+    let m0 = c.net_metrics();
+    let mut completed = 0u64;
+    let mut busy_ticks = 0u64;
+    for round in 0..rounds {
+        let at = c.sim().now();
+        for stream in 0..streams {
+            let stripe = StripeId(stream as u64);
+            let coordinator = ProcessId::new((stream % n) as u32);
+            let data: Vec<Bytes> = (0..m)
+                .map(|i| Bytes::from(vec![(round + i + stream) as u8; size]))
+                .collect();
+            c.sim_mut().schedule_call(at, coordinator, move |b, ctx| {
+                b.write_stripe(ctx, stripe, data).unwrap();
+            });
+        }
+        // Drain the wave (the idle point also pops cancelled retransmit
+        // timers, so measure the wave span from completion timestamps,
+        // not from the idle time).
+        c.sim_mut().run_until_idle();
+        let done = c.drain_all_completions();
+        let wave_end = done.iter().map(|(_, d)| d.completed_at).max().unwrap_or(at);
+        busy_ticks += wave_end - at;
+        completed += done.len() as u64;
+    }
+    let msgs = (c.net_metrics().messages_sent - m0.messages_sent) as f64;
+    (
+        completed as f64 / busy_ticks as f64, // ops per busy virtual tick
+        busy_ticks as f64 / (rounds as f64),  // virtual ticks per wave
+        msgs / completed as f64,              // messages per op
+    )
+}
+
+fn main() {
+    println!("Throughput scaling — concurrent disjoint write streams (virtual time)\n");
+    for (m, n) in [(2usize, 4usize), (5, 8)] {
+        println!("{m}-of-{n}:");
+        println!(
+            "  {:>8} {:>16} {:>18} {:>12}",
+            "streams", "ops per tick", "ticks per wave", "msgs/op"
+        );
+        println!("  {}", "-".repeat(58));
+        for streams in [1usize, 2, 4, 8, 16, 32] {
+            let (ops_per_tick, wave_ticks, msgs_per_op) = run(m, n, streams, 10);
+            println!("  {streams:>8} {ops_per_tick:>16.3} {wave_ticks:>18.1} {msgs_per_op:>12.1}");
+        }
+        println!();
+    }
+    println!("A wave of independent writes always completes in 4 ticks (4δ, the");
+    println!("write latency) regardless of stream count: no coordinator bottleneck.");
+    println!("Ops-per-tick therefore scales linearly with streams, at a constant");
+    println!("4n messages per operation.");
+}

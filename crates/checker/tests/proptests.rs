@@ -1,0 +1,100 @@
+//! Property tests for the strict-linearizability checker: histories
+//! generated from a real sequential register must always pass; histories
+//! with an injected stale read must always fail.
+
+use fab_checker::{History, OpRecord, NIL};
+use proptest::prelude::*;
+
+/// Generates a history by simulating a sequential register: operations
+/// execute one after another with random durations and idle gaps, so the
+/// history is trivially linearizable.
+fn sequential_history(ops: &[(bool, u64, u64)]) -> (History, Vec<u64>) {
+    // ops: (is_write, duration, gap)
+    let mut h = History::new();
+    let mut now = 0u64;
+    let mut current = NIL;
+    let mut next_value = 1u64;
+    let mut read_times = Vec::new();
+    for &(is_write, duration, gap) in ops {
+        let start = now;
+        let end = now + duration;
+        if is_write {
+            h.push(OpRecord::write(next_value, start, end).committed());
+            current = next_value;
+            next_value += 1;
+        } else {
+            h.push(OpRecord::read(current, start, end));
+            read_times.push(start);
+        }
+        now = end + 1 + gap;
+    }
+    (h, read_times)
+}
+
+proptest! {
+    #[test]
+    fn sequential_histories_always_pass(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..5, 0u64..5), 1..60)
+    ) {
+        let (h, _) = sequential_history(&ops);
+        prop_assert!(h.check().is_ok(), "{h:?}");
+    }
+
+    #[test]
+    fn stale_read_injection_always_fails(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..5, 0u64..5), 4..60),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        // Need at least two committed writes so a read can be stale.
+        let writes = ops.iter().filter(|(w, _, _)| *w).count();
+        prop_assume!(writes >= 2);
+        let (mut h, _) = sequential_history(&ops);
+        // Find the last write's value and an earlier value, then append a
+        // read of the earlier value after everything — provably stale.
+        let committed: Vec<u64> = h
+            .ops()
+            .iter()
+            .filter(|o| !o.is_read && o.committed)
+            .map(|o| o.value)
+            .collect();
+        let last = *committed.last().unwrap();
+        let stale = committed[pick.index(committed.len() - 1)];
+        prop_assume!(stale != last);
+        let end_of_time = h.ops().iter().filter_map(|o| o.end).max().unwrap() + 10;
+        // A read of the LAST value pins it into the order...
+        h.push(OpRecord::read(last, end_of_time, end_of_time + 1));
+        // ...then a stale read afterwards must create a cycle.
+        h.push(OpRecord::read(stale, end_of_time + 2, end_of_time + 3));
+        prop_assert!(h.check().is_err(), "{h:?}");
+    }
+
+    #[test]
+    fn overlap_never_causes_false_positives(
+        seed in any::<u64>(),
+        count in 2usize..30,
+    ) {
+        // All operations fully overlap: no real-time edges at all, so any
+        // values may appear — the checker must accept.
+        let mut h = History::new();
+        let mut v = 1u64;
+        let mut s = seed;
+        for _ in 0..count {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if s % 2 == 0 {
+                h.push(OpRecord::write(v, 0, 1000).committed());
+                v += 1;
+            } else if v > 1 {
+                h.push(OpRecord::read(1 + (s >> 8) % (v - 1), 0, 1000));
+            }
+        }
+        prop_assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn check_is_deterministic(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..4, 0u64..4), 1..40)
+    ) {
+        let (h, _) = sequential_history(&ops);
+        prop_assert_eq!(h.check().is_ok(), h.check().is_ok());
+    }
+}

@@ -1,0 +1,860 @@
+//! The simulation driver: a FAB brick as a `fab-simnet` actor.
+//!
+//! A [`Brick`] is one storage appliance (Figure 1): it hosts a [`Replica`]
+//! for every stripe register it stores *and* a [`Coordinator`] through
+//! which clients can access any stripe — the paper's decentralized
+//! architecture where every brick is both a storage device and an I/O
+//! controller.
+//!
+//! [`SimCluster`] wraps a simulation of n bricks with harness conveniences:
+//! run one operation to completion, inject crashes and partitions, and
+//! account per-operation network/disk costs (for Table 1).
+
+use crate::config::RegisterConfig;
+use crate::coordinator::{Completion, Coordinator, InvokeError, OpId, OpResult};
+use crate::effects::Effects;
+use crate::messages::{Envelope, Payload, StripeId};
+use crate::replica::{DiskMetrics, Replica};
+use bytes::Bytes;
+use fab_simnet::{Actor, Context, NetMetrics, SimConfig, SimTime, Simulation, TimerId};
+use fab_timestamp::ProcessId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Adapter exposing a simulator [`Context`] as protocol [`Effects`].
+struct CtxFx<'a, 'b> {
+    ctx: &'a mut Context<'b, Envelope>,
+}
+
+impl Effects for CtxFx<'_, '_> {
+    fn send(&mut self, to: ProcessId, env: Envelope) {
+        self.ctx.send(to, env);
+    }
+    fn set_timer(&mut self, delay: u64) -> u64 {
+        self.ctx.set_timer(delay).value()
+    }
+    fn cancel_timer(&mut self, _id: u64) {
+        // Simulator timers self-invalidate when the coordinator no longer
+        // tracks them; dropping the cancel keeps the adapter stateless.
+    }
+    fn now(&self) -> u64 {
+        self.ctx.now()
+    }
+    fn rand_u64(&mut self) -> u64 {
+        use rand::Rng;
+        self.ctx.rng().gen()
+    }
+}
+
+/// One simulated storage brick: replicas for its stripes plus an operation
+/// coordinator.
+#[derive(Debug)]
+pub struct Brick {
+    pid: ProcessId,
+    cfg: Arc<RegisterConfig>,
+    replicas: HashMap<StripeId, Replica>,
+    /// The coordinator module (volatile across crashes).
+    pub coordinator: Coordinator,
+    /// Completed operations awaiting harness pickup.
+    pub completions: Vec<Completion>,
+}
+
+impl Brick {
+    /// Creates the brick hosted by `pid`.
+    pub fn new(pid: ProcessId, cfg: Arc<RegisterConfig>) -> Self {
+        Brick {
+            pid,
+            coordinator: Coordinator::new(pid, cfg.clone()),
+            cfg,
+            replicas: HashMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Creates a brick whose coordinator clock is skewed (abort-rate
+    /// experiments).
+    pub fn with_skew(pid: ProcessId, cfg: Arc<RegisterConfig>, skew: i64) -> Self {
+        Brick {
+            pid,
+            coordinator: Coordinator::with_skew(pid, cfg.clone(), skew),
+            cfg,
+            replicas: HashMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The hosting process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The replica for `stripe`, creating it in its initial state on first
+    /// touch (registers are logically pre-existing for every stripe).
+    pub fn replica(&mut self, stripe: StripeId) -> &mut Replica {
+        let (pid, cfg) = (self.pid, self.cfg.clone());
+        self.replicas
+            .entry(stripe)
+            .or_insert_with(|| Replica::new(pid, cfg))
+    }
+
+    /// Read-only view of a replica, if the stripe has been touched.
+    pub fn replica_ref(&self, stripe: StripeId) -> Option<&Replica> {
+        self.replicas.get(&stripe)
+    }
+
+    /// Sum of disk metrics across this brick's replicas.
+    pub fn disk_metrics(&self) -> DiskMetrics {
+        let mut total = DiskMetrics::default();
+        for r in self.replicas.values() {
+            let m = r.metrics();
+            total.reads += m.reads;
+            total.writes += m.writes;
+            total.nvram_stores += m.nvram_stores;
+        }
+        total
+    }
+
+    /// Starts a `read-stripe` through this brick's coordinator.
+    pub fn read_stripe(&mut self, ctx: &mut Context<'_, Envelope>, stripe: StripeId) -> OpId {
+        let mut fx = CtxFx { ctx };
+        self.coordinator.invoke_read_stripe(&mut fx, stripe)
+    }
+
+    /// Starts a `write-stripe` through this brick's coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvokeError`] for malformed stripes.
+    pub fn write_stripe(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        blocks: Vec<Bytes>,
+    ) -> Result<OpId, InvokeError> {
+        let mut fx = CtxFx { ctx };
+        self.coordinator
+            .invoke_write_stripe(&mut fx, stripe, blocks)
+    }
+
+    /// Starts a `read-block` through this brick's coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvokeError`] for out-of-range indices.
+    pub fn read_block(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        j: usize,
+    ) -> Result<OpId, InvokeError> {
+        let mut fx = CtxFx { ctx };
+        self.coordinator.invoke_read_block(&mut fx, stripe, j)
+    }
+
+    /// Starts a `write-block` through this brick's coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvokeError`] for malformed blocks.
+    pub fn write_block(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        j: usize,
+        block: Bytes,
+    ) -> Result<OpId, InvokeError> {
+        let mut fx = CtxFx { ctx };
+        self.coordinator
+            .invoke_write_block(&mut fx, stripe, j, block)
+    }
+
+    /// Starts a multi-block read through this brick's coordinator
+    /// (footnote-2 extension).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvokeError`] for malformed index sets.
+    pub fn read_blocks(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        js: Vec<usize>,
+    ) -> Result<OpId, InvokeError> {
+        let mut fx = CtxFx { ctx };
+        self.coordinator.invoke_read_blocks(&mut fx, stripe, js)
+    }
+
+    /// Starts a scrub (recover + write back to everyone) through this
+    /// brick's coordinator.
+    pub fn scrub(&mut self, ctx: &mut Context<'_, Envelope>, stripe: StripeId) -> OpId {
+        let mut fx = CtxFx { ctx };
+        self.coordinator.invoke_scrub(&mut fx, stripe)
+    }
+
+    /// Starts a multi-block write through this brick's coordinator
+    /// (footnote-2 extension).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvokeError`] for malformed updates.
+    pub fn write_blocks(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        updates: Vec<(usize, Bytes)>,
+    ) -> Result<OpId, InvokeError> {
+        let mut fx = CtxFx { ctx };
+        self.coordinator
+            .invoke_write_blocks(&mut fx, stripe, updates)
+    }
+}
+
+impl Actor for Brick {
+    type Msg = Envelope;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Envelope>, from: ProcessId, env: Envelope) {
+        match &env.kind {
+            Payload::Request(req) => {
+                let stripe = env.stripe;
+                let round = env.round;
+                if let Some(reply) = self.replica(stripe).handle(req) {
+                    ctx.send(
+                        from,
+                        Envelope {
+                            stripe,
+                            round,
+                            kind: Payload::Reply(reply),
+                        },
+                    );
+                }
+            }
+            Payload::Reply(_) => {
+                let mut fx = CtxFx { ctx };
+                self.coordinator.on_reply(&mut fx, from, &env);
+                self.completions
+                    .extend(self.coordinator.drain_completions());
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Envelope>, timer: TimerId) {
+        let mut fx = CtxFx { ctx };
+        self.coordinator.on_timer(&mut fx, timer.value());
+        self.completions
+            .extend(self.coordinator.drain_completions());
+    }
+
+    fn on_crash(&mut self) {
+        // Replica state is persistent; coordinator state and undelivered
+        // completions are volatile.
+        for r in self.replicas.values_mut() {
+            r.on_crash();
+        }
+        self.coordinator.on_crash();
+        self.completions.clear();
+    }
+}
+
+/// Per-operation cost attribution (a Table 1 row, measured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCosts {
+    /// Virtual-time latency (in multiples of δ when the network is ideal).
+    pub latency: u64,
+    /// Messages sent (requests + replies + GC).
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Disk block reads across all bricks.
+    pub disk_reads: u64,
+    /// Disk block writes across all bricks.
+    pub disk_writes: u64,
+}
+
+/// A deterministic simulation of n bricks running the storage-register
+/// protocol, with synchronous-style harness helpers.
+///
+/// # Examples
+///
+/// ```
+/// use fab_core::{RegisterConfig, SimCluster, StripeId, OpResult, StripeValue};
+/// use fab_simnet::SimConfig;
+/// use fab_timestamp::ProcessId;
+/// use bytes::Bytes;
+///
+/// let cfg = RegisterConfig::new(2, 4, 16)?;
+/// let mut cluster = SimCluster::new(cfg, SimConfig::ideal(7));
+/// let s = StripeId(0);
+/// let p0 = ProcessId::new(0);
+///
+/// let stripe = vec![Bytes::from(vec![1u8; 16]), Bytes::from(vec![2u8; 16])];
+/// assert_eq!(cluster.write_stripe(p0, s, stripe.clone()), OpResult::Written);
+/// assert_eq!(
+///     cluster.read_stripe(ProcessId::new(3), s),
+///     OpResult::Stripe(StripeValue::Data(stripe)),
+/// );
+/// # Ok::<(), fab_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimCluster {
+    sim: Simulation<Brick>,
+    cfg: Arc<RegisterConfig>,
+    /// Deadline for synchronous helpers before declaring a hang.
+    pub op_deadline: SimTime,
+}
+
+impl SimCluster {
+    /// Builds a cluster of `cfg.n()` bricks over the given network model.
+    pub fn new(cfg: RegisterConfig, sim_config: SimConfig) -> Self {
+        let cfg = Arc::new(cfg);
+        let bricks = (0..cfg.n())
+            .map(|i| Brick::new(ProcessId::new(i as u32), cfg.clone()))
+            .collect();
+        SimCluster {
+            sim: Simulation::new(sim_config, bricks),
+            cfg,
+            op_deadline: 10_000_000,
+        }
+    }
+
+    /// Builds a cluster whose coordinators have the given clock skews
+    /// (index = process; missing entries mean no skew).
+    pub fn with_skews(cfg: RegisterConfig, sim_config: SimConfig, skews: &[i64]) -> Self {
+        let cfg = Arc::new(cfg);
+        let bricks = (0..cfg.n())
+            .map(|i| {
+                let skew = skews.get(i).copied().unwrap_or(0);
+                Brick::with_skew(ProcessId::new(i as u32), cfg.clone(), skew)
+            })
+            .collect();
+        SimCluster {
+            sim: Simulation::new(sim_config, bricks),
+            cfg,
+            op_deadline: 10_000_000,
+        }
+    }
+
+    /// The shared register configuration.
+    pub fn config(&self) -> &RegisterConfig {
+        &self.cfg
+    }
+
+    /// The underlying simulation, for fault injection and inspection.
+    pub fn sim_mut(&mut self) -> &mut Simulation<Brick> {
+        &mut self.sim
+    }
+
+    /// The underlying simulation (read-only).
+    pub fn sim(&self) -> &Simulation<Brick> {
+        &self.sim
+    }
+
+    /// Sum of disk metrics over all bricks.
+    pub fn disk_metrics(&self) -> DiskMetrics {
+        let mut total = DiskMetrics::default();
+        for (_, b) in self.sim.actors() {
+            let m = b.disk_metrics();
+            total.reads += m.reads;
+            total.writes += m.writes;
+            total.nvram_stores += m.nvram_stores;
+        }
+        total
+    }
+
+    /// Network metrics so far.
+    pub fn net_metrics(&self) -> NetMetrics {
+        self.sim.metrics()
+    }
+
+    /// Schedules an operation at the current time on `coordinator` and
+    /// runs the simulation until it completes. Panics if the deadline
+    /// passes first (only possible outside the fault model).
+    fn run_op<F>(&mut self, coordinator: ProcessId, invoke: F) -> Completion
+    where
+        F: FnOnce(&mut Brick, &mut Context<'_, Envelope>) + 'static,
+    {
+        let already = self.sim.actor(coordinator).completions.len();
+        let at = self.sim.now();
+        self.sim.schedule_call(at, coordinator, invoke);
+        let deadline = self.sim.now() + self.op_deadline;
+        let done = self
+            .sim
+            .run_until_actor(coordinator, deadline, |b| b.completions.len() > already);
+        assert!(
+            done,
+            "operation did not complete by the deadline — more than f faults?"
+        );
+        self.sim.actor_mut(coordinator).completions.remove(already)
+    }
+
+    /// Runs a `read-stripe` to completion via `coordinator`.
+    pub fn read_stripe(&mut self, coordinator: ProcessId, stripe: StripeId) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.read_stripe(ctx, stripe);
+        })
+        .result
+    }
+
+    /// Runs a `write-stripe` to completion via `coordinator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (see [`Coordinator::invoke_write_stripe`]).
+    pub fn write_stripe(
+        &mut self,
+        coordinator: ProcessId,
+        stripe: StripeId,
+        blocks: Vec<Bytes>,
+    ) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.write_stripe(ctx, stripe, blocks).expect("valid stripe");
+        })
+        .result
+    }
+
+    /// Runs a `read-block` to completion via `coordinator`.
+    pub fn read_block(&mut self, coordinator: ProcessId, stripe: StripeId, j: usize) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.read_block(ctx, stripe, j).expect("valid block index");
+        })
+        .result
+    }
+
+    /// Runs a `write-block` to completion via `coordinator`.
+    pub fn write_block(
+        &mut self,
+        coordinator: ProcessId,
+        stripe: StripeId,
+        j: usize,
+        block: Bytes,
+    ) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.write_block(ctx, stripe, j, block).expect("valid block");
+        })
+        .result
+    }
+
+    /// Runs a multi-block read to completion via `coordinator`.
+    pub fn read_blocks(
+        &mut self,
+        coordinator: ProcessId,
+        stripe: StripeId,
+        js: Vec<usize>,
+    ) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.read_blocks(ctx, stripe, js).expect("valid index set");
+        })
+        .result
+    }
+
+    /// Runs a scrub to completion via `coordinator`, returning the
+    /// (re-established) current stripe value.
+    pub fn scrub(&mut self, coordinator: ProcessId, stripe: StripeId) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.scrub(ctx, stripe);
+        })
+        .result
+    }
+
+    /// Runs a multi-block write to completion via `coordinator`.
+    pub fn write_blocks(
+        &mut self,
+        coordinator: ProcessId,
+        stripe: StripeId,
+        updates: Vec<(usize, Bytes)>,
+    ) -> OpResult {
+        self.run_op(coordinator, move |b, ctx| {
+            b.write_blocks(ctx, stripe, updates).expect("valid updates");
+        })
+        .result
+    }
+
+    /// Runs an operation and attributes its latency, messages, bytes, and
+    /// disk I/O (a measured Table 1 row). The cluster must be quiescent.
+    pub fn measure_op<F>(&mut self, coordinator: ProcessId, invoke: F) -> (Completion, OpCosts)
+    where
+        F: FnOnce(&mut Brick, &mut Context<'_, Envelope>) + 'static,
+    {
+        let net0 = self.sim.metrics();
+        let disk0 = self.disk_metrics();
+        let completion = self.run_op(coordinator, invoke);
+        // Let trailing replies/GC land so counters settle.
+        self.sim.run_until_idle();
+        let net = self.sim.metrics().since(&net0);
+        let disk = self.disk_metrics();
+        let costs = OpCosts {
+            latency: completion.completed_at - completion.invoked_at,
+            messages: net.messages_sent,
+            bytes: net.bytes_sent,
+            disk_reads: disk.reads - disk0.reads,
+            disk_writes: disk.writes - disk0.writes,
+        };
+        (completion, costs)
+    }
+
+    /// Drains completions from every brick (for concurrent workloads).
+    pub fn drain_all_completions(&mut self) -> Vec<(ProcessId, Completion)> {
+        let mut out = Vec::new();
+        for i in 0..self.cfg.n() {
+            let pid = ProcessId::new(i as u32);
+            for c in std::mem::take(&mut self.sim.actor_mut(pid).completions) {
+                out.push((pid, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::StripeValue;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn blocks(m: usize, seed: u8, size: usize) -> Vec<Bytes> {
+        (0..m)
+            .map(|i| Bytes::from(vec![seed.wrapping_add(i as u8); size]))
+            .collect()
+    }
+
+    fn cluster(m: usize, n: usize) -> SimCluster {
+        SimCluster::new(RegisterConfig::new(m, n, 16).unwrap(), SimConfig::ideal(42))
+    }
+
+    #[test]
+    fn fresh_register_reads_nil() {
+        let mut c = cluster(2, 4);
+        assert_eq!(
+            c.read_stripe(pid(0), StripeId(0)),
+            OpResult::Stripe(StripeValue::Nil)
+        );
+        assert_eq!(
+            c.read_block(pid(1), StripeId(0), 1),
+            OpResult::Block(crate::value::BlockValue::Nil)
+        );
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut c = cluster(2, 4);
+        let data = blocks(2, 10, 16);
+        assert_eq!(
+            c.write_stripe(pid(0), StripeId(0), data.clone()),
+            OpResult::Written
+        );
+        assert_eq!(
+            c.read_stripe(pid(3), StripeId(0)),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+    }
+
+    #[test]
+    fn five_of_eight_round_trip() {
+        let mut c = cluster(5, 8);
+        let data = blocks(5, 1, 16);
+        assert_eq!(
+            c.write_stripe(pid(2), StripeId(7), data.clone()),
+            OpResult::Written
+        );
+        assert_eq!(
+            c.read_stripe(pid(6), StripeId(7)),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+    }
+
+    #[test]
+    fn block_write_then_reads() {
+        let mut c = cluster(2, 4);
+        let s = StripeId(0);
+        c.write_stripe(pid(0), s, blocks(2, 10, 16));
+        let newb = Bytes::from(vec![0xEEu8; 16]);
+        assert_eq!(c.write_block(pid(1), s, 1, newb.clone()), OpResult::Written);
+        assert_eq!(
+            c.read_block(pid(2), s, 1),
+            OpResult::Block(crate::value::BlockValue::Data(newb.clone()))
+        );
+        // Block 0 is unchanged.
+        assert_eq!(
+            c.read_block(pid(3), s, 0),
+            OpResult::Block(crate::value::BlockValue::Data(Bytes::from(vec![10u8; 16])))
+        );
+        // And the full stripe decodes consistently.
+        match c.read_stripe(pid(0), s) {
+            OpResult::Stripe(StripeValue::Data(got)) => {
+                assert_eq!(got[0].as_ref(), &[10u8; 16]);
+                assert_eq!(got[1], newb);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_write_on_fresh_stripe_reads_zero_siblings() {
+        let mut c = cluster(2, 4);
+        let s = StripeId(0);
+        let newb = Bytes::from(vec![7u8; 16]);
+        assert_eq!(c.write_block(pid(0), s, 0, newb.clone()), OpResult::Written);
+        match c.read_stripe(pid(1), s) {
+            OpResult::Stripe(StripeValue::Data(got)) => {
+                assert_eq!(got[0], newb);
+                assert_eq!(got[1].as_ref(), &[0u8; 16], "untouched block reads zeros");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stripes_are_independent() {
+        let mut c = cluster(2, 4);
+        c.write_stripe(pid(0), StripeId(1), blocks(2, 50, 16));
+        assert_eq!(
+            c.read_stripe(pid(0), StripeId(2)),
+            OpResult::Stripe(StripeValue::Nil)
+        );
+        assert_eq!(
+            c.read_stripe(pid(0), StripeId(1)),
+            OpResult::Stripe(StripeValue::Data(blocks(2, 50, 16)))
+        );
+    }
+
+    #[test]
+    fn works_under_harsh_network() {
+        let mut c = SimCluster::new(
+            RegisterConfig::new(2, 4, 16)
+                .unwrap()
+                .with_retransmit_interval(120),
+            SimConfig::harsh(3),
+        );
+        let s = StripeId(0);
+        for round in 0..5u8 {
+            let data = blocks(2, round * 7 + 1, 16);
+            assert_eq!(
+                c.write_stripe(pid((round % 4) as u32), s, data.clone()),
+                OpResult::Written,
+                "round {round}"
+            );
+            assert_eq!(
+                c.read_stripe(pid(((round + 1) % 4) as u32), s),
+                OpResult::Stripe(StripeValue::Data(data)),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerates_f_crashed_bricks() {
+        let mut c = cluster(5, 8); // f = 1
+        let s = StripeId(0);
+        let data = blocks(5, 3, 16);
+        c.write_stripe(pid(0), s, data.clone());
+        // Crash one brick; reads and writes still complete.
+        let at = c.sim().now();
+        c.sim_mut().schedule_crash(at, pid(7));
+        c.sim_mut().run_until(at + 1);
+        assert_eq!(
+            c.read_stripe(pid(0), s),
+            OpResult::Stripe(StripeValue::Data(data.clone()))
+        );
+        let data2 = blocks(5, 99, 16);
+        assert_eq!(c.write_stripe(pid(1), s, data2.clone()), OpResult::Written);
+        assert_eq!(
+            c.read_stripe(pid(2), s),
+            OpResult::Stripe(StripeValue::Data(data2))
+        );
+    }
+
+    #[test]
+    fn crashed_brick_recovers_and_rejoins() {
+        let mut c = cluster(2, 4);
+        let s = StripeId(0);
+        let at = c.sim().now();
+        c.sim_mut().schedule_crash(at, pid(3));
+        c.sim_mut().run_until(at + 1);
+        let v1 = blocks(2, 1, 16);
+        assert_eq!(c.write_stripe(pid(0), s, v1), OpResult::Written);
+        // Recover p3 and crash p2: the quorum must now lean on p3, which
+        // must have caught up through subsequent operations.
+        let at = c.sim().now();
+        c.sim_mut().schedule_recovery(at, pid(3));
+        c.sim_mut().run_until(at + 1);
+        let v2 = blocks(2, 2, 16);
+        assert_eq!(c.write_stripe(pid(1), s, v2.clone()), OpResult::Written);
+        let at = c.sim().now();
+        c.sim_mut().schedule_crash(at, pid(2));
+        c.sim_mut().run_until(at + 1);
+        assert_eq!(
+            c.read_stripe(pid(0), s),
+            OpResult::Stripe(StripeValue::Data(v2))
+        );
+    }
+
+    #[test]
+    fn concurrent_writes_one_aborts_or_both_serialize() {
+        let mut c = cluster(2, 4);
+        let s = StripeId(0);
+        let d1 = blocks(2, 1, 16);
+        let d2 = blocks(2, 2, 16);
+        // Launch two writes from different coordinators at the same tick.
+        c.sim_mut().schedule_call(0, pid(0), {
+            let d1 = d1.clone();
+            move |b, ctx| {
+                b.write_stripe(ctx, s, d1).unwrap();
+            }
+        });
+        c.sim_mut().schedule_call(0, pid(1), {
+            let d2 = d2.clone();
+            move |b, ctx| {
+                b.write_stripe(ctx, s, d2).unwrap();
+            }
+        });
+        c.sim_mut().run_until_idle();
+        let done = c.drain_all_completions();
+        assert_eq!(done.len(), 2);
+        let ok = done.iter().filter(|(_, c)| c.result.is_ok()).count();
+        assert!(ok >= 1, "at least one write must succeed: {done:?}");
+        // Whatever happened, a subsequent read returns a consistent stripe:
+        // one of the two written values (an aborted write may still have
+        // taken effect) or nil is impossible since one write succeeded.
+        match c.read_stripe(pid(2), s) {
+            OpResult::Stripe(StripeValue::Data(got)) => {
+                assert!(got == d1 || got == d2, "read a written value");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_block_write_then_reads() {
+        let mut c = cluster(3, 5);
+        let s = StripeId(0);
+        c.write_stripe(pid(0), s, blocks(3, 10, 16));
+        // Write blocks 0 and 2 in one operation.
+        let updates = vec![
+            (0usize, Bytes::from(vec![0xA0u8; 16])),
+            (2usize, Bytes::from(vec![0xA2u8; 16])),
+        ];
+        assert_eq!(c.write_blocks(pid(1), s, updates), OpResult::Written);
+        // Multi-read returns both new blocks and the untouched middle one.
+        match c.read_blocks(pid(2), s, vec![0, 1, 2]) {
+            OpResult::Blocks(vs) => {
+                assert_eq!(vs[0].materialize(16).as_ref(), &[0xA0u8; 16]);
+                assert_eq!(vs[1].materialize(16).as_ref(), &[11u8; 16]);
+                assert_eq!(vs[2].materialize(16).as_ref(), &[0xA2u8; 16]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The full stripe decodes consistently (parity was patched for
+        // both blocks in one Modify round).
+        match c.read_stripe(pid(3), s) {
+            OpResult::Stripe(crate::value::StripeValue::Data(got)) => {
+                assert_eq!(got[0].as_ref(), &[0xA0u8; 16]);
+                assert_eq!(got[1].as_ref(), &[11u8; 16]);
+                assert_eq!(got[2].as_ref(), &[0xA2u8; 16]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_block_write_on_fresh_stripe() {
+        let mut c = cluster(3, 5);
+        let s = StripeId(4);
+        let updates = vec![
+            (1usize, Bytes::from(vec![0xB1u8; 16])),
+            (2usize, Bytes::from(vec![0xB2u8; 16])),
+        ];
+        assert_eq!(c.write_blocks(pid(0), s, updates), OpResult::Written);
+        match c.read_stripe(pid(1), s) {
+            OpResult::Stripe(crate::value::StripeValue::Data(got)) => {
+                assert_eq!(got[0].as_ref(), &[0u8; 16], "unwritten block is zeros");
+                assert_eq!(got[1].as_ref(), &[0xB1u8; 16]);
+                assert_eq!(got[2].as_ref(), &[0xB2u8; 16]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_block_write_with_delta_strategy_matches() {
+        use crate::config::WriteStrategy;
+        for strategy in [
+            WriteStrategy::Paper,
+            WriteStrategy::Targeted,
+            WriteStrategy::Delta,
+        ] {
+            let cfg = RegisterConfig::new(3, 5, 16)
+                .unwrap()
+                .with_write_strategy(strategy);
+            let mut c = SimCluster::new(cfg, SimConfig::ideal(42));
+            let s = StripeId(0);
+            c.write_stripe(pid(0), s, blocks(3, 10, 16));
+            let updates = vec![
+                (0usize, Bytes::from(vec![0xC0u8; 16])),
+                (1usize, Bytes::from(vec![0xC1u8; 16])),
+            ];
+            assert_eq!(
+                c.write_blocks(pid(1), s, updates),
+                OpResult::Written,
+                "{strategy:?}"
+            );
+            // Crash both written data bricks: the stripe must decode from
+            // the remaining data brick + parity, proving parity is right.
+            let at = c.sim().now();
+            c.sim_mut().schedule_crash(at, pid(0));
+            c.sim_mut().run_until(at + 1);
+            match c.read_stripe(pid(3), s) {
+                OpResult::Stripe(crate::value::StripeValue::Data(got)) => {
+                    assert_eq!(got[0].as_ref(), &[0xC0u8; 16], "{strategy:?}");
+                    assert_eq!(got[1].as_ref(), &[0xC1u8; 16], "{strategy:?}");
+                    assert_eq!(got[2].as_ref(), &[12u8; 16], "{strategy:?}");
+                }
+                other => panic!("{strategy:?}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_rejects_bad_sets() {
+        let mut c = cluster(3, 5);
+        let at = c.sim().now();
+        c.sim_mut().schedule_call(at, pid(0), |b, ctx| {
+            // Out of range.
+            assert!(b.read_blocks(ctx, StripeId(0), vec![0, 3]).is_err());
+            // Duplicate.
+            assert!(b.read_blocks(ctx, StripeId(0), vec![1, 1]).is_err());
+            // Empty.
+            assert!(b.read_blocks(ctx, StripeId(0), vec![]).is_err());
+            // Duplicate write indices.
+            assert!(b
+                .write_blocks(
+                    ctx,
+                    StripeId(0),
+                    vec![
+                        (1, Bytes::from(vec![0u8; 16])),
+                        (1, Bytes::from(vec![0u8; 16]))
+                    ]
+                )
+                .is_err());
+        });
+        c.sim_mut().run_until_idle();
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = |seed: u64| {
+            let mut c = SimCluster::new(
+                RegisterConfig::new(2, 4, 16).unwrap(),
+                SimConfig::harsh(seed),
+            );
+            let s = StripeId(0);
+            for i in 0..4u8 {
+                c.write_stripe(pid((i % 4) as u32), s, blocks(2, i, 16));
+            }
+            let r = c.read_stripe(pid(0), s);
+            (c.sim().fingerprint(), format!("{r:?}"))
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,236 @@
+//! Register configuration shared by coordinators and replicas.
+
+use fab_erasure::{CodeError, Codec};
+use fab_quorum::{MQuorumSystem, QuorumError};
+use std::error::Error;
+use std::fmt;
+
+/// How a coordinator disseminates block data during `write-block` (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WriteStrategy {
+    /// The pseudocode's behavior: every process receives the old and new
+    /// values of block `j` (Alg. 3's `[Modify, j, b_j, b, ts_j, ts]`).
+    #[default]
+    Paper,
+    /// §5.2(a): block data goes only to `p_j` and the parity processes;
+    /// everyone else receives a timestamp-only `Modify`.
+    Targeted,
+    /// §5.2(b): `p_j` receives the new value; each parity process receives
+    /// a single pre-coded delta block; everyone else timestamp-only.
+    Delta,
+}
+
+/// When coordinators garbage-collect old log versions (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GcPolicy {
+    /// Never GC (the pseudocode's unbounded logs).
+    Disabled,
+    /// After every write that completed on a full quorum, asynchronously
+    /// tell all processes to drop versions older than the write.
+    #[default]
+    AfterCompleteWrite,
+}
+
+/// Errors constructing a [`RegisterConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Invalid erasure-code parameters.
+    Code(CodeError),
+    /// Invalid or unsatisfiable quorum parameters.
+    Quorum(QuorumError),
+    /// Block size must be positive.
+    ZeroBlockSize,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Code(e) => write!(f, "erasure code: {e}"),
+            ConfigError::Quorum(e) => write!(f, "quorum system: {e}"),
+            ConfigError::ZeroBlockSize => write!(f, "block size must be positive"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Code(e) => Some(e),
+            ConfigError::Quorum(e) => Some(e),
+            ConfigError::ZeroBlockSize => None,
+        }
+    }
+}
+
+impl From<CodeError> for ConfigError {
+    fn from(e: CodeError) -> Self {
+        ConfigError::Code(e)
+    }
+}
+
+impl From<QuorumError> for ConfigError {
+    fn from(e: QuorumError) -> Self {
+        ConfigError::Quorum(e)
+    }
+}
+
+/// Static configuration of one erasure-coded storage register (and of every
+/// stripe register in a volume — stripes share the layout).
+///
+/// # Examples
+///
+/// ```
+/// use fab_core::RegisterConfig;
+///
+/// // The paper's flagship configuration: 5-of-8 coding, 1 KiB blocks.
+/// let cfg = RegisterConfig::new(5, 8, 1024)?;
+/// assert_eq!(cfg.quorum().quorum_size(), 7);
+/// # Ok::<(), fab_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterConfig {
+    codec: Codec,
+    quorum: MQuorumSystem,
+    block_size: usize,
+    /// Ticks between retransmissions of unanswered requests (the fair-loss
+    /// `quorum()` primitive's retry period).
+    pub retransmit_interval: u64,
+    /// Extra ticks a fast read waits for its *targets* after a quorum of
+    /// replies has arrived, before falling back to recovery.
+    pub fast_grace: u64,
+    /// Block-write dissemination strategy (§5.2).
+    pub write_strategy: WriteStrategy,
+    /// Log garbage-collection policy (§5.1).
+    pub gc: GcPolicy,
+    /// Safety cap on `read-prev-stripe` iterations (the loop provably
+    /// terminates with ≤ f faults; the cap guards misuse beyond the model).
+    pub max_recovery_iterations: usize,
+    /// Whether reads attempt the optimistic single-round fast path
+    /// (Alg. 1 lines 5–11). Disabling it sends every read through
+    /// recovery — the ablation quantifying the paper's "efficient
+    /// single-round read" contribution (§4.1.2).
+    pub enable_fast_read: bool,
+}
+
+impl RegisterConfig {
+    /// Creates a register configuration for m-of-n coding with the given
+    /// block size and maximum fault tolerance `f = ⌊(n−m)/2⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid (m, n) or zero block size.
+    pub fn new(m: usize, n: usize, block_size: usize) -> Result<Self, ConfigError> {
+        if block_size == 0 {
+            return Err(ConfigError::ZeroBlockSize);
+        }
+        Ok(RegisterConfig {
+            codec: Codec::new(m, n)?,
+            quorum: MQuorumSystem::for_code(m, n)?,
+            block_size,
+            retransmit_interval: 200,
+            fast_grace: 4,
+            write_strategy: WriteStrategy::default(),
+            gc: GcPolicy::default(),
+            max_recovery_iterations: 4096,
+            enable_fast_read: true,
+        })
+    }
+
+    /// The erasure codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
+    /// The m-quorum system.
+    pub fn quorum(&self) -> MQuorumSystem {
+        self.quorum
+    }
+
+    /// Data blocks per stripe.
+    pub fn m(&self) -> usize {
+        self.codec.m()
+    }
+
+    /// Total blocks (= processes) per stripe.
+    pub fn n(&self) -> usize {
+        self.codec.n()
+    }
+
+    /// Bytes per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Sets the write strategy, returning `self` for chaining.
+    pub fn with_write_strategy(mut self, s: WriteStrategy) -> Self {
+        self.write_strategy = s;
+        self
+    }
+
+    /// Sets the GC policy, returning `self` for chaining.
+    pub fn with_gc(mut self, gc: GcPolicy) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Sets the retransmission interval, returning `self` for chaining.
+    pub fn with_retransmit_interval(mut self, ticks: u64) -> Self {
+        self.retransmit_interval = ticks;
+        self
+    }
+
+    /// Enables or disables the optimistic fast read path, returning `self`
+    /// for chaining.
+    pub fn with_fast_read(mut self, enabled: bool) -> Self {
+        self.enable_fast_read = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let cfg = RegisterConfig::new(5, 8, 512).unwrap();
+        assert_eq!(cfg.m(), 5);
+        assert_eq!(cfg.n(), 8);
+        assert_eq!(cfg.block_size(), 512);
+        assert_eq!(cfg.quorum().max_faulty(), 1);
+    }
+
+    #[test]
+    fn invalid_params_surface_as_config_errors() {
+        assert!(matches!(
+            RegisterConfig::new(0, 8, 512),
+            Err(ConfigError::Code(_))
+        ));
+        assert!(matches!(
+            RegisterConfig::new(5, 8, 0),
+            Err(ConfigError::ZeroBlockSize)
+        ));
+    }
+
+    #[test]
+    fn builder_chaining() {
+        let cfg = RegisterConfig::new(2, 4, 64)
+            .unwrap()
+            .with_write_strategy(WriteStrategy::Delta)
+            .with_gc(GcPolicy::Disabled)
+            .with_retransmit_interval(99);
+        assert_eq!(cfg.write_strategy, WriteStrategy::Delta);
+        assert_eq!(cfg.gc, GcPolicy::Disabled);
+        assert_eq!(cfg.retransmit_interval, 99);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ConfigError::ZeroBlockSize;
+        assert_eq!(e.to_string(), "block size must be positive");
+        let e: ConfigError = CodeError::InvalidParams { m: 0, n: 1 }.into();
+        assert!(e.to_string().contains("erasure code"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Structured operation traces.
+//!
+//! When enabled on a [`Coordinator`](crate::Coordinator), every operation
+//! records its phase transitions, reply arrivals, retransmissions, and
+//! outcome with virtual-time stamps. Traces explain *why* an operation took
+//! the path it took — which replica's `false` vote forced recovery, how
+//! many `read-prev-stripe` iterations ran, when retransmissions fired —
+//! and they render compactly for logs and test failure messages.
+
+use crate::messages::StripeId;
+use fab_timestamp::{ProcessId, Timestamp};
+use std::fmt;
+
+/// One event in an operation's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The operation was invoked.
+    Invoked {
+        /// Operation kind label ("read-stripe", "write-block", …).
+        kind: &'static str,
+    },
+    /// A messaging phase began (fresh round broadcast to all n).
+    PhaseEntered {
+        /// Phase label ("FastRead", "Order", "RecoverOrderRead#2", …).
+        phase: String,
+        /// The round number used by this phase.
+        round: u64,
+    },
+    /// A reply was recorded (first one from that process this round).
+    Reply {
+        /// The responder.
+        from: ProcessId,
+        /// Its status bit.
+        status: bool,
+    },
+    /// The retransmission timer fired; the request was re-sent to the
+    /// processes that had not answered.
+    Retransmitted,
+    /// A timestamp was generated for the operation.
+    TimestampAssigned {
+        /// The generated `newTS` value.
+        ts: Timestamp,
+    },
+    /// The operation finished.
+    Completed {
+        /// Outcome label ("ok", "aborted: conflict", …).
+        outcome: String,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Invoked { kind } => write!(f, "invoked {kind}"),
+            TraceEvent::PhaseEntered { phase, round } => {
+                write!(f, "phase {phase} (round {round})")
+            }
+            TraceEvent::Reply { from, status } => {
+                write!(
+                    f,
+                    "reply from {from}: {}",
+                    if *status { "yes" } else { "NO" }
+                )
+            }
+            TraceEvent::Retransmitted => write!(f, "retransmitted"),
+            TraceEvent::TimestampAssigned { ts } => write!(f, "ts := {ts}"),
+            TraceEvent::Completed { outcome } => write!(f, "completed: {outcome}"),
+        }
+    }
+}
+
+/// The recorded trace of one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTrace {
+    /// The operation id (per coordinator).
+    pub op: u64,
+    /// The stripe register it addressed.
+    pub stripe: StripeId,
+    /// Time-stamped events, in order.
+    pub events: Vec<(u64, TraceEvent)>,
+}
+
+impl OpTrace {
+    /// Creates an empty trace.
+    pub fn new(op: u64, stripe: StripeId) -> Self {
+        OpTrace {
+            op,
+            stripe,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event at virtual time `at`.
+    pub fn push(&mut self, at: u64, event: TraceEvent) {
+        self.events.push((at, event));
+    }
+
+    /// Number of messaging phases the operation ran.
+    pub fn phases(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::PhaseEntered { .. }))
+            .count()
+    }
+
+    /// Number of `false` votes observed.
+    pub fn refusals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Reply { status: false, .. }))
+            .count()
+    }
+
+    /// Number of retransmissions.
+    pub fn retransmissions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Retransmitted))
+            .count()
+    }
+}
+
+impl fmt::Display for OpTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "op {} on {}:", self.op, self.stripe)?;
+        for (at, e) in &self.events {
+            writeln!(f, "  t={at:<8} {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_display() {
+        let mut t = OpTrace::new(1, StripeId(7));
+        t.push(
+            0,
+            TraceEvent::Invoked {
+                kind: "read-stripe",
+            },
+        );
+        t.push(
+            0,
+            TraceEvent::PhaseEntered {
+                phase: "FastRead".into(),
+                round: 1,
+            },
+        );
+        t.push(
+            2,
+            TraceEvent::Reply {
+                from: ProcessId::new(0),
+                status: true,
+            },
+        );
+        t.push(
+            2,
+            TraceEvent::Reply {
+                from: ProcessId::new(1),
+                status: false,
+            },
+        );
+        t.push(
+            3,
+            TraceEvent::PhaseEntered {
+                phase: "RecoverOrderRead#1".into(),
+                round: 2,
+            },
+        );
+        t.push(200, TraceEvent::Retransmitted);
+        t.push(
+            210,
+            TraceEvent::Completed {
+                outcome: "ok".into(),
+            },
+        );
+        assert_eq!(t.phases(), 2);
+        assert_eq!(t.refusals(), 1);
+        assert_eq!(t.retransmissions(), 1);
+        let s = t.to_string();
+        assert!(s.contains("stripe7"));
+        assert!(s.contains("reply from p1: NO"));
+        assert!(s.contains("phase RecoverOrderRead#1"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the storage-register core: log invariants, replica
+//! handler invariants, and model-checked sequential behavior over random
+//! parameters, payloads, and network schedules.
+
+use bytes::Bytes;
+use fab_core::{
+    BlockValue, Log, OpResult, RegisterConfig, Replica, Request, SimCluster, StripeId, StripeValue,
+};
+use fab_simnet::SimConfig;
+use fab_timestamp::{ProcessId, Timestamp};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::from_parts(t, ProcessId::new(1))
+}
+
+/// A random log mutation.
+#[derive(Debug, Clone)]
+enum LogOp {
+    Insert(u64, Option<u8>), // ts ticks, None = ⊥, Some(tag) = data
+    Gc(u64),
+}
+
+fn log_ops() -> impl Strategy<Value = Vec<LogOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..100, proptest::option::of(any::<u8>())).prop_map(|(t, v)| LogOp::Insert(t, v)),
+            (1u64..100).prop_map(LogOp::Gc),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    /// The log's structural invariants hold under arbitrary insert/GC
+    /// interleavings: the LowTS sentinel survives, `max_ts` dominates all
+    /// queries, `max_block` is never ⊥, `version_below` is consistent.
+    #[test]
+    fn log_invariants_under_random_mutation(ops in log_ops()) {
+        let mut log = Log::new();
+        for op in &ops {
+            match op {
+                LogOp::Insert(t, v) => {
+                    let value = match v {
+                        None => BlockValue::Bottom,
+                        Some(tag) => BlockValue::Data(Bytes::from(vec![*tag; 4])),
+                    };
+                    log.insert(ts(*t), value);
+                }
+                LogOp::Gc(t) => {
+                    log.gc(ts(*t));
+                }
+            }
+            // Sentinel and shape invariants.
+            prop_assert_eq!(log.entry_at(Timestamp::LOW), Some(&BlockValue::Nil));
+            prop_assert!(!log.is_empty());
+            let (bt, bv) = log.max_block();
+            prop_assert!(!bv.is_bottom());
+            prop_assert!(bt <= log.max_ts());
+            // version_below(HighTS): validity is exactly max_ts, and the
+            // block is the newest non-⊥.
+            let (validity, v) = log.version_below(Timestamp::HIGH);
+            prop_assert_eq!(validity, log.max_ts());
+            prop_assert!(!v.is_bottom());
+            // max_below is strictly below its bound.
+            let (mt, _) = log.max_below(log.max_ts());
+            prop_assert!(mt < log.max_ts() || log.max_ts() == Timestamp::LOW);
+        }
+    }
+
+    /// GC never changes what `max_block` answers, no matter when it runs.
+    #[test]
+    fn gc_preserves_newest_block(ops in log_ops(), horizon in 1u64..100) {
+        let mut log = Log::new();
+        for op in &ops {
+            if let LogOp::Insert(t, v) = op {
+                let value = match v {
+                    None => BlockValue::Bottom,
+                    Some(tag) => BlockValue::Data(Bytes::from(vec![*tag; 4])),
+                };
+                log.insert(ts(*t), value);
+            }
+        }
+        let before_block = {
+            let (t, v) = log.max_block();
+            (t, v.clone())
+        };
+        let before_max = log.max_ts();
+        log.gc(ts(horizon));
+        let (t, v) = log.max_block();
+        prop_assert_eq!((t, v.clone()), before_block);
+        prop_assert_eq!(log.max_ts(), before_max);
+    }
+
+    /// Replica invariants under arbitrary request streams: `ord-ts` is
+    /// monotone, `max-ts` is monotone, and every reply's status is
+    /// consistent with the pre-state.
+    #[test]
+    fn replica_invariants_under_random_requests(
+        reqs in proptest::collection::vec((0u8..4, 1u64..64, any::<u8>()), 0..80),
+    ) {
+        let cfg = Arc::new(RegisterConfig::new(2, 4, 4).unwrap());
+        let mut r = Replica::new(ProcessId::new(0), cfg);
+        for (kind, t, tag) in reqs {
+            let prev_ord = r.ord_ts();
+            let prev_max = r.log().max_ts();
+            let req = match kind {
+                0 => Request::Read { targets: vec![ProcessId::new(0)] },
+                1 => Request::Order { ts: ts(t) },
+                2 => Request::Write {
+                    block: BlockValue::Data(Bytes::from(vec![tag; 4])),
+                    ts: ts(t),
+                },
+                _ => Request::Gc { up_to: ts(t) },
+            };
+            r.handle(&req);
+            prop_assert!(r.ord_ts() >= prev_ord, "ord-ts must be monotone");
+            prop_assert!(r.log().max_ts() >= prev_max, "max-ts must be monotone");
+            // The permanent structural invariant.
+            prop_assert_eq!(r.log().entry_at(Timestamp::LOW), Some(&BlockValue::Nil));
+        }
+    }
+
+    /// Sequential operations against a simulated cluster always agree with
+    /// a trivial model register, across random (m, n), seeds, network
+    /// harshness, and operation mixes.
+    #[test]
+    fn sequential_ops_match_model(
+        seed in any::<u64>(),
+        mn in prop_oneof![Just((1usize, 3usize)), Just((2, 4)), Just((3, 5)), Just((5, 8))],
+        harsh in any::<bool>(),
+        script in proptest::collection::vec((0u8..4, any::<u8>(), 0u8..8), 1..12),
+    ) {
+        let (m, n) = mn;
+        let size = 8usize;
+        let cfg = RegisterConfig::new(m, n, size).unwrap();
+        let net = if harsh {
+            SimConfig::ideal(seed).delays(1, 10).drop_probability(0.05)
+        } else {
+            SimConfig::ideal(seed)
+        };
+        let mut c = SimCluster::new(cfg, net);
+        let s = StripeId(0);
+        // Model: the current stripe (None = nil).
+        let mut model: Option<Vec<Bytes>> = None;
+        for (step, (kind, tag, who)) in script.into_iter().enumerate() {
+            let coordinator = ProcessId::new((who as u32) % (n as u32));
+            match kind {
+                0 => {
+                    let blocks: Vec<Bytes> =
+                        (0..m).map(|i| Bytes::from(vec![tag.wrapping_add(i as u8); size])).collect();
+                    let r = c.write_stripe(coordinator, s, blocks.clone());
+                    prop_assert_eq!(r, OpResult::Written, "step {}", step);
+                    model = Some(blocks);
+                }
+                1 => {
+                    let j = (tag as usize) % m;
+                    let b = Bytes::from(vec![tag ^ 0x5A; size]);
+                    let r = c.write_block(coordinator, s, j, b.clone());
+                    prop_assert_eq!(r, OpResult::Written, "step {}", step);
+                    let mut cur = model.take().unwrap_or_else(|| {
+                        vec![Bytes::from(vec![0u8; size]); m]
+                    });
+                    cur[j] = b;
+                    model = Some(cur);
+                }
+                2 => {
+                    let r = c.read_stripe(coordinator, s);
+                    match (&model, r) {
+                        (None, OpResult::Stripe(StripeValue::Nil)) => {}
+                        (Some(want), OpResult::Stripe(StripeValue::Data(got))) => {
+                            prop_assert_eq!(&got, want, "step {}", step);
+                        }
+                        (want, got) => {
+                            return Err(TestCaseError::fail(format!(
+                                "step {step}: model {want:?} vs read {got:?}"
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    let j = (tag as usize) % m;
+                    let r = c.read_block(coordinator, s, j);
+                    let want = model
+                        .as_ref()
+                        .map(|blocks| blocks[j].clone())
+                        .unwrap_or_else(|| Bytes::from(vec![0u8; size]));
+                    match r {
+                        OpResult::Block(v) => {
+                            prop_assert_eq!(v.materialize(size), want, "step {}", step)
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "step {step}: read-block returned {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Identical seeds and scripts replay identically, even under the
+    /// harsh network (end-to-end determinism of the whole stack).
+    #[test]
+    fn end_to_end_determinism(seed in any::<u64>()) {
+        let run = || {
+            let cfg = RegisterConfig::new(2, 4, 8).unwrap();
+            let mut c = SimCluster::new(cfg, SimConfig::harsh(seed));
+            let s = StripeId(0);
+            for i in 0..4u8 {
+                c.write_stripe(
+                    ProcessId::new((i % 4) as u32),
+                    s,
+                    vec![Bytes::from(vec![i; 8]), Bytes::from(vec![i + 1; 8])],
+                );
+            }
+            let r = c.read_stripe(ProcessId::new(0), s);
+            (c.sim().fingerprint(), format!("{r:?}"))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

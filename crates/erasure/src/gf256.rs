@@ -1,0 +1,563 @@
+//! Arithmetic in the finite field GF(2⁸).
+//!
+//! All Reed–Solomon computations in this crate happen in GF(2⁸) with the
+//! primitive polynomial x⁸ + x⁴ + x³ + x² + 1 (0x11D), the polynomial used
+//! by most storage-oriented Reed–Solomon deployments. Addition is XOR;
+//! multiplication and division go through logarithm/antilogarithm tables
+//! that are computed at compile time.
+//!
+//! The paper's erasure-code primitives (`encode`, `decode`, `modify`; see
+//! §2.1 and Figure 4 of Frølund et al., DSN 2004) are all linear maps over
+//! this field, which is what makes the incremental parity update
+//! `modify_{i,j}` possible: a parity block is a GF(2⁸)-linear combination of
+//! the data blocks, so replacing data block *i* changes parity block *j* by
+//! `a_{j,i} · (b_i' − b_i)`.
+
+use std::fmt;
+
+/// The primitive polynomial x⁸ + x⁴ + x³ + x² + 1 used to reduce products.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Order of the multiplicative group of GF(2⁸).
+pub const GROUP_ORDER: usize = 255;
+
+/// Builds the antilog (exponential) table `EXP[i] = g^i` for the generator
+/// `g = 2`, extended to 512 entries so products of logs need no modular
+/// reduction.
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        exp[i + GROUP_ORDER] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Positions 510 and 511 are never indexed (max log sum is 254+254=508),
+    // but fill them consistently anyway.
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+}
+
+/// Builds the log table: `LOG[EXP[i]] = i`. `LOG[0]` is a sentinel that must
+/// never be consumed; multiplication guards the zero cases explicitly.
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+static EXP: [u8; 512] = build_exp();
+static LOG: [u8; 256] = build_log();
+
+/// An element of GF(2⁸).
+///
+/// `Gf256` is a transparent wrapper over `u8`; the wrapper keeps field
+/// arithmetic from being confused with ordinary byte arithmetic
+/// (C-NEWTYPE). All operations are total: division by zero panics, exactly
+/// like integer division.
+///
+/// # Examples
+///
+/// ```
+/// use fab_erasure::gf256::Gf256;
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xCA);
+/// // Addition in a binary field is XOR and is its own inverse.
+/// assert_eq!(a + b, Gf256::new(0x53 ^ 0xCA));
+/// assert_eq!((a + b) + b, a);
+/// // Multiplication distributes over addition.
+/// let c = Gf256::new(7);
+/// assert_eq!(c * (a + b), c * a + c * b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The canonical generator of the multiplicative group.
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies two field elements.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // also exposed via std::ops::Mul
+    pub fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[idx])
+    }
+
+    /// Divides `self` by `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // also exposed via std::ops::Div
+    pub fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(rhs.0 != 0, "division by zero in GF(256)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + GROUP_ORDER - LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[idx])
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Gf256 {
+        assert!(self.0 != 0, "zero has no multiplicative inverse in GF(256)");
+        Gf256(EXP[GROUP_ORDER - LOG[self.0 as usize] as usize])
+    }
+
+    /// Raises `self` to the power `exp`.
+    ///
+    /// `0⁰` is defined as `1`, matching the convention used when evaluating
+    /// Vandermonde matrices.
+    pub fn pow(self, exp: usize) -> Gf256 {
+        if exp == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG[self.0 as usize] as usize;
+        Gf256(EXP[(log * exp) % GROUP_ORDER])
+    }
+
+    /// Returns `g^i` where `g` is [`Gf256::GENERATOR`].
+    #[inline]
+    pub fn exp(i: usize) -> Gf256 {
+        Gf256(EXP[i % GROUP_ORDER])
+    }
+
+    /// Returns the discrete logarithm base `g`, or `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG[self.0 as usize])
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl std::ops::Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // addition in GF(2^8) IS xor
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Gf256 {
+    #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // addition in GF(2^8) IS xor
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl std::ops::Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction in GF(2^8) IS xor
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Subtraction and addition coincide in binary fields.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::SubAssign for Gf256 {
+    #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // subtraction in GF(2^8) IS xor
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl std::ops::Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256::mul(self, rhs)
+    }
+}
+
+impl std::ops::MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = Gf256::mul(*self, rhs);
+    }
+}
+
+impl std::ops::Div for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        Gf256::div(self, rhs)
+    }
+}
+
+impl std::ops::DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = Gf256::div(*self, rhs);
+    }
+}
+
+impl std::ops::Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // Every element is its own additive inverse.
+        self
+    }
+}
+
+/// Multiplies every byte of `block` by the constant `coeff`, accumulating
+/// (XOR) into `acc`: `acc[k] += coeff * block[k]`.
+///
+/// This is the inner loop of both stripe encoding and decoding; it is kept
+/// free-standing so the matrix and codec layers share one implementation.
+///
+/// # Panics
+///
+/// Panics if `acc` and `block` have different lengths.
+pub fn mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    assert_eq!(
+        acc.len(),
+        block.len(),
+        "mul_acc requires equal-length buffers"
+    );
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        for (a, b) in acc.iter_mut().zip(block) {
+            *a ^= *b;
+        }
+        return;
+    }
+    let log_c = LOG[coeff.0 as usize] as usize;
+    for (a, b) in acc.iter_mut().zip(block) {
+        if *b != 0 {
+            *a ^= EXP[log_c + LOG[*b as usize] as usize];
+        }
+    }
+}
+
+/// Multiplies every byte of `block` in place by the constant `coeff`.
+pub fn mul_slice(block: &mut [u8], coeff: Gf256) {
+    if coeff == Gf256::ONE {
+        return;
+    }
+    if coeff.is_zero() {
+        block.fill(0);
+        return;
+    }
+    let log_c = LOG[coeff.0 as usize] as usize;
+    for b in block.iter_mut() {
+        if *b != 0 {
+            *b = EXP[log_c + LOG[*b as usize] as usize];
+        }
+    }
+}
+
+/// XORs `src` into `dst`: `dst[k] += src[k]` in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice requires equal lengths");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indexing two parallel tables
+    fn tables_are_consistent() {
+        for i in 0..GROUP_ORDER {
+            let e = EXP[i];
+            assert_ne!(e, 0, "generator powers never hit zero");
+            assert_eq!(LOG[e as usize] as usize, i);
+        }
+        // The extended half mirrors the first half.
+        for i in 0..GROUP_ORDER {
+            assert_eq!(EXP[i], EXP[i + GROUP_ORDER]);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        for i in 0..GROUP_ORDER {
+            let v = Gf256::exp(i).value();
+            assert!(!seen[v as usize], "generator order < 255");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 17, 128, 255] {
+                let x = Gf256(a) + Gf256(b);
+                assert_eq!(x.value(), a ^ b);
+                assert_eq!(x + Gf256(b), Gf256(a));
+                assert_eq!(Gf256(a) - Gf256(b), x);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            let a = Gf256(a);
+            assert_eq!(a * Gf256::ONE, a);
+            assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+            assert_eq!(Gf256::ZERO * a, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let samples = [0u8, 1, 2, 3, 5, 9, 100, 200, 255];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+                for &c in &samples {
+                    assert_eq!(
+                        (Gf256(a) * Gf256(b)) * Gf256(c),
+                        Gf256(a) * (Gf256(b) * Gf256(c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let samples = [0u8, 1, 2, 7, 31, 130, 254, 255];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert_eq!(
+                        Gf256(a) * (Gf256(b) + Gf256(c)),
+                        Gf256(a) * Gf256(b) + Gf256(a) * Gf256(c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let a = Gf256(a);
+            assert_eq!(a * a.inv(), Gf256::ONE);
+            assert_eq!(a / a, Gf256::ONE);
+            assert_eq!(Gf256::ONE / a, a.inv());
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(Gf256(a) / Gf256(b), Gf256(a) * Gf256(b).inv());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Gf256(5) / Gf256::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_of_zero_panics() {
+        let _ = Gf256::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for &a in &[0u8, 1, 2, 3, 29, 255] {
+            let a = Gf256(a);
+            let mut acc = Gf256::ONE;
+            for e in 0..20 {
+                assert_eq!(a.pow(e), acc, "a={a:?} e={e}");
+                acc *= a;
+            }
+        }
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^255 = 1 for all non-zero a.
+        for a in 1..=255u8 {
+            assert_eq!(Gf256(a).pow(GROUP_ORDER), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_math() {
+        let block = [1u8, 0, 255, 17, 42];
+        let mut acc = [9u8, 8, 7, 6, 5];
+        let coeff = Gf256(0x1D);
+        let expect: Vec<u8> = acc
+            .iter()
+            .zip(&block)
+            .map(|(&a, &b)| (Gf256(a) + Gf256(b) * coeff).value())
+            .collect();
+        mul_acc(&mut acc, &block, coeff);
+        assert_eq!(acc.to_vec(), expect);
+    }
+
+    #[test]
+    fn mul_acc_zero_coeff_is_noop() {
+        let block = [1u8, 2, 3];
+        let mut acc = [4u8, 5, 6];
+        mul_acc(&mut acc, &block, Gf256::ZERO);
+        assert_eq!(acc, [4, 5, 6]);
+    }
+
+    #[test]
+    fn mul_acc_one_coeff_is_xor() {
+        let block = [1u8, 2, 3];
+        let mut acc = [4u8, 5, 6];
+        mul_acc(&mut acc, &block, Gf256::ONE);
+        assert_eq!(acc, [5, 7, 5]);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_math() {
+        let mut block = [0u8, 1, 2, 200, 255];
+        let orig = block;
+        let coeff = Gf256(77);
+        mul_slice(&mut block, coeff);
+        for (got, &b) in block.iter().zip(&orig) {
+            assert_eq!(*got, (Gf256(b) * coeff).value());
+        }
+    }
+
+    #[test]
+    fn mul_slice_by_zero_clears() {
+        let mut block = [1u8, 2, 3];
+        mul_slice(&mut block, Gf256::ZERO);
+        assert_eq!(block, [0, 0, 0]);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", Gf256(0x2a)), "0x2a");
+        assert_eq!(format!("{:?}", Gf256(0x2a)), "Gf256(0x2a)");
+        assert_eq!(format!("{:x}", Gf256(0x2a)), "2a");
+        assert_eq!(format!("{:b}", Gf256(0b101)), "101");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for b in 0..=255u8 {
+            assert_eq!(u8::from(Gf256::from(b)), b);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Dense matrices over GF(2⁸).
+//!
+//! The Reed–Solomon codec builds its systematic generator matrix and its
+//! per-read decode matrices out of the operations defined here: Vandermonde
+//! construction, multiplication, and Gauss–Jordan inversion. The matrices
+//! involved are tiny (at most n × m with n ≤ 255), so a straightforward
+//! row-major `Vec<Gf256>` is the right representation — no sparsity or
+//! blocking is warranted.
+
+use crate::gf256::Gf256;
+use std::fmt;
+
+/// A row-major dense matrix over GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use fab_erasure::matrix::Matrix;
+///
+/// let id = Matrix::identity(3);
+/// let v = Matrix::vandermonde(3, 3);
+/// assert_eq!(&id * &v, v);
+/// let inv = v.inverted().expect("vandermonde is invertible");
+/// assert_eq!(&v * &inv, id);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `size` × `size` identity matrix.
+    pub fn identity(size: usize) -> Self {
+        let mut m = Matrix::zero(size, size);
+        for i in 0..size {
+            m[(i, i)] = Gf256::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major list of byte rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut m = Matrix::zero(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            for (c, &v) in row.iter().enumerate() {
+                m[(r, c)] = Gf256::new(v);
+            }
+        }
+        m
+    }
+
+    /// Creates the `rows` × `cols` Vandermonde matrix `V[r][c] = r^c`.
+    ///
+    /// Every square submatrix formed from distinct rows of a Vandermonde
+    /// matrix with distinct evaluation points is invertible, which is the
+    /// property that lets an erasure code reconstruct from *any* m shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds 255 (GF(2⁸) has only 255 non-zero points
+    /// plus zero) or either dimension is zero.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 256, "at most 256 distinct evaluation points exist");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = Gf256::new(r as u8).pow(c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix consisting of the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one row");
+        let mut m = Matrix::zero(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of bounds");
+            let (r0, r1) = (dst * self.cols, src * self.cols);
+            m.data[r0..r0 + self.cols].copy_from_slice(&self.data[r1..r1 + self.cols]);
+        }
+        m
+    }
+
+    /// Returns the submatrix of the first `rows` rows.
+    pub fn top(&self, rows: usize) -> Matrix {
+        self.select_rows(&(0..rows).collect::<Vec<_>>())
+    }
+
+    /// Multiplies `self` by `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner matrix dimensions must agree for multiplication"
+        );
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = out[(r, c)] + a * rhs[(k, c)];
+                    out[(r, c)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the inverse of a square matrix, or `None` if it is singular.
+    ///
+    /// Uses Gauss–Jordan elimination with partial pivoting (pivoting by any
+    /// non-zero element — there is no rounding in a finite field, so any
+    /// non-zero pivot is exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverted(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a non-zero pivot at or below the diagonal.
+            let pivot = (col..n).find(|&r| !work[(r, col)].is_zero())?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = work[(col, col)].inv();
+            work.scale_row(col, p);
+            inv.scale_row(col, p);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work[(r, col)];
+                if factor.is_zero() {
+                    continue;
+                }
+                work.add_scaled_row(r, col, factor);
+                inv.add_scaled_row(r, col, factor);
+            }
+        }
+        Some(inv)
+    }
+
+    /// Returns `true` if this is the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let want = if r == c { Gf256::ONE } else { Gf256::ZERO };
+                if self[(r, c)] != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, by: Gf256) {
+        for c in 0..self.cols {
+            let v = self[(r, c)] * by;
+            self[(r, c)] = v;
+        }
+    }
+
+    /// `row[dst] += factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let v = self[(dst, c)] + factor * self[(src, c)];
+            self[(dst, c)] = v;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Gf256;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Gf256 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf256 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.multiply(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self[(r, c)].value())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let v = Matrix::vandermonde(4, 4);
+        let id = Matrix::identity(4);
+        assert_eq!(&id * &v, v);
+        assert_eq!(&v * &id, v);
+    }
+
+    #[test]
+    fn vandermonde_layout() {
+        let v = Matrix::vandermonde(3, 3);
+        // Row r is [1, r, r²].
+        assert_eq!(v[(0, 0)], Gf256::ONE);
+        assert_eq!(v[(2, 1)], Gf256::new(2));
+        assert_eq!(v[(2, 2)], Gf256::new(2).pow(2));
+        // 0⁰ = 1 by convention.
+        assert_eq!(v[(0, 1)], Gf256::ZERO);
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let id = Matrix::identity(5);
+        assert_eq!(id.inverted().unwrap(), id);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in 1..=8 {
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.inverted().expect("square vandermonde is invertible");
+            assert!((&v * &inv).is_identity(), "n={n}");
+            assert!((&inv * &v).is_identity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Two identical rows.
+        let m = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
+        assert!(m.inverted().is_none());
+        // A zero row.
+        let z = Matrix::from_rows(&[&[0, 0], &[3, 4]]);
+        assert!(z.inverted().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let v = Matrix::vandermonde(5, 3);
+        let s = v.select_rows(&[4, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(0));
+    }
+
+    #[test]
+    fn any_square_subset_of_vandermonde_rows_is_invertible() {
+        // The decodability property underpinning m-of-n codes.
+        let v = Matrix::vandermonde(8, 5);
+        // A few representative 5-subsets of the 8 rows.
+        let subsets: [&[usize]; 6] = [
+            &[0, 1, 2, 3, 4],
+            &[3, 4, 5, 6, 7],
+            &[0, 2, 4, 6, 7],
+            &[1, 3, 5, 6, 7],
+            &[0, 1, 5, 6, 7],
+            &[0, 4, 5, 6, 7],
+        ];
+        for subset in subsets {
+            let sub = v.select_rows(subset);
+            assert!(sub.inverted().is_some(), "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn multiply_dimensions() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(3, 4);
+        let c = &a * &b;
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner matrix dimensions")]
+    fn multiply_dimension_mismatch_panics() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn multiplication_is_associative() {
+        let a = Matrix::vandermonde(3, 3);
+        let b = Matrix::vandermonde(3, 3).inverted().unwrap();
+        let c = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        assert_eq!(m[(0, 0)].value(), 1);
+        assert_eq!(m[(0, 1)].value(), 2);
+        assert_eq!(m[(1, 0)].value(), 3);
+        assert_eq!(m[(1, 1)].value(), 4);
+    }
+
+    #[test]
+    fn top_takes_prefix() {
+        let v = Matrix::vandermonde(6, 2);
+        let t = v.top(2);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.row(0), v.row(0));
+        assert_eq!(t.row(1), v.row(1));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = Matrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

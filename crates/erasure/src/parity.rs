@@ -1,0 +1,158 @@
+//! Single-parity XOR codes (the RAID-5 layout of the paper's §1, footnote 1:
+//! parity code with m = n − 1).
+//!
+//! The single parity block is the XOR of the m data blocks. Any one missing
+//! block — data or parity — can be rebuilt by XOR-ing the surviving n − 1.
+//! This is the cheapest member of the m-of-n family and the one the paper's
+//! RAID-5 comparisons refer to.
+
+use crate::code::{CodeError, CodeParams, Result, Share};
+use crate::gf256::xor_slice;
+
+/// An (n−1)-of-n XOR parity codec.
+#[derive(Debug, Clone)]
+pub struct ParityCode {
+    params: CodeParams,
+}
+
+impl ParityCode {
+    /// Creates a parity codec with m = n − 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `n < 2` or `n > 255`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(CodeError::InvalidParams {
+                m: n.saturating_sub(1),
+                n,
+            });
+        }
+        Ok(ParityCode {
+            params: CodeParams::new(n - 1, n)?,
+        })
+    }
+
+    /// The validated code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+        let len = stripe[0].len();
+        let mut out: Vec<Vec<u8>> = stripe.iter().map(|b| b.to_vec()).collect();
+        let mut parity = vec![0u8; len];
+        for block in stripe {
+            xor_slice(&mut parity, block);
+        }
+        out.push(parity);
+        out
+    }
+
+    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+        let m = self.params.m();
+        debug_assert_eq!(shares.len(), m);
+        // Shares arrive sorted by index (Codec::decode guarantees it). If the
+        // parity block is absent, the shares are exactly the data blocks.
+        if shares.iter().all(|s| s.index < m) {
+            return shares.iter().map(|s| s.data.to_vec()).collect();
+        }
+        // Exactly one data block is missing; rebuild it by XOR.
+        let missing = (0..m)
+            .find(|i| !shares.iter().any(|s| s.index == *i))
+            .expect("parity share present implies one data index missing");
+        let len = shares[0].data.len();
+        let mut rebuilt = vec![0u8; len];
+        for s in shares {
+            xor_slice(&mut rebuilt, s.data);
+        }
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(m);
+        for i in 0..m {
+            if i == missing {
+                out.push(rebuilt.clone());
+            } else {
+                let s = shares
+                    .iter()
+                    .find(|s| s.index == i)
+                    .expect("non-missing data share present");
+                out.push(s.data.to_vec());
+            }
+        }
+        out
+    }
+
+    pub(crate) fn modify(&self, old_data: &[u8], new_data: &[u8], old_parity: &[u8]) -> Vec<u8> {
+        // p' = p ⊕ b ⊕ b'
+        old_parity
+            .iter()
+            .zip(old_data)
+            .zip(new_data)
+            .map(|((p, a), b)| p ^ a ^ b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
+        blocks.iter().map(|b| b.as_slice()).collect()
+    }
+
+    #[test]
+    fn construction_bounds() {
+        assert!(ParityCode::new(0).is_err());
+        assert!(ParityCode::new(1).is_err());
+        assert!(ParityCode::new(2).is_ok());
+        assert_eq!(ParityCode::new(5).unwrap().params().m(), 4);
+    }
+
+    #[test]
+    fn parity_is_xor_of_data() {
+        let c = ParityCode::new(4).unwrap();
+        let data = vec![vec![1u8, 2], vec![4u8, 8], vec![16u8, 32]];
+        let blocks = c.encode(&refs(&data));
+        assert_eq!(blocks[3], vec![1 ^ 4 ^ 16, 2 ^ 8 ^ 32]);
+    }
+
+    #[test]
+    fn decode_with_all_data_present() {
+        let c = ParityCode::new(4).unwrap();
+        let data = vec![vec![9u8], vec![8u8], vec![7u8]];
+        let blocks = c.encode(&refs(&data));
+        let shares = [
+            Share::new(0, &blocks[0]),
+            Share::new(1, &blocks[1]),
+            Share::new(2, &blocks[2]),
+        ];
+        assert_eq!(c.decode(&shares), data);
+    }
+
+    #[test]
+    fn decode_recovers_each_missing_data_block() {
+        let c = ParityCode::new(4).unwrap();
+        let data = vec![vec![0xAAu8, 1], vec![0xBBu8, 2], vec![0xCCu8, 3]];
+        let blocks = c.encode(&refs(&data));
+        for missing in 0..3 {
+            let shares: Vec<Share<'_>> = (0..4)
+                .filter(|&i| i != missing)
+                .map(|i| Share::new(i, blocks[i].as_slice()))
+                .collect();
+            assert_eq!(c.decode(&shares), data, "missing={missing}");
+        }
+    }
+
+    #[test]
+    fn modify_matches_reencode() {
+        let c = ParityCode::new(5).unwrap();
+        let data = vec![vec![1u8, 1], vec![2u8, 2], vec![3u8, 3], vec![4u8, 4]];
+        let blocks = c.encode(&refs(&data));
+        let new_b1 = vec![0x77u8, 0x66];
+        let mut new_data = data.clone();
+        new_data[1] = new_b1.clone();
+        let reencoded = c.encode(&refs(&new_data));
+        let patched = c.modify(&data[1], &new_b1, &blocks[4]);
+        assert_eq!(patched, reencoded[4]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Systematic Reed–Solomon codes over GF(2⁸).
+//!
+//! The generator matrix is derived from an n × m Vandermonde matrix `V` as
+//! `G = V · (V_top)⁻¹` where `V_top` is the top m × m square of `V`. This
+//! makes the code *systematic* (the top m rows of `G` are the identity, so
+//! encoded blocks 0..m are the original data) while preserving the
+//! Vandermonde property that **any** m rows of `G` form an invertible
+//! matrix — which is exactly the paper's `decode` requirement: the stripe
+//! can be rebuilt from any m of the n blocks.
+
+use crate::code::{CodeParams, Share};
+use crate::gf256::{mul_acc, Gf256};
+use crate::matrix::Matrix;
+
+/// A systematic m-of-n Reed–Solomon codec.
+///
+/// Constructed through [`Codec::reed_solomon`](crate::Codec::reed_solomon)
+/// or [`Codec::new`](crate::Codec::new); the inner operations assume inputs
+/// already validated by the [`Codec`](crate::Codec) front end.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    params: CodeParams,
+    /// n × m systematic generator matrix (top m rows are the identity).
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds the systematic generator for (m, n).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`](crate::CodeError::InvalidParams)
+    /// for invalid (m, n).
+    pub fn new(m: usize, n: usize) -> crate::code::Result<Self> {
+        let params = CodeParams::new(m, n)?;
+        let vandermonde = Matrix::vandermonde(n, m);
+        let top_inv = vandermonde
+            .top(m)
+            .inverted()
+            .expect("square Vandermonde with distinct points is invertible");
+        let generator = &vandermonde * &top_inv;
+        debug_assert!(generator.top(m).is_identity());
+        Ok(ReedSolomon { params, generator })
+    }
+
+    /// The validated code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// The generator coefficient `g_{j,i}`: the contribution of data block
+    /// `i` to encoded block `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ n` or `i ≥ m`.
+    pub fn coefficient(&self, j: usize, i: usize) -> Gf256 {
+        assert!(j < self.params.n(), "row out of range");
+        assert!(i < self.params.m(), "column out of range");
+        self.generator[(j, i)]
+    }
+
+    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+        let (m, n) = (self.params.m(), self.params.n());
+        let len = stripe[0].len();
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for block in stripe.iter().take(m) {
+            out.push(block.to_vec());
+        }
+        for j in m..n {
+            let mut parity = vec![0u8; len];
+            for (i, block) in stripe.iter().enumerate() {
+                mul_acc(&mut parity, block, self.generator[(j, i)]);
+            }
+            out.push(parity);
+        }
+        out
+    }
+
+    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+        let m = self.params.m();
+        debug_assert_eq!(shares.len(), m);
+        // Fast path: all m shares are data blocks already.
+        if shares.iter().all(|s| s.index < m) {
+            return shares.iter().map(|s| s.data.to_vec()).collect();
+        }
+        let indices: Vec<usize> = shares.iter().map(|s| s.index).collect();
+        let sub = self.generator.select_rows(&indices);
+        let inv = sub
+            .inverted()
+            .expect("any m rows of a systematic Vandermonde generator are independent");
+        let len = shares[0].data.len();
+        let mut out = Vec::with_capacity(m);
+        for r in 0..m {
+            let mut block = vec![0u8; len];
+            for (c, share) in shares.iter().enumerate() {
+                mul_acc(&mut block, share.data, inv[(r, c)]);
+            }
+            out.push(block);
+        }
+        out
+    }
+
+    pub(crate) fn modify(
+        &self,
+        i: usize,
+        j: usize,
+        old_data: &[u8],
+        new_data: &[u8],
+        old_parity: &[u8],
+    ) -> Vec<u8> {
+        // c_j' = c_j + g_{j,i} · (b_i' − b_i); all adds are XOR.
+        let coeff = self.generator[(j, i)];
+        let mut out = old_parity.to_vec();
+        let diff: Vec<u8> = old_data.iter().zip(new_data).map(|(a, b)| a ^ b).collect();
+        mul_acc(&mut out, &diff, coeff);
+        out
+    }
+
+    pub(crate) fn coded_delta(
+        &self,
+        i: usize,
+        j: usize,
+        old_data: &[u8],
+        new_data: &[u8],
+    ) -> Vec<u8> {
+        let coeff = self.generator[(j, i)];
+        let mut out = vec![0u8; old_data.len()];
+        let diff: Vec<u8> = old_data.iter().zip(new_data).map(|(a, b)| a ^ b).collect();
+        mul_acc(&mut out, &diff, coeff);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Share;
+
+    fn stripe(m: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| {
+                (0..len)
+                    .map(|k| (seed as usize + i * 31 + k * 7) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
+        blocks.iter().map(|b| b.as_slice()).collect()
+    }
+
+    #[test]
+    fn generator_is_systematic() {
+        let rs = ReedSolomon::new(5, 8).unwrap();
+        for i in 0..5 {
+            for k in 0..5 {
+                let want = if i == k { 1 } else { 0 };
+                assert_eq!(rs.coefficient(i, k).value(), want);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // comparing parallel vectors by index
+    fn encode_prefix_is_data() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data = stripe(3, 16, 1);
+        let blocks = rs.encode(&refs(&data));
+        assert_eq!(blocks.len(), 6);
+        for i in 0..3 {
+            assert_eq!(blocks[i], data[i]);
+        }
+    }
+
+    #[test]
+    fn decode_from_every_m_subset() {
+        let (m, n) = (3, 6);
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let data = stripe(m, 8, 42);
+        let blocks = rs.encode(&refs(&data));
+        // All C(6,3) = 20 subsets.
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    let shares = [
+                        Share::new(a, &blocks[a]),
+                        Share::new(b, &blocks[b]),
+                        Share::new(c, &blocks[c]),
+                    ];
+                    let out = rs.decode(&shares);
+                    assert_eq!(out, data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_order_insensitive_via_codec() {
+        // The Codec front end sorts shares; raw decode handles any order too.
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = stripe(2, 4, 9);
+        let blocks = rs.encode(&refs(&data));
+        let out = rs.decode(&[Share::new(3, &blocks[3]), Share::new(0, &blocks[0])]);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn modify_matches_full_reencode() {
+        let (m, n) = (5, 8);
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let data = stripe(m, 8, 7);
+        let blocks = rs.encode(&refs(&data));
+        for i in 0..m {
+            let mut new_data = data.clone();
+            new_data[i] = vec![0xAB; 8];
+            let reencoded = rs.encode(&refs(&new_data));
+            for j in m..n {
+                let patched = rs.modify(i, j, &data[i], &new_data[i], &blocks[j]);
+                assert_eq!(patched, reencoded[j], "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // j is also the parity index
+    fn coded_delta_equals_modify() {
+        let (m, n) = (4, 7);
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let data = stripe(m, 16, 3);
+        let blocks = rs.encode(&refs(&data));
+        let new_b2 = vec![0x5A; 16];
+        for j in m..n {
+            let delta = rs.coded_delta(2, j, &data[2], &new_b2);
+            let applied: Vec<u8> = blocks[j].iter().zip(&delta).map(|(a, b)| a ^ b).collect();
+            let direct = rs.modify(2, j, &data[2], &new_b2, &blocks[j]);
+            assert_eq!(applied, direct, "j={j}");
+        }
+    }
+
+    #[test]
+    fn m_equals_n_is_pure_striping() {
+        let rs = ReedSolomon::new(3, 3).unwrap();
+        let data = stripe(3, 4, 1);
+        let blocks = rs.encode(&refs(&data));
+        assert_eq!(blocks, data);
+        let shares: Vec<Share<'_>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Share::new(i, b))
+            .collect();
+        assert_eq!(rs.decode(&shares), data);
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = vec![vec![], vec![]];
+        let blocks = rs.encode(&refs(&data));
+        assert!(blocks.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn large_m_n() {
+        let rs = ReedSolomon::new(20, 30).unwrap();
+        let data = stripe(20, 4, 11);
+        let blocks = rs.encode(&refs(&data));
+        // Decode from the last 20 blocks (10 data lost).
+        let shares: Vec<Share<'_>> = (10..30).map(|i| Share::new(i, &blocks[i])).collect();
+        assert_eq!(rs.decode(&shares), data);
+    }
+}

@@ -1,0 +1,87 @@
+//! n-way replication as the m = 1 special case of erasure coding.
+//!
+//! Figure 5 of the paper analyses the protocol "where parity blocks are
+//! copies of the stripe block (i.e., replication as a special case of
+//! erasure coding)". Treating replication as a codec lets the same storage
+//! register run replicated or erasure-coded without special cases, and
+//! gives the LS97 comparison a common footing.
+
+use crate::code::{CodeError, CodeParams, Result, Share};
+
+/// A 1-of-n replication codec: every encoded block is a copy of the datum.
+#[derive(Debug, Clone)]
+pub struct Replication {
+    params: CodeParams,
+}
+
+impl Replication {
+    /// Creates an n-way replication codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `n` is 0 or exceeds 255.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(CodeError::InvalidParams { m: 1, n });
+        }
+        Ok(Replication {
+            params: CodeParams::new(1, n)?,
+        })
+    }
+
+    /// The validated code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+        debug_assert_eq!(stripe.len(), 1);
+        (0..self.params.n()).map(|_| stripe[0].to_vec()).collect()
+    }
+
+    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+        debug_assert_eq!(shares.len(), 1);
+        vec![shares[0].data.to_vec()]
+    }
+
+    pub(crate) fn modify(&self, new_data: &[u8]) -> Vec<u8> {
+        new_data.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Replication::new(0).is_err());
+        assert!(Replication::new(1).is_ok());
+        assert!(Replication::new(255).is_ok());
+        assert!(Replication::new(256).is_err());
+    }
+
+    #[test]
+    fn encode_makes_n_copies() {
+        let c = Replication::new(3).unwrap();
+        let blocks = c.encode(&[b"hello"]);
+        assert_eq!(blocks, vec![b"hello".to_vec(); 3]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index also names the share
+    fn any_single_share_decodes() {
+        let c = Replication::new(3).unwrap();
+        let blocks = c.encode(&[b"data"]);
+        for i in 0..3 {
+            let out = c.decode(&[Share::new(i, &blocks[i])]);
+            assert_eq!(out, vec![b"data".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn modify_returns_new_value() {
+        let c = Replication::new(2).unwrap();
+        assert_eq!(c.modify(b"new"), b"new".to_vec());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the erasure-coding substrate.
+//!
+//! These check the algebraic laws the storage-register protocol depends on:
+//! `decode ∘ encode = id` for *any* m-subset of shares, `modify` agreeing
+//! with full re-encoding, and delta updates agreeing with `modify` — for
+//! randomized parameters, block contents, and share subsets.
+
+#![allow(clippy::needless_range_loop)] // indices double as share ids
+
+use fab_erasure::{Codec, Gf256, Matrix, Share};
+use proptest::prelude::*;
+
+/// Strategy producing valid (m, n) pairs small enough to enumerate subsets.
+fn params() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=8).prop_flat_map(|m| (Just(m), m..=(m + 6).min(12)))
+}
+
+/// Strategy producing a stripe of `m` equal-length random blocks.
+fn stripe(m: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    (1usize..=64).prop_flat_map(move |len| {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), len), m)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_inverts_encode_on_random_subset(
+        (m, n) in params(),
+        seed in any::<u64>(),
+    ) {
+        let codec = Codec::new(m, n).unwrap();
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|i| (0..24).map(|k| (seed as usize + i * 131 + k * 7) as u8).collect())
+            .collect();
+        let blocks = codec.encode(&data).unwrap();
+
+        // Pick a pseudo-random m-subset of the n indices from the seed.
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        indices.truncate(m);
+
+        let shares: Vec<Share<'_>> =
+            indices.iter().map(|&i| Share::new(i, blocks[i].as_slice())).collect();
+        prop_assert_eq!(codec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn modify_agrees_with_reencode(
+        (m, n) in params(),
+        data in (1usize..=8).prop_flat_map(stripe),
+        new_block in proptest::collection::vec(any::<u8>(), 1..=64),
+        i_pick in any::<usize>(),
+    ) {
+        prop_assume!(data.len() == m);
+        let codec = Codec::new(m, n).unwrap();
+        let len = data[0].len();
+        let mut new_block = new_block;
+        new_block.resize(len, 0);
+        let i = i_pick % m;
+
+        let blocks = codec.encode(&data).unwrap();
+        let mut new_data = data.clone();
+        new_data[i] = new_block.clone();
+        let reencoded = codec.encode(&new_data).unwrap();
+
+        for j in m..n {
+            let patched = codec.modify(i, j, &data[i], &new_block, &blocks[j]).unwrap();
+            prop_assert_eq!(&patched, &reencoded[j], "i={} j={}", i, j);
+        }
+    }
+
+    #[test]
+    fn coded_delta_agrees_with_modify(
+        (m, n) in params(),
+        data in (1usize..=8).prop_flat_map(stripe),
+        new_block in proptest::collection::vec(any::<u8>(), 1..=64),
+        i_pick in any::<usize>(),
+    ) {
+        prop_assume!(data.len() == m);
+        let codec = Codec::new(m, n).unwrap();
+        let len = data[0].len();
+        let mut new_block = new_block;
+        new_block.resize(len, 0);
+        let i = i_pick % m;
+        let blocks = codec.encode(&data).unwrap();
+
+        for j in m..n {
+            let delta = codec.coded_delta(i, j, &data[i], &new_block).unwrap();
+            let via_delta = codec.apply_coded_delta(&blocks[j], &delta).unwrap();
+            let via_modify = codec.modify(i, j, &data[i], &new_block, &blocks[j]).unwrap();
+            prop_assert_eq!(via_delta, via_modify);
+        }
+    }
+
+    #[test]
+    fn reconstruct_rebuilds_any_block(
+        (m, n) in params(),
+        seed in any::<u64>(),
+        target_pick in any::<usize>(),
+    ) {
+        let codec = Codec::new(m, n).unwrap();
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|i| (0..16).map(|k| (seed as usize ^ (i * 251 + k * 13)) as u8).collect())
+            .collect();
+        let blocks = codec.encode(&data).unwrap();
+        let target = target_pick % n;
+        // Use the m shares at indices != target where possible.
+        let shares: Vec<Share<'_>> = (0..n)
+            .filter(|&i| i != target)
+            .take(m)
+            .map(|i| Share::new(i, blocks[i].as_slice()))
+            .collect();
+        prop_assume!(shares.len() == m);
+        prop_assert_eq!(codec.reconstruct(target, &shares).unwrap(), blocks[target].clone());
+    }
+
+    #[test]
+    fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a * Gf256::ONE, a);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+            prop_assert_eq!(b * b.inv(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn random_vandermonde_row_subsets_invertible(
+        n in 2usize..=12,
+        seed in any::<u64>(),
+    ) {
+        // Any m distinct rows of an n x m Vandermonde matrix are independent.
+        let m = 1 + (seed as usize % n);
+        let v = Matrix::vandermonde(n, m);
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        indices.truncate(m);
+        prop_assert!(v.select_rows(&indices).inverted().is_some());
+    }
+
+    #[test]
+    fn matrix_inverse_round_trip(n in 1usize..=6, seed in any::<u64>()) {
+        // Random matrices are usually invertible; when they are, A * A^-1 = I.
+        let mut s = seed;
+        let mut rows: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..n {
+            let mut row = Vec::new();
+            for _ in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                row.push((s >> 33) as u8);
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mat = Matrix::from_rows(&refs);
+        if let Some(inv) = mat.inverted() {
+            prop_assert!((&mat * &inv).is_identity());
+            prop_assert!((&inv * &mat).is_identity());
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Explicitly enumerated m-quorum systems.
+//!
+//! The threshold construction ([`MQuorumSystem`](crate::MQuorumSystem)) is
+//! canonical — Lemma 3 of the paper shows an m-quorum system exists iff the
+//! threshold system is one — but Definition 1 admits *any* set family with
+//! the consistency and availability properties. Smaller, lopsided quorum
+//! systems can reduce load on designated processes (e.g. exclude a brick
+//! scheduled for maintenance from most quorums). This module represents
+//! such systems explicitly and verifies Definition 1 at construction time.
+//!
+//! Verification of availability enumerates all `C(n, f)` fault patterns, so
+//! construction is intended for the small n (≤ ~20) this storage system
+//! targets; [`ExplicitError::TooLarge`] guards the blow-up.
+
+use crate::QuorumError;
+use fab_timestamp::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from explicit quorum-system construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExplicitError {
+    /// Invalid base parameters.
+    Params(QuorumError),
+    /// Two listed quorums intersect in fewer than m processes
+    /// (CONSISTENCY violated).
+    Inconsistent {
+        /// Indices of the violating quorums in the input list.
+        quorums: (usize, usize),
+        /// Their intersection size.
+        intersection: usize,
+    },
+    /// Some f-subset of processes hits every quorum (AVAILABILITY
+    /// violated).
+    Unavailable {
+        /// A fault pattern with no disjoint quorum (bitmask over `0..n`).
+        faulty: u64,
+    },
+    /// A quorum references a process outside `0..n` or is listed twice.
+    Malformed {
+        /// Index of the malformed quorum in the input list.
+        quorum: usize,
+    },
+    /// `n` exceeds the exhaustive-verification limit (64) or `C(n, f)` is
+    /// too large to enumerate.
+    TooLarge,
+}
+
+impl fmt::Display for ExplicitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplicitError::Params(e) => write!(f, "{e}"),
+            ExplicitError::Inconsistent {
+                quorums: (a, b),
+                intersection,
+            } => write!(
+                f,
+                "quorums #{a} and #{b} intersect in only {intersection} processes"
+            ),
+            ExplicitError::Unavailable { faulty } => {
+                write!(f, "fault pattern {faulty:#b} intersects every quorum")
+            }
+            ExplicitError::Malformed { quorum } => {
+                write!(
+                    f,
+                    "quorum #{quorum} is malformed (out of range or duplicate)"
+                )
+            }
+            ExplicitError::TooLarge => {
+                write!(
+                    f,
+                    "system too large for exhaustive Definition-1 verification"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ExplicitError {}
+
+/// An m-quorum system given by an explicit list of quorums, verified
+/// against Definition 1 at construction.
+///
+/// # Examples
+///
+/// ```
+/// use fab_quorum::explicit::ExplicitQuorumSystem;
+/// use fab_timestamp::ProcessId;
+///
+/// // A lopsided 1-quorum system over 4 processes tolerating f = 1:
+/// // p0 participates in every quorum except the one covering its failure.
+/// let p = |i| ProcessId::new(i);
+/// let q = ExplicitQuorumSystem::new(
+///     1,
+///     4,
+///     1,
+///     vec![vec![p(0), p(1)], vec![p(0), p(2)], vec![p(0), p(3)], vec![p(1), p(2), p(3)]],
+/// )?;
+/// assert!(q.is_quorum([p(0), p(3)]));
+/// assert!(!q.is_quorum([p(1), p(3)]));
+/// # Ok::<(), fab_quorum::explicit::ExplicitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplicitQuorumSystem {
+    m: usize,
+    n: usize,
+    f: usize,
+    /// Each quorum as a bitmask over `0..n`.
+    masks: Vec<u64>,
+}
+
+impl ExplicitQuorumSystem {
+    /// Builds and verifies an explicit m-quorum system over `0..n`
+    /// tolerating `f` faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExplicitError`] if the parameters are invalid, any
+    /// quorum is malformed, or Definition 1's consistency/availability
+    /// fails. Systems with `n > 24` are rejected (exhaustive checking).
+    pub fn new(
+        m: usize,
+        n: usize,
+        f: usize,
+        quorums: Vec<Vec<ProcessId>>,
+    ) -> Result<Self, ExplicitError> {
+        if m == 0 || n < m {
+            return Err(ExplicitError::Params(QuorumError::InvalidParams { m, n }));
+        }
+        if n > 24 {
+            return Err(ExplicitError::TooLarge);
+        }
+        // Convert to masks, validating membership.
+        let mut masks = Vec::with_capacity(quorums.len());
+        for (idx, q) in quorums.iter().enumerate() {
+            let mut mask = 0u64;
+            for p in q {
+                let i = p.index();
+                if i >= n || mask & (1 << i) != 0 {
+                    return Err(ExplicitError::Malformed { quorum: idx });
+                }
+                mask |= 1 << i;
+            }
+            if mask == 0 {
+                return Err(ExplicitError::Malformed { quorum: idx });
+            }
+            masks.push(mask);
+        }
+        if masks.is_empty() {
+            return Err(ExplicitError::Unavailable { faulty: 0 });
+        }
+        // CONSISTENCY: all pairs intersect in >= m.
+        for a in 0..masks.len() {
+            for b in a..masks.len() {
+                let inter = (masks[a] & masks[b]).count_ones() as usize;
+                if inter < m {
+                    return Err(ExplicitError::Inconsistent {
+                        quorums: (a, b),
+                        intersection: inter,
+                    });
+                }
+            }
+        }
+        // AVAILABILITY: every f-subset leaves some quorum untouched.
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut fault = init_combination(f);
+        while let Some(faulty) = fault {
+            if faulty & !full != 0 {
+                break;
+            }
+            if !masks.iter().any(|&q| q & faulty == 0) {
+                return Err(ExplicitError::Unavailable { faulty });
+            }
+            fault = next_combination(faulty, full);
+        }
+        Ok(ExplicitQuorumSystem { m, n, f, masks })
+    }
+
+    /// Builds the threshold system `{Q : |Q| ≥ n − f}` explicitly (for
+    /// cross-checking against [`MQuorumSystem`](crate::MQuorumSystem)).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExplicitQuorumSystem::new`].
+    pub fn threshold(m: usize, n: usize, f: usize) -> Result<Self, ExplicitError> {
+        if m == 0 || n < m || n > 24 {
+            return Err(if n > 24 {
+                ExplicitError::TooLarge
+            } else {
+                ExplicitError::Params(QuorumError::InvalidParams { m, n })
+            });
+        }
+        let size = n - f;
+        let full = (1u64 << n) - 1;
+        let mut quorums = Vec::new();
+        let mut mask = init_combination(size);
+        while let Some(q) = mask {
+            if q & !full != 0 {
+                break;
+            }
+            quorums.push(
+                (0..n)
+                    .filter(|i| q & (1 << i) != 0)
+                    .map(|i| ProcessId::new(i as u32))
+                    .collect(),
+            );
+            mask = next_combination(q, full);
+        }
+        Self::new(m, n, f, quorums)
+    }
+
+    /// Required intersection m.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Universe size n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault tolerance f.
+    pub fn max_faulty(&self) -> usize {
+        self.f
+    }
+
+    /// Number of listed quorums.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// An explicit system is never empty (construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the distinct processes in `members` cover some listed
+    /// quorum.
+    pub fn is_quorum<I>(&self, members: I) -> bool
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        let mut mask = 0u64;
+        for p in members {
+            if p.index() < self.n {
+                mask |= 1 << p.index();
+            }
+        }
+        // (clippy's manual_contains suggestion is not applicable: the
+        // predicate masks each candidate with itself, not a fixed key.)
+        #[allow(clippy::manual_contains)]
+        self.masks.iter().any(|&q| q & mask == q)
+    }
+
+    /// The per-process load: the fraction of listed quorums each process
+    /// participates in (the quantity lopsided constructions reduce for
+    /// chosen processes).
+    pub fn loads(&self) -> Vec<f64> {
+        let total = self.masks.len() as f64;
+        (0..self.n)
+            .map(|i| self.masks.iter().filter(|&&q| q & (1 << i) != 0).count() as f64 / total)
+            .collect()
+    }
+}
+
+/// The smallest `k`-bit combination, or `None` for k = 0 populations.
+fn init_combination(k: usize) -> Option<u64> {
+    if k == 0 {
+        // A single empty fault pattern: represented as 0; callers treat the
+        // f = 0 case through this one iteration.
+        Some(0)
+    } else {
+        Some((1u64 << k) - 1)
+    }
+}
+
+/// Gosper's hack: next combination with the same popcount, `None` when the
+/// bits overflow `full`. The zero mask (f = 0) terminates immediately.
+fn next_combination(v: u64, full: u64) -> Option<u64> {
+    if v == 0 {
+        return None;
+    }
+    let c = v & v.wrapping_neg();
+    let r = v + c;
+    if r > full {
+        return None;
+    }
+    let next = (((r ^ v) >> 2) / c) | r;
+    if next > full {
+        None
+    } else {
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MQuorumSystem;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn threshold_explicit_matches_implicit() {
+        for (m, n) in [(1usize, 3usize), (2, 4), (5, 8)] {
+            let f = (n - m) / 2;
+            let implicit = MQuorumSystem::for_code(m, n).unwrap();
+            let explicit = ExplicitQuorumSystem::threshold(m, n, f).unwrap();
+            assert_eq!(explicit.m(), m);
+            assert_eq!(explicit.max_faulty(), implicit.max_faulty());
+            // Agreement on a sweep of candidate sets.
+            for mask in 0u32..(1 << n) {
+                let members: Vec<ProcessId> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| p(i as u32))
+                    .collect();
+                assert_eq!(
+                    implicit.is_quorum(members.iter().copied()),
+                    explicit.is_quorum(members.iter().copied()),
+                    "m={m} n={n} mask={mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_family_rejected() {
+        // Two disjoint "quorums" with m = 1.
+        let err = ExplicitQuorumSystem::new(1, 4, 0, vec![vec![p(0), p(1)], vec![p(2), p(3)]])
+            .unwrap_err();
+        assert!(matches!(err, ExplicitError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn unavailable_family_rejected() {
+        // Every quorum contains p0, so the fault pattern {p0} kills all.
+        let err = ExplicitQuorumSystem::new(1, 3, 1, vec![vec![p(0), p(1)], vec![p(0), p(2)]])
+            .unwrap_err();
+        assert!(matches!(err, ExplicitError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn malformed_quorums_rejected() {
+        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![vec![p(0), p(9)]]).unwrap_err();
+        assert!(matches!(err, ExplicitError::Malformed { quorum: 0 }));
+        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![vec![p(0), p(0)]]).unwrap_err();
+        assert!(matches!(err, ExplicitError::Malformed { quorum: 0 }));
+        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![]).unwrap_err();
+        assert!(matches!(err, ExplicitError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn lopsided_system_shifts_load() {
+        // Star-ish system: p0 in three of four quorums.
+        let q = ExplicitQuorumSystem::new(
+            1,
+            4,
+            1,
+            vec![
+                vec![p(0), p(1)],
+                vec![p(0), p(2)],
+                vec![p(0), p(3)],
+                vec![p(1), p(2), p(3)],
+            ],
+        )
+        .unwrap();
+        let loads = q.loads();
+        assert!(loads[0] > loads[1], "{loads:?}");
+        assert!(q.is_quorum([p(1), p(2), p(3)]));
+        assert!(!q.is_quorum([p(2), p(3)]));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn f_zero_single_quorum_is_fine() {
+        let q = ExplicitQuorumSystem::new(2, 3, 0, vec![vec![p(0), p(1)]]).unwrap();
+        assert!(q.is_quorum([p(0), p(1), p(2)]));
+        assert!(!q.is_quorum([p(1), p(2)]));
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let err = ExplicitQuorumSystem::threshold(5, 25, 1).unwrap_err();
+        assert_eq!(err, ExplicitError::TooLarge);
+    }
+
+    #[test]
+    fn beyond_theorem2_bound_is_always_rejected() {
+        // Any family claiming f > (n-m)/2 must fail consistency or
+        // availability (Theorem 2's impossibility direction).
+        for n in 2..=7usize {
+            for m in 1..=n {
+                let f = (n - m) / 2 + 1;
+                if f > n {
+                    continue;
+                }
+                assert!(
+                    ExplicitQuorumSystem::threshold(m, n, f).is_err(),
+                    "m={m} n={n} f={f}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Analytic reliability and cost models for brick-based storage systems —
+//! the models behind Figures 2 and 3 of *"A Decentralized Algorithm for
+//! Erasure-Coded Virtual Disks"* (§1.2, "Why erasure codes?").
+//!
+//! The paper motivates erasure coding by comparing three ways to survive
+//! brick failures: striping over high-end hardware, k-way replication over
+//! commodity bricks, and m-of-n erasure coding over commodity bricks. This
+//! crate computes, for any such design:
+//!
+//! * **MTTDL** — mean time to first data loss, from a birth–death Markov
+//!   model of concurrent brick failures under random (declustered)
+//!   striping ([`markov`], [`schemes`]),
+//! * **storage overhead** — raw/logical capacity ratio, including
+//!   intra-brick RAID-5 overhead ([`schemes`]),
+//!
+//! and regenerates the paper's figure series ([`figures`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use fab_reliability::{BrickParams, InternalLayout, Scheme, SystemDesign};
+//!
+//! // The paper's headline design: 5-of-8 erasure coding on commodity
+//! // RAID-5 bricks reaches a million-year MTTDL at a fraction of
+//! // replication's storage cost (cross-brick overhead n/m = 1.6).
+//! let design = SystemDesign {
+//!     scheme: Scheme::ErasureCode { m: 5, n: 8 },
+//!     brick: BrickParams::commodity(),
+//!     layout: InternalLayout::Raid5,
+//! };
+//! assert!(design.mttdl_years(256.0) > 1e6);
+//! assert!((design.scheme.cross_brick_overhead() - 1.6).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod figures;
+pub mod markov;
+pub mod params;
+pub mod schemes;
+pub mod sensitivity;
+
+pub use figures::{
+    cheapest_meeting_target, figure2, figure2_designs, figure3, MttdlPoint, MttdlSeries,
+    OverheadPoint, OverheadSeries,
+};
+pub use markov::{declustered_mttdl_hours, BirthDeathChain};
+pub use params::{BrickParams, InternalLayout, HOURS_PER_YEAR};
+pub use schemes::{Scheme, SystemDesign};
+pub use sensitivity::{sweep, sweep_all, Parameter, Sweep, SweepPoint};

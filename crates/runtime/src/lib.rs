@@ -1,0 +1,788 @@
+//! Threaded in-process cluster runtime for the storage-register protocol.
+//!
+//! The simulator (`fab-simnet`) exists to test the protocol under
+//! controlled asynchrony; this crate exists to *run* it: every brick is a
+//! thread, the network is crossbeam channels, timers are real deadlines,
+//! and `newTS` clock hints come from a monotonic microsecond clock. The
+//! protocol logic — [`fab_core::Coordinator`] and [`fab_core::Replica`] —
+//! is byte-for-byte the same code that runs under simulation; only the
+//! [`Effects`] implementation differs. That is the payoff of the sans-io
+//! design: asynchrony bugs are hunted deterministically, then the same
+//! state machines are deployed on threads.
+//!
+//! [`RuntimeCluster`] owns the brick threads; [`RuntimeClient`] is a
+//! cloneable blocking handle implementing the same operations as the
+//! simulated cluster (and pluggable under `fab_volume::Volume` via its
+//! `RegisterClient` trait). Fault injection mirrors the simulator: bricks
+//! can be "crashed" (they drop traffic and lose coordinator state, keeping
+//! replica state — NVRAM/disk survive real crashes) and recovered, and the
+//! channel layer can drop messages probabilistically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use fab_core::{
+    Completion, Coordinator, Effects, Envelope, OpResult, Payload, RegisterConfig, Replica,
+    StripeId,
+};
+use fab_store::BrickStore;
+use fab_timestamp::ProcessId;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An event delivered to a brick thread.
+enum Event {
+    /// A protocol message from another brick.
+    Net { from: ProcessId, env: Envelope },
+    /// A client request.
+    Invoke {
+        spec: OpSpec,
+        reply: Sender<Result<OpResult, RuntimeError>>,
+    },
+    /// Emulate a crash: drop coordinator state, ignore traffic.
+    Crash,
+    /// Emulate recovery.
+    Recover,
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// A client-requested operation.
+#[derive(Debug, Clone)]
+enum OpSpec {
+    ReadStripe(StripeId),
+    WriteStripe(StripeId, Vec<Bytes>),
+    ReadBlock(StripeId, usize),
+    WriteBlock(StripeId, usize, Bytes),
+    ReadBlocks(StripeId, Vec<usize>),
+    WriteBlocks(StripeId, Vec<(usize, Bytes)>),
+    Scrub(StripeId),
+}
+
+/// Shared, mutation-safe fault switches for the channel "network".
+#[derive(Debug, Default)]
+struct Faults {
+    /// Probability (scaled by 1e6) that an inter-brick message is dropped.
+    drop_ppm: AtomicU64,
+}
+
+/// The I/O half of a brick thread: channel sends, deadline timers, clock,
+/// randomness. Implements [`Effects`] for the protocol state machines.
+struct NetIo {
+    pid: ProcessId,
+    peers: Vec<Sender<Event>>,
+    epoch: Instant,
+    rng: SmallRng,
+    next_timer: u64,
+    timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    cancelled: HashSet<u64>,
+    faults: Arc<Faults>,
+}
+
+impl std::fmt::Debug for NetIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetIo")
+            .field("pid", &self.pid)
+            .field("pending_timers", &self.timers.len())
+            .finish()
+    }
+}
+
+impl NetIo {
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timers.peek().map(|r| r.0 .0)
+    }
+
+    /// Pops timers whose deadlines have passed, skipping cancelled ones.
+    fn due_timers(&mut self) -> Vec<u64> {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while let Some(std::cmp::Reverse((at, id))) = self.timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            if !self.cancelled.remove(&id) {
+                due.push(id);
+            }
+        }
+        due
+    }
+}
+
+impl Effects for NetIo {
+    fn send(&mut self, to: ProcessId, env: Envelope) {
+        let drop_ppm = self.faults.drop_ppm.load(Ordering::Relaxed);
+        if to != self.pid && drop_ppm > 0 && self.rng.gen_range(0..1_000_000) < drop_ppm {
+            return; // fair-loss channel drops this transmission
+        }
+        if let Some(peer) = self.peers.get(to.index()) {
+            let _ = peer.send(Event::Net {
+                from: self.pid,
+                env,
+            });
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64) -> u64 {
+        self.next_timer += 1;
+        let id = self.next_timer;
+        let at = Instant::now() + Duration::from_micros(delay);
+        self.timers.push(std::cmp::Reverse((at, id)));
+        id
+    }
+
+    fn cancel_timer(&mut self, id: u64) {
+        self.cancelled.insert(id);
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+/// One brick thread's state.
+struct BrickServer {
+    cfg: Arc<RegisterConfig>,
+    replicas: HashMap<StripeId, Replica>,
+    coordinator: Coordinator,
+    io: NetIo,
+    inbox: Receiver<Event>,
+    /// Client reply channels, by operation id.
+    waiting: HashMap<u64, Sender<Result<OpResult, RuntimeError>>>,
+    crashed: bool,
+    /// Durable backing (the paper's `store(var)`); `None` = volatile-only
+    /// bricks whose replica state survives emulated crashes in memory.
+    store: Option<BrickStore>,
+}
+
+impl BrickServer {
+    fn run(mut self) {
+        loop {
+            let event = match self.io.next_deadline() {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(timeout) {
+                        Ok(ev) => Some(ev),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.inbox.recv() {
+                    Ok(ev) => Some(ev),
+                    Err(_) => return,
+                },
+            };
+            if let Some(event) = event {
+                match event {
+                    Event::Shutdown => return,
+                    Event::Crash => {
+                        self.crashed = true;
+                        self.coordinator.on_crash();
+                        self.waiting.clear();
+                        if self.store.is_some() {
+                            // A durable brick loses its memory entirely;
+                            // recovery reloads from the on-disk log.
+                            self.replicas.clear();
+                        } else {
+                            for r in self.replicas.values_mut() {
+                                r.on_crash();
+                            }
+                        }
+                    }
+                    Event::Recover => {
+                        self.crashed = false;
+                        if self.store.is_some() {
+                            self.load_from_store();
+                        }
+                    }
+                    _ if self.crashed => {} // a dead brick is silent
+                    Event::Net { from, env } => self.on_net(from, env),
+                    Event::Invoke { spec, reply } => self.on_invoke(spec, reply),
+                }
+            }
+            if !self.crashed {
+                for id in self.io.due_timers() {
+                    self.coordinator.on_timer(&mut self.io, id);
+                }
+            }
+            self.deliver_completions();
+        }
+    }
+
+    /// Rebuilds the replica map from the durable store (recovery path),
+    /// and advances the coordinator's clock past every recovered
+    /// timestamp so post-restart operations order after pre-crash ones
+    /// without conflict storms.
+    fn load_from_store(&mut self) {
+        let Some(store) = &self.store else { return };
+        let pid = self.io.pid;
+        let cfg = self.cfg.clone();
+        let mut newest = fab_timestamp::Timestamp::LOW;
+        self.replicas = store
+            .stripes()
+            .map(|(stripe, st)| {
+                newest = newest.max(st.ord_ts).max(st.log.max_ts());
+                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log.clone());
+                r.enable_persistence();
+                (stripe, r)
+            })
+            .collect();
+        self.coordinator.observe_timestamp(newest);
+    }
+
+    fn on_net(&mut self, from: ProcessId, env: Envelope) {
+        match &env.kind {
+            Payload::Request(req) => {
+                let stripe = env.stripe;
+                let round = env.round;
+                let pid = ProcessId::new(self.io.pid.value());
+                let cfg = self.cfg.clone();
+                let durable = self.store.is_some();
+                let replica = self.replicas.entry(stripe).or_insert_with(|| {
+                    let mut r = Replica::new(pid, cfg);
+                    if durable {
+                        r.enable_persistence();
+                    }
+                    r
+                });
+                let reply = replica.handle(req);
+                if let Some(store) = &mut self.store {
+                    for event in self
+                        .replicas
+                        .get_mut(&stripe)
+                        .expect("just used")
+                        .take_persist_events()
+                    {
+                        store
+                            .append(stripe, &event)
+                            .expect("brick store append failed: disk error");
+                    }
+                    store
+                        .maybe_compact(50_000)
+                        .expect("brick store compaction failed");
+                }
+                if let Some(reply) = reply {
+                    self.io.send(
+                        from,
+                        Envelope {
+                            stripe,
+                            round,
+                            kind: Payload::Reply(reply),
+                        },
+                    );
+                }
+            }
+            Payload::Reply(_) => {
+                self.coordinator.on_reply(&mut self.io, from, &env);
+            }
+        }
+    }
+
+    fn on_invoke(&mut self, spec: OpSpec, reply: Sender<Result<OpResult, RuntimeError>>) {
+        let op = match spec {
+            OpSpec::ReadStripe(s) => Ok(self.coordinator.invoke_read_stripe(&mut self.io, s)),
+            OpSpec::WriteStripe(s, blocks) => {
+                self.coordinator
+                    .invoke_write_stripe(&mut self.io, s, blocks)
+            }
+            OpSpec::ReadBlock(s, j) => self.coordinator.invoke_read_block(&mut self.io, s, j),
+            OpSpec::WriteBlock(s, j, b) => {
+                self.coordinator.invoke_write_block(&mut self.io, s, j, b)
+            }
+            OpSpec::ReadBlocks(s, js) => self.coordinator.invoke_read_blocks(&mut self.io, s, js),
+            OpSpec::WriteBlocks(s, updates) => {
+                self.coordinator
+                    .invoke_write_blocks(&mut self.io, s, updates)
+            }
+            OpSpec::Scrub(s) => Ok(self.coordinator.invoke_scrub(&mut self.io, s)),
+        };
+        match op {
+            Ok(id) => {
+                self.waiting.insert(id, reply);
+            }
+            Err(_) => {
+                let _ = reply.send(Err(RuntimeError::InvalidRequest));
+            }
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        for Completion { op, result, .. } in self.coordinator.drain_completions() {
+            if let Some(reply) = self.waiting.remove(&op) {
+                let _ = reply.send(Ok(result));
+            }
+        }
+    }
+}
+
+/// Errors from client-side operations against a [`RuntimeCluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No brick answered within the client timeout (all contacted bricks
+    /// crashed or unreachable).
+    Timeout,
+    /// The invocation was rejected as malformed (wrong stripe shape or
+    /// block index).
+    InvalidRequest,
+    /// The cluster has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Timeout => write!(f, "no brick answered within the client timeout"),
+            RuntimeError::InvalidRequest => write!(f, "malformed request"),
+            RuntimeError::Closed => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A running cluster of brick threads.
+///
+/// # Examples
+///
+/// ```
+/// use fab_runtime::RuntimeCluster;
+/// use fab_core::{OpResult, RegisterConfig, StripeId, StripeValue};
+/// use bytes::Bytes;
+///
+/// let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 64)?);
+/// let mut client = cluster.client();
+/// let stripe: Vec<Bytes> = vec![Bytes::from(vec![1u8; 64]), Bytes::from(vec![2u8; 64])];
+/// let w = client.write_stripe(StripeId(0), stripe.clone())?;
+/// assert_eq!(w, OpResult::Written);
+/// let r = client.read_stripe(StripeId(0))?;
+/// assert_eq!(r, OpResult::Stripe(StripeValue::Data(stripe)));
+/// cluster.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct RuntimeCluster {
+    senders: Vec<Sender<Event>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    cfg: Arc<RegisterConfig>,
+    faults: Arc<Faults>,
+    next_coordinator: AtomicU32,
+}
+
+impl RuntimeCluster {
+    /// Spawns `cfg.n()` brick threads with volatile (in-memory) replica
+    /// state.
+    ///
+    /// Retransmission intervals below 5 ms are raised to 20 ms: the
+    /// simulator's tick-scale default would thrash real channels.
+    pub fn new(cfg: RegisterConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Spawns `cfg.n()` brick threads whose replica state is durably
+    /// backed by append-only logs under `dir` (`brick-<i>.log`). State
+    /// written before a shutdown — or before an emulated crash — is
+    /// recovered on the next start (or on [`RuntimeCluster::recover`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created or a brick log cannot be
+    /// opened/replayed.
+    pub fn with_persistence<P: AsRef<std::path::Path>>(cfg: RegisterConfig, dir: P) -> Self {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).expect("create brick store directory");
+        Self::build(cfg, Some(dir))
+    }
+
+    fn build(mut cfg: RegisterConfig, store_dir: Option<std::path::PathBuf>) -> Self {
+        if cfg.retransmit_interval < 5_000 {
+            cfg.retransmit_interval = 20_000;
+        }
+        let cfg = Arc::new(cfg);
+        let n = cfg.n();
+        let faults = Arc::new(Faults::default());
+        let epoch = Instant::now();
+        let channels: Vec<(Sender<Event>, Receiver<Event>)> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Event>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let mut handles = Vec::with_capacity(n);
+        for (i, (_, inbox)) in channels.into_iter().enumerate() {
+            let pid = ProcessId::new(i as u32);
+            let store = store_dir.as_ref().map(|dir| {
+                BrickStore::open(dir.join(format!("brick-{i}.log"))).expect("open brick store")
+            });
+            let mut server = BrickServer {
+                cfg: cfg.clone(),
+                replicas: HashMap::new(),
+                coordinator: Coordinator::new(pid, cfg.clone()),
+                io: NetIo {
+                    pid,
+                    peers: senders.clone(),
+                    epoch,
+                    rng: SmallRng::seed_from_u64(0x5eed ^ i as u64),
+                    next_timer: 0,
+                    timers: BinaryHeap::new(),
+                    cancelled: HashSet::new(),
+                    faults: faults.clone(),
+                },
+                inbox,
+                waiting: HashMap::new(),
+                crashed: false,
+                store,
+            };
+            server.load_from_store();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fab-brick-{i}"))
+                    .spawn(move || server.run())
+                    .expect("spawn brick thread"),
+            );
+        }
+        RuntimeCluster {
+            senders,
+            handles: Mutex::new(handles),
+            cfg,
+            faults,
+            next_coordinator: AtomicU32::new(0),
+        }
+    }
+
+    /// The shared register configuration.
+    pub fn config(&self) -> &RegisterConfig {
+        &self.cfg
+    }
+
+    /// Creates a blocking client handle.
+    pub fn client(&self) -> RuntimeClient {
+        RuntimeClient {
+            senders: self.senders.clone(),
+            cfg: self.cfg.clone(),
+            next: self.next_coordinator.fetch_add(1, Ordering::Relaxed),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the probability that any inter-brick message transmission is
+    /// dropped (fair-loss fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1)`.
+    pub fn set_drop_probability(&self, p: f64) {
+        assert!((0.0..1.0).contains(&p));
+        self.faults
+            .drop_ppm
+            .store((p * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Emulates a crash of `pid`: coordinator state is lost, replica state
+    /// (the paper's persistent `ord-ts` and log) survives, and the brick
+    /// ignores all traffic until [`RuntimeCluster::recover`].
+    pub fn crash(&self, pid: ProcessId) {
+        let _ = self.senders[pid.index()].send(Event::Crash);
+    }
+
+    /// Recovers a crashed brick.
+    pub fn recover(&self, pid: ProcessId) {
+        let _ = self.senders[pid.index()].send(Event::Recover);
+    }
+
+    /// Stops all brick threads and joins them.
+    pub fn shutdown(&self) {
+        for s in &self.senders {
+            let _ = s.send(Event::Shutdown);
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RuntimeCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A blocking client for a [`RuntimeCluster`]. Cloneable; coordinators are
+/// rotated per request.
+#[derive(Debug, Clone)]
+pub struct RuntimeClient {
+    senders: Vec<Sender<Event>>,
+    cfg: Arc<RegisterConfig>,
+    next: u32,
+    /// Per-attempt wait before trying the next brick.
+    pub timeout: Duration,
+}
+
+impl RuntimeClient {
+    /// The register configuration.
+    pub fn config(&self) -> &RegisterConfig {
+        &self.cfg
+    }
+
+    fn invoke(&mut self, spec: OpSpec) -> Result<OpResult, RuntimeError> {
+        let n = self.senders.len();
+        // Try up to n bricks: a crashed brick never answers, the next one
+        // will (client-side failover needs no failure detector — §1.3).
+        for _ in 0..n {
+            let target = (self.next as usize) % n;
+            self.next = self.next.wrapping_add(1);
+            let (tx, rx) = bounded(1);
+            if self.senders[target]
+                .send(Event::Invoke {
+                    spec: spec.clone(),
+                    reply: tx,
+                })
+                .is_err()
+            {
+                return Err(RuntimeError::Closed);
+            }
+            match rx.recv_timeout(self.timeout) {
+                Ok(result) => return result,
+                // A crashed brick drops the channel without answering;
+                // fail over to the next brick, like a timeout.
+                Err(RecvTimeoutError::Disconnected) => continue,
+                Err(RecvTimeoutError::Timeout) => continue,
+            }
+        }
+        Err(RuntimeError::Timeout)
+    }
+
+    /// Reads a whole stripe.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn read_stripe(&mut self, stripe: StripeId) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::ReadStripe(stripe))
+    }
+
+    /// Writes a whole stripe.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn write_stripe(
+        &mut self,
+        stripe: StripeId,
+        blocks: Vec<Bytes>,
+    ) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::WriteStripe(stripe, blocks))
+    }
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn read_block(&mut self, stripe: StripeId, j: usize) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::ReadBlock(stripe, j))
+    }
+
+    /// Writes one block.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn write_block(
+        &mut self,
+        stripe: StripeId,
+        j: usize,
+        block: Bytes,
+    ) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::WriteBlock(stripe, j, block))
+    }
+
+    /// Reads several blocks of one stripe in one operation.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn read_blocks(
+        &mut self,
+        stripe: StripeId,
+        js: Vec<usize>,
+    ) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::ReadBlocks(stripe, js))
+    }
+
+    /// Writes several blocks of one stripe in one operation.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout, malformed request, or shutdown.
+    pub fn write_blocks(
+        &mut self,
+        stripe: StripeId,
+        updates: Vec<(usize, Bytes)>,
+    ) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::WriteBlocks(stripe, updates))
+    }
+
+    /// Scrubs one stripe: recovers the current value and writes it back to
+    /// every reachable brick (maintenance after brick recovery or
+    /// replacement).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on timeout or shutdown.
+    pub fn scrub(&mut self, stripe: StripeId) -> Result<OpResult, RuntimeError> {
+        self.invoke(OpSpec::Scrub(stripe))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_core::{BlockValue, StripeValue};
+
+    fn blocks(m: usize, seed: u8, size: usize) -> Vec<Bytes> {
+        (0..m)
+            .map(|i| Bytes::from(vec![seed.wrapping_add(i as u8); size]))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_round_trip_on_threads() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 32).unwrap());
+        let mut client = cluster.client();
+        let data = blocks(2, 7, 32);
+        assert_eq!(
+            client.write_stripe(StripeId(0), data.clone()).unwrap(),
+            OpResult::Written
+        );
+        assert_eq!(
+            client.read_stripe(StripeId(0)).unwrap(),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn block_ops_on_threads() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(3, 5, 16).unwrap());
+        let mut client = cluster.client();
+        let b = Bytes::from(vec![0x42; 16]);
+        assert_eq!(
+            client.write_block(StripeId(3), 1, b.clone()).unwrap(),
+            OpResult::Written
+        );
+        assert_eq!(
+            client.read_block(StripeId(3), 1).unwrap(),
+            OpResult::Block(BlockValue::Data(b))
+        );
+        // Sibling still reads as zeros (either as explicit data from a
+        // slow-path materialization or as the nil initial value).
+        match client.read_block(StripeId(3), 0).unwrap() {
+            OpResult::Block(v) => {
+                assert_eq!(v.materialize(16), Bytes::from(vec![0u8; 16]))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_the_cluster() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let mut client = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                // Each thread owns its own stripe: no conflicts.
+                let stripe = StripeId(t as u64);
+                for i in 0..10u8 {
+                    let data = blocks(2, t.wrapping_mul(31).wrapping_add(i), 16);
+                    let w = client.write_stripe(stripe, data.clone()).unwrap();
+                    assert_eq!(w, OpResult::Written);
+                    let r = client.read_stripe(stripe).unwrap();
+                    assert_eq!(r, OpResult::Stripe(StripeValue::Data(data)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        cluster.set_drop_probability(0.10);
+        let mut client = cluster.client();
+        for i in 0..5u8 {
+            let data = blocks(2, i, 16);
+            assert_eq!(
+                client.write_stripe(StripeId(0), data.clone()).unwrap(),
+                OpResult::Written
+            );
+            assert_eq!(
+                client.read_stripe(StripeId(0)).unwrap(),
+                OpResult::Stripe(StripeValue::Data(data))
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_brick_fails_over_and_recovers() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        let mut client = cluster.client();
+        client.timeout = Duration::from_millis(500);
+        let data = blocks(2, 9, 16);
+        client.write_stripe(StripeId(0), data.clone()).unwrap();
+
+        cluster.crash(ProcessId::new(0));
+        // Reads still succeed (some attempts may fail over past brick 0).
+        for _ in 0..4 {
+            let r = client.read_stripe(StripeId(0)).unwrap();
+            assert_eq!(r, OpResult::Stripe(StripeValue::Data(data.clone())));
+        }
+        cluster.recover(ProcessId::new(0));
+        let data2 = blocks(2, 21, 16);
+        assert_eq!(
+            client.write_stripe(StripeId(0), data2.clone()).unwrap(),
+            OpResult::Written
+        );
+        assert_eq!(
+            client.read_stripe(StripeId(0)).unwrap(),
+            OpResult::Stripe(StripeValue::Data(data2))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        let mut client = cluster.client();
+        let err = client
+            .write_stripe(StripeId(0), blocks(1, 0, 16))
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::InvalidRequest);
+        let err = client.read_block(StripeId(0), 9).unwrap_err();
+        assert_eq!(err, RuntimeError::InvalidRequest);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        cluster.shutdown();
+        cluster.shutdown();
+        drop(cluster);
+    }
+}

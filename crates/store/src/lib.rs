@@ -1,0 +1,541 @@
+//! Durable brick storage: the paper's `store(var)` primitive as a real
+//! append-only log on disk.
+//!
+//! A brick's protocol state — per-stripe `ord-ts` and version logs — must
+//! survive crashes (§2's crash-recovery model assumes persistent storage
+//! with atomic `store`). The simulator models that implicitly; this crate
+//! provides it physically for the threaded runtime:
+//!
+//! * **[`BrickStore`]** — one append-only file per brick. Every replica
+//!   mutation ([`PersistEvent`]) is appended as a length-prefixed,
+//!   CRC-checked record and synced; on open, the file is replayed to
+//!   rebuild the in-memory state, stopping (and truncating) at the first
+//!   torn or corrupt record — the standard write-ahead-log discipline.
+//! * **Compaction** — version logs are GC'd in memory as §5.1 directs, but
+//!   the file grows with history; [`BrickStore::compact`] rewrites it as a
+//!   snapshot of live state (atomic rename), bounding disk usage.
+//!
+//! The record format is a tiny hand-rolled binary framing (the workspace
+//! deliberately has no serialization-format dependency):
+//!
+//! ```text
+//! record  := len: u32le | crc32(body) | body
+//! body    := stripe: u64le | kind: u8 | ts.ticks: u64le | ts.pid: u32le | payload
+//! kind    := 0 OrdTs | 1 ⊥ entry | 2 nil entry | 3 data entry | 4 GC
+//! payload := (kind 3 only) data_len: u32le | bytes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use bytes::Bytes;
+use fab_core::{BlockValue, Log, PersistEvent, StripeId};
+use fab_timestamp::{ProcessId, Timestamp};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+mod crc32;
+pub use crc32::crc32;
+
+/// Errors from the brick store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "brick store I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The recovered persistent state of one stripe register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeState {
+    /// The persistent `ord-ts`.
+    pub ord_ts: Timestamp,
+    /// The persistent version log.
+    pub log: Log,
+}
+
+impl Default for StripeState {
+    fn default() -> Self {
+        StripeState {
+            ord_ts: Timestamp::LOW,
+            log: Log::new(),
+        }
+    }
+}
+
+const KIND_ORD: u8 = 0;
+const KIND_BOTTOM: u8 = 1;
+const KIND_NIL: u8 = 2;
+const KIND_DATA: u8 = 3;
+const KIND_GC: u8 = 4;
+
+fn encode_record(stripe: StripeId, event: &PersistEvent) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    body.extend_from_slice(&stripe.0.to_le_bytes());
+    let (kind, ts, payload): (u8, Timestamp, Option<&Bytes>) = match event {
+        PersistEvent::OrdTs(ts) => (KIND_ORD, *ts, None),
+        PersistEvent::Entry(ts, BlockValue::Bottom) => (KIND_BOTTOM, *ts, None),
+        PersistEvent::Entry(ts, BlockValue::Nil) => (KIND_NIL, *ts, None),
+        PersistEvent::Entry(ts, BlockValue::Data(b)) => (KIND_DATA, *ts, Some(b)),
+        PersistEvent::Gc(ts) => (KIND_GC, *ts, None),
+    };
+    body.push(kind);
+    body.extend_from_slice(&ts.ticks().to_le_bytes());
+    body.extend_from_slice(&ts.pid().value().to_le_bytes());
+    if let Some(data) = payload {
+        body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        body.extend_from_slice(data);
+    }
+    let mut record = Vec::with_capacity(body.len() + 8);
+    record.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    record.extend_from_slice(&crc32(&body).to_le_bytes());
+    record.extend_from_slice(&body);
+    record
+}
+
+/// Decodes one body; returns `None` on structural corruption.
+fn decode_body(body: &[u8]) -> Option<(StripeId, PersistEvent)> {
+    if body.len() < 8 + 1 + 8 + 4 {
+        return None;
+    }
+    let stripe = StripeId(u64::from_le_bytes(body[0..8].try_into().ok()?));
+    let kind = body[8];
+    let ticks = u64::from_le_bytes(body[9..17].try_into().ok()?);
+    let pid = u32::from_le_bytes(body[17..21].try_into().ok()?);
+    let ts = if ticks == 0 && pid == 0 {
+        Timestamp::LOW
+    } else {
+        Timestamp::from_parts(ticks, ProcessId::new(pid))
+    };
+    let event = match kind {
+        KIND_ORD => PersistEvent::OrdTs(ts),
+        KIND_BOTTOM => PersistEvent::Entry(ts, BlockValue::Bottom),
+        KIND_NIL => PersistEvent::Entry(ts, BlockValue::Nil),
+        KIND_DATA => {
+            if body.len() < 25 {
+                return None;
+            }
+            let len = u32::from_le_bytes(body[21..25].try_into().ok()?) as usize;
+            if body.len() != 25 + len {
+                return None;
+            }
+            PersistEvent::Entry(ts, BlockValue::Data(Bytes::copy_from_slice(&body[25..])))
+        }
+        KIND_GC => PersistEvent::Gc(ts),
+        _ => return None,
+    };
+    Some((stripe, event))
+}
+
+/// One brick's durable state: an append-only record log plus the in-memory
+/// image it materializes.
+///
+/// # Examples
+///
+/// ```
+/// use fab_core::{BlockValue, PersistEvent, StripeId};
+/// use fab_store::BrickStore;
+/// use fab_timestamp::{ProcessId, Timestamp};
+/// use bytes::Bytes;
+///
+/// let dir = std::env::temp_dir().join(format!("fab-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("brick0.log");
+/// let ts = Timestamp::from_parts(7, ProcessId::new(1));
+/// {
+///     let mut store = BrickStore::open(&path)?;
+///     store.append(StripeId(0), &PersistEvent::OrdTs(ts))?;
+///     store.append(
+///         StripeId(0),
+///         &PersistEvent::Entry(ts, BlockValue::Data(Bytes::from_static(b"block"))),
+///     )?;
+/// }
+/// // Reopen: the state is recovered from disk.
+/// let store = BrickStore::open(&path)?;
+/// let state = store.stripe(StripeId(0)).expect("recovered");
+/// assert_eq!(state.ord_ts, ts);
+/// assert_eq!(state.log.max_ts(), ts);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), fab_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct BrickStore {
+    path: PathBuf,
+    file: File,
+    state: HashMap<StripeId, StripeState>,
+    /// Records appended since the last compaction.
+    appended: u64,
+    /// Live entries at the last compaction (compaction heuristic input).
+    live_at_compaction: u64,
+}
+
+impl BrickStore {
+    /// Opens (creating if absent) a brick log and replays it.
+    ///
+    /// Replay stops at the first torn or corrupt record, truncating the
+    /// file there: a crash mid-append loses at most the unacknowledged
+    /// tail record, never previously-synced state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut raw)?;
+
+        let mut state: HashMap<StripeId, StripeState> = HashMap::new();
+        let mut pos = 0usize;
+        let mut valid = 0usize;
+        let mut appended = 0u64;
+        while raw.len() - pos >= 8 {
+            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if raw.len() - pos - 8 < len {
+                break; // torn tail
+            }
+            let body = &raw[pos + 8..pos + 8 + len];
+            if crc32(body) != crc {
+                break; // corrupt record: stop replay here
+            }
+            let Some((stripe, event)) = decode_body(body) else {
+                break;
+            };
+            apply(&mut state, stripe, &event);
+            pos += 8 + len;
+            valid = pos;
+            appended += 1;
+        }
+        if valid < raw.len() {
+            // Drop the torn/corrupt tail so future appends are clean.
+            file.set_len(valid as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(BrickStore {
+            path,
+            file,
+            state,
+            appended,
+            live_at_compaction: 0,
+        })
+    }
+
+    /// Appends one persistence event and syncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure.
+    pub fn append(&mut self, stripe: StripeId, event: &PersistEvent) -> Result<(), StoreError> {
+        let record = encode_record(stripe, event);
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        apply(&mut self.state, stripe, event);
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// The recovered/live state of one stripe, if it has any records.
+    pub fn stripe(&self, stripe: StripeId) -> Option<&StripeState> {
+        self.state.get(&stripe)
+    }
+
+    /// Iterates over all stripes with state.
+    pub fn stripes(&self) -> impl Iterator<Item = (StripeId, &StripeState)> {
+        self.state.iter().map(|(s, st)| (*s, st))
+    }
+
+    /// Number of records appended since open/compaction (the write
+    /// amplification compaction bounds).
+    pub fn appended_records(&self) -> u64 {
+        self.appended
+    }
+
+    /// The log file's current size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure.
+    pub fn file_size(&self) -> Result<u64, StoreError> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Rewrites the log as a snapshot of live state (atomic
+    /// write-to-temp + rename), dropping superseded history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            let mut live = 0u64;
+            for (stripe, st) in &self.state {
+                tmp.write_all(&encode_record(*stripe, &PersistEvent::OrdTs(st.ord_ts)))?;
+                live += 1;
+                for (ts, value) in st.log.iter() {
+                    if ts == Timestamp::LOW {
+                        continue; // the sentinel is implicit in a fresh Log
+                    }
+                    tmp.write_all(&encode_record(
+                        *stripe,
+                        &PersistEvent::Entry(ts, value.clone()),
+                    ))?;
+                    live += 1;
+                }
+            }
+            tmp.sync_all()?;
+            self.live_at_compaction = live;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.appended = 0;
+        Ok(())
+    }
+
+    /// Compacts when the appended-record count since the last compaction
+    /// exceeds `threshold` (a simple write-amplification bound the runtime
+    /// calls periodically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure.
+    pub fn maybe_compact(&mut self, threshold: u64) -> Result<bool, StoreError> {
+        if self.appended > threshold.max(self.live_at_compaction * 2) {
+            self.compact()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+/// Applies an event to the in-memory image (used by both replay and
+/// append).
+fn apply(state: &mut HashMap<StripeId, StripeState>, stripe: StripeId, event: &PersistEvent) {
+    let st = state.entry(stripe).or_default();
+    match event {
+        PersistEvent::OrdTs(ts) => {
+            if *ts > st.ord_ts {
+                st.ord_ts = *ts;
+            }
+        }
+        PersistEvent::Entry(ts, value) => {
+            st.log.insert(*ts, value.clone());
+        }
+        PersistEvent::Gc(ts) => {
+            st.log.gc(*ts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fab-store-{}-{}-{tag}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_parts(t, ProcessId::new(1))
+    }
+
+    fn data(tag: u8) -> BlockValue {
+        BlockValue::Data(Bytes::from(vec![tag; 16]))
+    }
+
+    #[test]
+    fn append_and_reopen_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append(StripeId(0), &PersistEvent::OrdTs(ts(5))).unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(5), data(1)))
+                .unwrap();
+            s.append(StripeId(3), &PersistEvent::Entry(ts(7), BlockValue::Bottom))
+                .unwrap();
+            s.append(StripeId(3), &PersistEvent::Entry(ts(9), BlockValue::Nil))
+                .unwrap();
+        }
+        let s = BrickStore::open(&path).unwrap();
+        let st0 = s.stripe(StripeId(0)).unwrap();
+        assert_eq!(st0.ord_ts, ts(5));
+        assert_eq!(st0.log.entry_at(ts(5)), Some(&data(1)));
+        let st3 = s.stripe(StripeId(3)).unwrap();
+        assert_eq!(st3.log.entry_at(ts(7)), Some(&BlockValue::Bottom));
+        assert_eq!(st3.log.entry_at(ts(9)), Some(&BlockValue::Nil));
+        assert_eq!(s.stripes().count(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(5), data(1)))
+                .unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(6), data(2)))
+                .unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 7).unwrap();
+        drop(f);
+
+        let s = BrickStore::open(&path).unwrap();
+        let st = s.stripe(StripeId(0)).unwrap();
+        assert_eq!(st.log.entry_at(ts(5)), Some(&data(1)), "synced record kept");
+        assert_eq!(st.log.entry_at(ts(6)), None, "torn record dropped");
+        // The file was truncated to the valid prefix; appending works.
+        let mut s = s;
+        s.append(StripeId(0), &PersistEvent::Entry(ts(8), data(3)))
+            .unwrap();
+        drop(s);
+        let s = BrickStore::open(&path).unwrap();
+        assert_eq!(
+            s.stripe(StripeId(0)).unwrap().log.entry_at(ts(8)),
+            Some(&data(3))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(5), data(1)))
+                .unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(6), data(2)))
+                .unwrap();
+        }
+        // Flip a byte inside the second record's body.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 3;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+
+        let s = BrickStore::open(&path).unwrap();
+        let st = s.stripe(StripeId(0)).unwrap();
+        assert_eq!(st.log.entry_at(ts(5)), Some(&data(1)));
+        assert_eq!(st.log.entry_at(ts(6)), None, "corrupt record rejected");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn gc_events_replay() {
+        let dir = tmpdir("gc");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            for t in [2u64, 4, 6] {
+                s.append(StripeId(0), &PersistEvent::Entry(ts(t), data(t as u8)))
+                    .unwrap();
+            }
+            s.append(StripeId(0), &PersistEvent::Gc(ts(6))).unwrap();
+        }
+        let s = BrickStore::open(&path).unwrap();
+        let st = s.stripe(StripeId(0)).unwrap();
+        assert_eq!(st.log.entry_at(ts(2)), None);
+        assert_eq!(st.log.entry_at(ts(6)), Some(&data(6)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_shrinks_the_file_and_preserves_state() {
+        let dir = tmpdir("compact");
+        let path = dir.join("brick.log");
+        let mut s = BrickStore::open(&path).unwrap();
+        for t in 1..=200u64 {
+            s.append(StripeId(0), &PersistEvent::Entry(ts(t), data(t as u8)))
+                .unwrap();
+            s.append(StripeId(0), &PersistEvent::Gc(ts(t))).unwrap();
+        }
+        let before = s.file_size().unwrap();
+        s.compact().unwrap();
+        let after = s.file_size().unwrap();
+        assert!(
+            after * 10 < before,
+            "compaction should drop history: {after} vs {before}"
+        );
+        // State preserved across compaction and reopen.
+        let expect = s.stripe(StripeId(0)).unwrap().clone();
+        drop(s);
+        let s = BrickStore::open(&path).unwrap();
+        assert_eq!(s.stripe(StripeId(0)), Some(&expect));
+        assert_eq!(expect.log.entry_at(ts(200)), Some(&data(200)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn maybe_compact_thresholds() {
+        let dir = tmpdir("maybe");
+        let path = dir.join("brick.log");
+        let mut s = BrickStore::open(&path).unwrap();
+        for t in 1..=10u64 {
+            s.append(StripeId(0), &PersistEvent::Entry(ts(t), data(1)))
+                .unwrap();
+        }
+        assert!(!s.maybe_compact(100).unwrap(), "below threshold");
+        assert!(s.maybe_compact(5).unwrap(), "above threshold");
+        assert_eq!(s.appended_records(), 0, "counter reset");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_store_opens_clean() {
+        let dir = tmpdir("empty");
+        let s = BrickStore::open(dir.join("brick.log")).unwrap();
+        assert_eq!(s.stripes().count(), 0);
+        assert!(s.stripe(StripeId(0)).is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

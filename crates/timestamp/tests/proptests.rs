@@ -1,0 +1,67 @@
+//! Property tests for the §2.3 timestamp laws: uniqueness, monotonicity,
+//! progress, and total order — under arbitrary clock-hint sequences and
+//! skews.
+
+use fab_timestamp::{ProcessId, Timestamp, TimestampGenerator};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn monotonicity_under_arbitrary_hints(hints in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut gen = TimestampGenerator::new(ProcessId::new(4));
+        let mut prev = Timestamp::LOW;
+        for h in hints {
+            let ts = gen.next(h);
+            prop_assert!(ts > prev);
+            prop_assert!(ts < Timestamp::HIGH);
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn uniqueness_across_generators(
+        hints_a in proptest::collection::vec(0u64..1000, 1..100),
+        hints_b in proptest::collection::vec(0u64..1000, 1..100),
+        skew_a in -100i64..100,
+        skew_b in -100i64..100,
+    ) {
+        let mut a = TimestampGenerator::with_skew(ProcessId::new(1), skew_a);
+        let mut b = TimestampGenerator::with_skew(ProcessId::new(2), skew_b);
+        let mut seen: HashSet<Timestamp> = HashSet::new();
+        for h in hints_a {
+            prop_assert!(seen.insert(a.next(h)), "duplicate timestamp from a");
+        }
+        for h in hints_b {
+            prop_assert!(seen.insert(b.next(h)), "duplicate timestamp from b");
+        }
+    }
+
+    #[test]
+    fn progress_eventually_exceeds_any_observed(
+        target_ticks in 1u64..1_000_000,
+        stalled_hint in 0u64..10,
+    ) {
+        // PROGRESS: a process with a stalled clock still exceeds `target`
+        // after finitely many invocations once it has observed it.
+        let target = Timestamp::from_parts(target_ticks, ProcessId::new(9));
+        let mut gen = TimestampGenerator::new(ProcessId::new(1));
+        gen.observe(target);
+        let ts = gen.next(stalled_hint);
+        prop_assert!(ts > target);
+    }
+
+    #[test]
+    fn order_is_total_and_consistent(
+        a_ticks in 1u64..1000, a_pid in 0u32..16,
+        b_ticks in 1u64..1000, b_pid in 0u32..16,
+    ) {
+        let a = Timestamp::from_parts(a_ticks, ProcessId::new(a_pid));
+        let b = Timestamp::from_parts(b_ticks, ProcessId::new(b_pid));
+        // Exactly one of <, ==, > holds.
+        let rels = [a < b, a == b, a > b];
+        prop_assert_eq!(rels.iter().filter(|&&r| r).count(), 1);
+        // Order agrees with (ticks, pid) lexicographic comparison.
+        prop_assert_eq!(a < b, (a_ticks, a_pid) < (b_ticks, b_pid));
+    }
+}

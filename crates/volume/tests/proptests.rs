@@ -1,0 +1,94 @@
+//! Property tests for the volume layer: geometry bijections for arbitrary
+//! shapes, and byte-range I/O equivalence with a flat mirror under random
+//! operation sequences and random geometries.
+
+use bytes::Bytes;
+use fab_core::{RegisterConfig, SimCluster};
+use fab_simnet::SimConfig;
+use fab_volume::{Layout, SimClient, Volume, VolumeGeometry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// locate/block_of form a bijection between logical blocks and
+    /// (stripe, index) slots for any geometry and base.
+    #[test]
+    fn geometry_bijection(
+        stripes in 1u64..40,
+        m in 1usize..8,
+        base in 0u64..1000,
+        linear in any::<bool>(),
+    ) {
+        let layout = if linear { Layout::Linear } else { Layout::Interleaved };
+        let g = VolumeGeometry::new(stripes, m, 16, layout).with_base(base);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..g.capacity_blocks() {
+            let (s, i) = g.locate(b);
+            prop_assert!(s.0 >= base && s.0 < base + stripes);
+            prop_assert!(i < m);
+            prop_assert!(seen.insert((s, i)), "slot collision at block {}", b);
+            prop_assert_eq!(g.block_of(s, i), b);
+        }
+    }
+
+    /// Random byte-range reads/writes agree with an in-memory mirror for
+    /// random (m, n), geometry, and layouts.
+    #[test]
+    fn volume_matches_mirror(
+        seed in any::<u64>(),
+        mn in prop_oneof![Just((1usize, 3usize)), Just((2, 4)), Just((3, 5))],
+        stripes in 1u64..6,
+        bs_pow in 3u32..7, // 8..64 byte blocks
+        linear in any::<bool>(),
+        script in proptest::collection::vec((any::<bool>(), any::<u16>(), any::<u16>(), any::<u8>()), 1..25),
+    ) {
+        let (m, n) = mn;
+        let bs = 1usize << bs_pow;
+        let layout = if linear { Layout::Linear } else { Layout::Interleaved };
+        let cfg = RegisterConfig::new(m, n, bs).unwrap();
+        let cluster = SimCluster::new(cfg, SimConfig::ideal(seed));
+        let mut vol = Volume::new(
+            SimClient::new(cluster),
+            VolumeGeometry::new(stripes, m, bs, layout),
+        );
+        let cap = vol.capacity_bytes() as usize;
+        let mut mirror = vec![0u8; cap];
+        for (is_write, off_raw, len_raw, tag) in script {
+            let offset = (off_raw as usize) % cap;
+            let len = 1 + (len_raw as usize) % (cap - offset);
+            if is_write {
+                let data: Vec<u8> = (0..len).map(|i| tag.wrapping_add(i as u8)).collect();
+                vol.write(offset as u64, &data).unwrap();
+                mirror[offset..offset + len].copy_from_slice(&data);
+            } else {
+                let got = vol.read(offset as u64, len).unwrap();
+                prop_assert_eq!(&got, &mirror[offset..offset + len]);
+            }
+        }
+        // Full-volume scan at the end.
+        prop_assert_eq!(vol.read(0, cap).unwrap(), mirror);
+    }
+
+    /// Single-block APIs agree with byte-range APIs.
+    #[test]
+    fn block_api_agrees_with_byte_api(
+        seed in any::<u64>(),
+        block_idx in 0u64..8,
+        tag in any::<u8>(),
+    ) {
+        let (m, n, bs) = (2usize, 4usize, 32usize);
+        let cfg = RegisterConfig::new(m, n, bs).unwrap();
+        let cluster = SimCluster::new(cfg, SimConfig::ideal(seed));
+        let mut vol = Volume::new(
+            SimClient::new(cluster),
+            VolumeGeometry::new(4, m, bs, Layout::Interleaved),
+        );
+        let data = Bytes::from(vec![tag; bs]);
+        vol.write_block(block_idx, data.clone()).unwrap();
+        let via_bytes = vol.read((block_idx as usize * bs) as u64, bs).unwrap();
+        prop_assert_eq!(via_bytes, data.to_vec());
+        let via_block = vol.read_block(block_idx).unwrap();
+        prop_assert_eq!(via_block, data);
+    }
+}

@@ -1,0 +1,139 @@
+//! Partial writes and strict linearizability, live — the Figure 5 story.
+//!
+//! A coordinator crashes mid-write, leaving a *partial* write behind. The
+//! storage register guarantees the partial write appears to take effect
+//! before the crash or not at all, and the demo shows both fates:
+//!
+//! 1. a write that reached too few bricks is **rolled back** by the next
+//!    read, and — crucially — stays rolled back after the crashed brick
+//!    recovers (no "delayed update" ever surfaces);
+//! 2. a write that reached enough bricks is **rolled forward**.
+//!
+//! Run: `cargo run --example brick_failures`
+
+use bytes::Bytes;
+use fab::prelude::*;
+use fab_core::{OpResult, SimCluster};
+
+fn blocks(m: usize, tag: u8, size: usize) -> Vec<Bytes> {
+    (0..m)
+        .map(|i| Bytes::from(vec![tag + i as u8; size]))
+        .collect()
+}
+
+fn show(result: &OpResult, size: usize) -> String {
+    match result {
+        OpResult::Stripe(StripeValue::Nil) => "nil (never written)".into(),
+        OpResult::Stripe(StripeValue::Data(b)) => format!("stripe tagged {:#04x}", b[0][0]),
+        OpResult::Block(v) => format!("block {:?}", v.materialize(size)[0]),
+        OpResult::Blocks(vs) => format!("{} blocks", vs.len()),
+        OpResult::Written => "written".into(),
+        OpResult::Aborted(r) => format!("aborted ({r})"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (m, n, size) = (2usize, 4usize, 64usize);
+    let s = StripeId(0);
+    let p = |i: u32| ProcessId::new(i);
+
+    // ---------------------------------------------------------------
+    // Scenario A: partial write → ROLLBACK, durable across recovery.
+    // ---------------------------------------------------------------
+    println!("=== scenario A: partial write is rolled back ===");
+    let cfg = RegisterConfig::new(m, n, size)?;
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(7));
+    assert_eq!(
+        c.write_stripe(p(0), s, blocks(m, 0x10, size)),
+        OpResult::Written
+    );
+    println!("writer p0 stored v1 (0x10) completely");
+
+    // p3 sees the new write's Order phase; then the writing coordinator
+    // p0 crashes before any brick stores v2's blocks.
+    let t = c.sim().now();
+    c.sim_mut().schedule_partition(t, &[&[p(0), p(3)]]);
+    c.sim_mut().schedule_call(t + 1, p(0), {
+        let v2 = blocks(m, 0x20, size);
+        move |brick, ctx| {
+            brick.write_stripe(ctx, s, v2).unwrap();
+        }
+    });
+    // Let the Order reach p3, then kill the writer mid-operation.
+    c.sim_mut().run_until(t + 2);
+    c.sim_mut().schedule_crash(t + 2, p(0));
+    c.sim_mut().schedule_heal(t + 3);
+    c.sim_mut().run_until(t + 10);
+    println!("writer p0 crashed between its Order and Write phases (partial write of 0x20)");
+
+    let r1 = c.read_stripe(p(1), s);
+    println!("next read (via p1): {}", show(&r1, size));
+    assert_eq!(
+        r1,
+        OpResult::Stripe(StripeValue::Data(blocks(m, 0x10, size)))
+    );
+
+    // The crashed brick recovers. Strict linearizability: v2 must NOT
+    // surface now — the partial write's fate was sealed by the read.
+    let t = c.sim().now();
+    c.sim_mut().schedule_recovery(t, p(0));
+    c.sim_mut().run_until(t + 1);
+    for reader in 0..4u32 {
+        let r = c.read_stripe(p(reader), s);
+        assert_eq!(
+            r,
+            OpResult::Stripe(StripeValue::Data(blocks(m, 0x10, size))),
+            "reader p{reader}"
+        );
+    }
+    println!("after p0 recovered, all four bricks still serve v1 — no delayed update\n");
+
+    // ---------------------------------------------------------------
+    // Scenario B: partial write that reached enough bricks → ROLL FORWARD.
+    // ---------------------------------------------------------------
+    println!("=== scenario B: partial write is rolled forward ===");
+    let cfg = RegisterConfig::new(m, n, size)?;
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(8));
+    assert_eq!(
+        c.write_stripe(p(0), s, blocks(m, 0x10, size)),
+        OpResult::Written
+    );
+
+    // This time the writer crashes after its Write messages are already
+    // in flight: the blocks land on a full quorum, only the confirmation
+    // is lost with the coordinator.
+    let t = c.sim().now();
+    c.sim_mut().schedule_call(t, p(0), {
+        let v2 = blocks(m, 0x20, size);
+        move |brick, ctx| {
+            brick.write_stripe(ctx, s, v2).unwrap();
+        }
+    });
+    // Order round takes 2 ticks; Write messages go out at t+2 and land at
+    // t+3; crash the coordinator at t+3, before the acks return at t+4.
+    c.sim_mut().schedule_crash(t + 3, p(0));
+    c.sim_mut().run_until(t + 10);
+    println!("writer p0 crashed after its Write messages were delivered");
+
+    let r = c.read_stripe(p(2), s);
+    println!("next read (via p2): {}", show(&r, size));
+    assert_eq!(
+        r,
+        OpResult::Stripe(StripeValue::Data(blocks(m, 0x20, size)))
+    );
+    println!("the complete-but-unacknowledged write was rolled forward");
+
+    // And it stays forward for every coordinator, forever after.
+    let t = c.sim().now();
+    c.sim_mut().schedule_recovery(t, p(0));
+    c.sim_mut().run_until(t + 1);
+    for reader in 0..4u32 {
+        assert_eq!(
+            c.read_stripe(p(reader), s),
+            OpResult::Stripe(StripeValue::Data(blocks(m, 0x20, size)))
+        );
+    }
+    println!("all bricks agree on v2 after recovery");
+    println!("\nok");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Reliability planner: pick an (m, n) code for a capacity and MTTDL
+//! target — Figures 2 and 3 turned into a sizing tool.
+//!
+//! Run: `cargo run --example reliability_planner -- [capacity_tb] [target_mttdl_years]`
+//! (defaults: 256 TB, 1e6 years — the paper's reference point).
+
+use fab::prelude::*;
+use fab_reliability::HOURS_PER_YEAR;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let capacity_tb: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(256.0);
+    let target_years: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1e6);
+
+    println!(
+        "Designs for {capacity_tb} TB logical capacity, target MTTDL >= {target_years:.1e} years"
+    );
+    println!("(commodity bricks: 12 x 250 GB disks; MTTDL from the Markov group model)\n");
+    println!(
+        "{:<26} {:>8} {:>8} {:>10} {:>16} {:>8}",
+        "design", "bricks", "faults", "overhead", "MTTDL (years)", "meets?"
+    );
+    println!("{}", "-".repeat(82));
+
+    let mut candidates: Vec<(String, SystemDesign)> = Vec::new();
+    for k in 2..=4 {
+        candidates.push((
+            format!("{k}-way replication"),
+            SystemDesign {
+                scheme: Scheme::Replication { k },
+                brick: BrickParams::commodity(),
+                layout: InternalLayout::Raid5,
+            },
+        ));
+    }
+    for (m, n) in [(5, 7), (5, 8), (5, 9), (5, 10), (10, 14)] {
+        candidates.push((
+            format!("E.C.({m},{n})"),
+            SystemDesign {
+                scheme: Scheme::ErasureCode { m, n },
+                brick: BrickParams::commodity(),
+                layout: InternalLayout::Raid5,
+            },
+        ));
+    }
+
+    let mut best: Option<(f64, String)> = None;
+    for (name, design) in &candidates {
+        let mttdl = design.mttdl_years(capacity_tb);
+        let overhead = design.storage_overhead();
+        let meets = mttdl >= target_years;
+        println!(
+            "{:<26} {:>8} {:>8} {:>9.2}x {:>16.3e} {:>8}",
+            format!("{name}/R5 bricks"),
+            design.brick_count(capacity_tb),
+            design.scheme.tolerance(),
+            overhead,
+            mttdl,
+            if meets { "yes" } else { "no" }
+        );
+        if meets && best.as_ref().is_none_or(|(o, _)| overhead < *o) {
+            best = Some((overhead, name.clone()));
+        }
+    }
+
+    match best {
+        Some((overhead, name)) => {
+            println!("\ncheapest qualifying design: {name} at {overhead:.2}x raw storage");
+            // Sanity check the protocol side: the chosen quorum system exists.
+            if let Some((m, n)) = parse_ec(&name) {
+                let q = MQuorumSystem::for_code(m, n).expect("valid m-quorum system");
+                println!(
+                    "protocol: {q}, small writes cost 2(n-m+1) = {} disk I/Os",
+                    2 * (n - m + 1)
+                );
+            }
+        }
+        None => println!("\nno swept design meets the target — raise overhead or lower the bar"),
+    }
+    println!(
+        "\n(MTTDL horizon for context: {target_years:.1e} years = {:.2e} hours)",
+        target_years * HOURS_PER_YEAR
+    );
+}
+
+fn parse_ec(name: &str) -> Option<(usize, usize)> {
+    let inner = name.strip_prefix("E.C.(")?.strip_suffix(')')?;
+    let (m, n) = inner.split_once(',')?;
+    Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+}

@@ -1,0 +1,183 @@
+//! Garbage collection of old log versions (§5.1): logs stay bounded under
+//! the default policy, and trimming never makes a readable version
+//! unreadable — including across partial writes and stale replicas.
+
+use bytes::Bytes;
+use fab_core::{GcPolicy, OpResult, RegisterConfig, SimCluster, StripeId, StripeValue};
+use fab_simnet::SimConfig;
+use fab_timestamp::ProcessId;
+
+fn blocks(m: usize, tag: u8, size: usize) -> Vec<Bytes> {
+    (0..m)
+        .map(|i| Bytes::from(vec![tag.wrapping_add(i as u8); size]))
+        .collect()
+}
+
+fn pid(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn max_log_len(c: &SimCluster, s: StripeId) -> usize {
+    c.sim()
+        .actors()
+        .filter_map(|(_, b)| b.replica_ref(s))
+        .map(|r| r.log().len())
+        .max()
+        .unwrap_or(0)
+}
+
+fn total_log_bytes(c: &SimCluster, s: StripeId) -> usize {
+    c.sim()
+        .actors()
+        .filter_map(|(_, b)| b.replica_ref(s))
+        .map(|r| r.log().data_bytes())
+        .sum()
+}
+
+#[test]
+fn gc_bounds_log_growth() {
+    let (m, n, size) = (2usize, 4usize, 128usize);
+    let s = StripeId(0);
+
+    let run = |gc: GcPolicy| -> (usize, usize) {
+        let cfg = RegisterConfig::new(m, n, size).unwrap().with_gc(gc);
+        let mut c = SimCluster::new(cfg, SimConfig::ideal(5));
+        for i in 0..50u8 {
+            assert_eq!(
+                c.write_stripe(pid((i % 4) as u32), s, blocks(m, i, size)),
+                OpResult::Written
+            );
+        }
+        c.sim_mut().run_until_idle(); // let async GC land
+        (max_log_len(&c, s), total_log_bytes(&c, s))
+    };
+
+    let (len_gc, bytes_gc) = run(GcPolicy::AfterCompleteWrite);
+    let (len_off, bytes_off) = run(GcPolicy::Disabled);
+    assert!(
+        len_gc <= 3,
+        "with GC every log holds sentinel + newest (+1 in flight): {len_gc}"
+    );
+    assert_eq!(len_off, 51, "without GC the log grows with every write");
+    assert!(bytes_gc * 10 < bytes_off, "{bytes_gc} vs {bytes_off}");
+}
+
+#[test]
+fn gc_after_block_writes_keeps_fast_reads_correct() {
+    // The regression that motivated the newest-non-⊥ retention rule: a
+    // data process whose top entry is ⊥ must keep the older data entry
+    // that ⊥ marks as unchanged.
+    let (m, n, size) = (2usize, 4usize, 64usize);
+    let cfg = RegisterConfig::new(m, n, size)
+        .unwrap()
+        .with_gc(GcPolicy::AfterCompleteWrite);
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(6));
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(m, 0x10, size));
+    // Many block writes to block 1; block 0's replica sees only ⊥ entries.
+    for i in 0..20u8 {
+        assert_eq!(
+            c.write_block(pid((i % 4) as u32), s, 1, Bytes::from(vec![0x80 + i; size])),
+            OpResult::Written
+        );
+    }
+    c.sim_mut().run_until_idle();
+    assert!(
+        max_log_len(&c, s) <= 4,
+        "logs stay bounded: {}",
+        max_log_len(&c, s)
+    );
+    // Block 0 still reads its original value via the fast path.
+    assert_eq!(
+        c.read_block(pid(1), s, 0),
+        OpResult::Block(fab_core::BlockValue::Data(Bytes::from(vec![0x10; size])))
+    );
+    assert_eq!(
+        c.read_block(pid(2), s, 1),
+        OpResult::Block(fab_core::BlockValue::Data(Bytes::from(vec![
+            0x80 + 19;
+            size
+        ])))
+    );
+}
+
+#[test]
+fn gc_is_safe_for_stale_replicas() {
+    // A replica that missed writes behind a partition must still be usable
+    // after GC ran on the others, and must not resurrect stale data.
+    let (m, n, size) = (2usize, 4usize, 32usize);
+    let cfg = RegisterConfig::new(m, n, size)
+        .unwrap()
+        .with_gc(GcPolicy::AfterCompleteWrite);
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(7));
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(m, 1, size));
+
+    // p3 misses ten writes (and their GCs).
+    let t = c.sim().now();
+    c.sim_mut()
+        .schedule_partition(t, &[&[pid(3)], &[pid(0), pid(1), pid(2)]]);
+    c.sim_mut().run_until(t + 1);
+    let mut latest = blocks(m, 1, size);
+    for i in 2..12u8 {
+        latest = blocks(m, i, size);
+        assert_eq!(c.write_stripe(pid(0), s, latest.clone()), OpResult::Written);
+    }
+    let t = c.sim().now();
+    c.sim_mut().schedule_heal(t);
+    c.sim_mut().run_until(t + 1);
+
+    // Crash one up-to-date brick so the quorum must include stale p3.
+    let t = c.sim().now();
+    c.sim_mut().schedule_crash(t, pid(1));
+    c.sim_mut().run_until(t + 1);
+    assert_eq!(
+        c.read_stripe(pid(2), s),
+        OpResult::Stripe(StripeValue::Data(latest.clone()))
+    );
+    // And writes keep working, bringing p3 current again.
+    let newest = blocks(m, 0x77, size);
+    assert_eq!(c.write_stripe(pid(3), s, newest.clone()), OpResult::Written);
+    assert_eq!(
+        c.read_stripe(pid(0), s),
+        OpResult::Stripe(StripeValue::Data(newest))
+    );
+}
+
+#[test]
+fn gc_coexists_with_partial_writes() {
+    // A partial write leaves a pending higher timestamp; GC from earlier
+    // complete writes must not break the recovery that resolves it.
+    let (m, n, size) = (2usize, 4usize, 32usize);
+    let cfg = RegisterConfig::new(m, n, size)
+        .unwrap()
+        .with_gc(GcPolicy::AfterCompleteWrite);
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(8));
+    let s = StripeId(0);
+    for i in 0..5u8 {
+        c.write_stripe(pid(0), s, blocks(m, i + 1, size));
+    }
+    let stable = blocks(m, 5, size);
+
+    // Partial write: coordinator crashes right after its Order round.
+    let t = c.sim().now();
+    c.sim_mut().schedule_call(t, pid(1), move |b, ctx| {
+        b.write_stripe(ctx, s, blocks(2, 0xEE, 32)).unwrap();
+    });
+    c.sim_mut().schedule_crash(t + 2, pid(1));
+    c.sim_mut().run_until(t + 30);
+
+    let first = c.read_stripe(pid(2), s);
+    let OpResult::Stripe(StripeValue::Data(v)) = &first else {
+        panic!("unexpected {first:?}");
+    };
+    assert!(
+        *v == stable || *v == blocks(m, 0xEE, size),
+        "read must resolve to old or new"
+    );
+    // Stability across recovery and more GC-ing writes.
+    let t = c.sim().now();
+    c.sim_mut().schedule_recovery(t, pid(1));
+    c.sim_mut().run_until(t + 1);
+    assert_eq!(c.read_stripe(pid(3), s), first);
+}

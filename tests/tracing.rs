@@ -1,0 +1,162 @@
+//! Operation-trace tests: the recorded phase transitions must mirror the
+//! algorithm's documented flow (Alg. 1/3) in each scenario.
+
+use bytes::Bytes;
+use fab_core::{OpResult, OpTrace, RegisterConfig, SimCluster, StripeId, TraceEvent};
+use fab_simnet::SimConfig;
+use fab_timestamp::ProcessId;
+
+fn blocks(m: usize, tag: u8, size: usize) -> Vec<Bytes> {
+    (0..m)
+        .map(|i| Bytes::from(vec![tag.wrapping_add(i as u8); size]))
+        .collect()
+}
+
+fn pid(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn phases_of(t: &OpTrace) -> Vec<String> {
+    t.events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::PhaseEntered { phase, .. } => Some(phase.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn traced_cluster(m: usize, n: usize) -> SimCluster {
+    let cfg = RegisterConfig::new(m, n, 16).unwrap();
+    let mut c = SimCluster::new(cfg, SimConfig::ideal(77));
+    for i in 0..n as u32 {
+        c.sim_mut().actor_mut(pid(i)).coordinator.set_tracing(true);
+    }
+    c
+}
+
+fn take_traces(c: &mut SimCluster, coordinator: ProcessId) -> Vec<OpTrace> {
+    c.sim_mut().actor_mut(coordinator).coordinator.take_traces()
+}
+
+#[test]
+fn fast_read_is_one_phase() {
+    let mut c = traced_cluster(2, 4);
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(2, 1, 16));
+    take_traces(&mut c, pid(0));
+    assert!(c.read_stripe(pid(1), s).is_ok());
+    let traces = take_traces(&mut c, pid(1));
+    assert_eq!(traces.len(), 1);
+    assert_eq!(phases_of(&traces[0]), vec!["FastRead"]);
+    assert_eq!(traces[0].refusals(), 0);
+    assert_eq!(traces[0].retransmissions(), 0);
+    let rendered = traces[0].to_string();
+    assert!(rendered.contains("invoked read-stripe"), "{rendered}");
+    assert!(rendered.contains("completed: read ok"), "{rendered}");
+}
+
+#[test]
+fn write_stripe_is_order_then_store() {
+    let mut c = traced_cluster(2, 4);
+    let s = StripeId(0);
+    assert_eq!(
+        c.write_stripe(pid(2), s, blocks(2, 3, 16)),
+        OpResult::Written
+    );
+    let traces = take_traces(&mut c, pid(2));
+    assert_eq!(traces.len(), 1);
+    assert_eq!(phases_of(&traces[0]), vec!["Order", "StoreStripe"]);
+    assert!(traces[0]
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, TraceEvent::TimestampAssigned { .. })));
+}
+
+#[test]
+fn fast_block_write_is_two_phases() {
+    let mut c = traced_cluster(2, 4);
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(2, 1, 16));
+    take_traces(&mut c, pid(0));
+    assert_eq!(
+        c.write_block(pid(0), s, 0, Bytes::from(vec![9u8; 16])),
+        OpResult::Written
+    );
+    let traces = take_traces(&mut c, pid(0));
+    assert_eq!(
+        phases_of(&traces[0]),
+        vec!["FastWriteOrderRead", "FastWriteModify"]
+    );
+    let rendered = traces[0].to_string();
+    assert!(rendered.contains("invoked write-block"), "{rendered}");
+}
+
+#[test]
+fn recovery_trace_shows_the_slow_path_and_the_culprit() {
+    let mut c = traced_cluster(2, 4);
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(2, 1, 16));
+    take_traces(&mut c, pid(0));
+    // Inject a partial order at p0 (as in the Table-1 read/S scenario).
+    let at = c.sim().now();
+    let ts = fab_timestamp::Timestamp::from_parts(at + 5, pid(99));
+    c.sim_mut().schedule_call(at, pid(0), move |brick, _| {
+        brick.replica(s).handle(&fab_core::Request::Order { ts });
+    });
+    c.sim_mut().run_until(at + 50);
+
+    assert!(c.read_stripe(pid(1), s).is_ok());
+    let traces = take_traces(&mut c, pid(1));
+    let phases = phases_of(&traces[0]);
+    assert_eq!(
+        phases,
+        vec!["FastRead", "RecoverOrderRead#0", "StoreStripe"],
+        "full trace:\n{}",
+        traces[0]
+    );
+    // The culprit's false vote is visible in the trace.
+    assert!(
+        traces[0].events.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::Reply { from, status: false } if *from == pid(0)
+        )),
+        "full trace:\n{}",
+        traces[0]
+    );
+}
+
+#[test]
+fn retransmissions_are_traced_under_loss() {
+    let cfg = RegisterConfig::new(2, 4, 16)
+        .unwrap()
+        .with_retransmit_interval(50);
+    let net = SimConfig::ideal(5).drop_probability(0.6);
+    let mut c = SimCluster::new(cfg, net);
+    c.sim_mut().actor_mut(pid(0)).coordinator.set_tracing(true);
+    let s = StripeId(0);
+    assert_eq!(
+        c.write_stripe(pid(0), s, blocks(2, 1, 16)),
+        OpResult::Written
+    );
+    let traces = take_traces(&mut c, pid(0));
+    assert_eq!(traces.len(), 1);
+    assert!(
+        traces[0].retransmissions() > 0,
+        "60% loss must force retransmission:\n{}",
+        traces[0]
+    );
+}
+
+#[test]
+fn tracing_off_records_nothing() {
+    let mut c = SimCluster::new(RegisterConfig::new(2, 4, 16).unwrap(), SimConfig::ideal(1));
+    let s = StripeId(0);
+    c.write_stripe(pid(0), s, blocks(2, 1, 16));
+    assert!(c
+        .sim_mut()
+        .actor_mut(pid(0))
+        .coordinator
+        .take_traces()
+        .is_empty());
+}
