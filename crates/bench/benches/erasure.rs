@@ -3,7 +3,8 @@
 //! block sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fab_erasure::{Codec, Share};
+use fab_erasure::kernel::{mul_acc, mul_slice, set_kernel_override, simd_available, xor_slice};
+use fab_erasure::{Codec, Gf256, Kernel, Share};
 
 fn stripe(m: usize, len: usize) -> Vec<Vec<u8>> {
     (0..m)
@@ -84,5 +85,48 @@ fn bench_modify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_modify);
+/// The kernel tiers worth measuring on this machine: the scalar reference,
+/// the branch-free full-table path, and (when the CPU has it) the SIMD
+/// nibble-shuffle path.
+fn kernel_tiers() -> Vec<Kernel> {
+    let mut tiers = vec![Kernel::Scalar, Kernel::Table];
+    if simd_available() {
+        tiers.push(Kernel::Simd);
+    }
+    tiers
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let coeff = Gf256::new(0x8E); // arbitrary non-trivial field element
+    for size in [1usize << 10, 1 << 14, 1 << 17, 1 << 20] {
+        let src: Vec<u8> = (0..size).map(|k| (k * 31 + 7) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        for kernel in kernel_tiers() {
+            set_kernel_override(Some(kernel));
+            let tag = format!("{kernel:?}").to_lowercase();
+            let mut acc = vec![0u8; size];
+            group.bench_with_input(
+                BenchmarkId::new(format!("mul_acc/{tag}"), size),
+                &size,
+                |b, _| b.iter(|| mul_acc(&mut acc, &src, coeff)),
+            );
+            let mut buf = src.clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("mul_slice/{tag}"), size),
+                &size,
+                |b, _| b.iter(|| mul_slice(&mut buf, coeff)),
+            );
+        }
+        set_kernel_override(None);
+        let mut dst = vec![0u8; size];
+        group.bench_with_input(BenchmarkId::new("xor_slice", size), &size, |b, _| {
+            b.iter(|| xor_slice(&mut dst, &src))
+        });
+    }
+    set_kernel_override(None);
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_modify, bench_kernels);
 criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Machine-readable GF(256) kernel throughput baseline.
+//!
+//! Times `mul_acc`, `mul_slice`, and `xor_slice` for each kernel tier the
+//! host supports (scalar reference, branch-free full table, SIMD
+//! nibble-shuffle) and writes `BENCH_erasure.json` so CI and later PRs can
+//! diff kernel performance without parsing criterion output.
+//!
+//! Run: `cargo run --release -p fab-bench --bin kernel_throughput [out.json]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use fab_erasure::kernel::{mul_acc, mul_slice, set_kernel_override, simd_available, xor_slice};
+use fab_erasure::{Gf256, Kernel};
+
+/// Block sizes to sample: one cache-resident, one mid, one streaming.
+const SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
+
+/// An arbitrary non-trivial coefficient (not 0 or 1, so no fast path).
+const COEFF: u8 = 0x8E;
+
+/// Target wall time per measurement; iterations are calibrated to reach it.
+const TARGET_NANOS: u128 = 80_000_000;
+
+struct Sample {
+    op: &'static str,
+    kernel: &'static str,
+    bytes: usize,
+    mib_per_s: f64,
+}
+
+fn kernel_name(k: Kernel) -> &'static str {
+    match k {
+        Kernel::Scalar => "scalar",
+        Kernel::Table => "table",
+        Kernel::Simd => "simd",
+    }
+}
+
+/// Times `body` (one pass over `bytes`) and returns MiB/s.
+fn throughput(bytes: usize, mut body: impl FnMut()) -> f64 {
+    // Warm up and calibrate the iteration count to the target duration.
+    let mut iters = 4u64;
+    let elapsed = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let nanos = start.elapsed().as_nanos().max(1);
+        if nanos >= TARGET_NANOS {
+            break nanos as f64 / iters as f64;
+        }
+        let scale = (TARGET_NANOS as f64 / nanos as f64).ceil() as u64;
+        iters = (iters * scale.max(2)).min(1 << 24);
+    };
+    (bytes as f64 / (1u64 << 20) as f64) / (elapsed / 1e9)
+}
+
+fn measure_tier(kernel: Kernel, samples: &mut Vec<Sample>) {
+    set_kernel_override(Some(kernel));
+    let name = kernel_name(kernel);
+    for size in SIZES {
+        let src: Vec<u8> = (0..size).map(|k| (k * 31 + 7) as u8).collect();
+        let mut acc = vec![0u8; size];
+        let coeff = Gf256::new(COEFF);
+        let mps = throughput(size, || {
+            mul_acc(black_box(&mut acc), black_box(&src), black_box(coeff));
+        });
+        samples.push(Sample { op: "mul_acc", kernel: name, bytes: size, mib_per_s: mps });
+
+        let mut buf = src.clone();
+        let mps = throughput(size, || {
+            mul_slice(black_box(&mut buf), black_box(coeff));
+        });
+        samples.push(Sample { op: "mul_slice", kernel: name, bytes: size, mib_per_s: mps });
+    }
+    set_kernel_override(None);
+}
+
+/// Geometric-mean speedup of `kernel` over scalar for one op across sizes.
+fn speedup(samples: &[Sample], op: &str, kernel: &str) -> f64 {
+    let ratio_product: f64 = SIZES
+        .iter()
+        .map(|&size| {
+            let find = |k: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.op == op && s.kernel == k && s.bytes == size)
+                    .map_or(1.0, |s| s.mib_per_s)
+            };
+            find(kernel) / find("scalar")
+        })
+        .product();
+    ratio_product.powf(1.0 / SIZES.len() as f64)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_erasure.json".to_string());
+
+    let mut samples = Vec::new();
+    measure_tier(Kernel::Scalar, &mut samples);
+    measure_tier(Kernel::Table, &mut samples);
+    if simd_available() {
+        measure_tier(Kernel::Simd, &mut samples);
+    }
+
+    // xor_slice has a single implementation (u64-chunked).
+    for size in SIZES {
+        let src: Vec<u8> = (0..size).map(|k| (k * 17 + 3) as u8).collect();
+        let mut dst = vec![0u8; size];
+        let mps = throughput(size, || {
+            xor_slice(black_box(&mut dst), black_box(&src));
+        });
+        samples.push(Sample { op: "xor_slice", kernel: "u64", bytes: size, mib_per_s: mps });
+    }
+
+    let table_speedup = speedup(&samples, "mul_acc", "table");
+    let simd_speedup = if simd_available() {
+        speedup(&samples, "mul_acc", "simd")
+    } else {
+        0.0
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(json, "  \"simd_available\": {},", simd_available());
+    let _ = writeln!(json, "  \"coefficient\": {COEFF},");
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"kernel\": \"{}\", \"bytes\": {}, \"mib_per_s\": {:.1}}}{}",
+            s.op, s.kernel, s.bytes, s.mib_per_s, comma
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_over_scalar\": {\n");
+    let _ = writeln!(json, "    \"mul_acc_table\": {table_speedup:.2},");
+    let _ = writeln!(json, "    \"mul_acc_simd\": {simd_speedup:.2}");
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

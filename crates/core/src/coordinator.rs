@@ -1000,19 +1000,18 @@ impl Coordinator {
                             new: updates[pos].1.clone(),
                         }
                     } else if i >= m {
-                        // Coded deltas are linear: XOR the per-block
-                        // contributions into one parity patch.
+                        // Coded deltas are linear: fold every per-block
+                        // contribution straight into one parity patch with
+                        // the accumulating (allocation-free) variant — the
+                        // seed allocated a fresh delta block per written
+                        // block per parity destination.
                         let mut combined = vec![0u8; block_size];
                         for (old, (j, new)) in olds.iter().zip(&updates) {
                             let old_bytes = old.materialize(block_size);
-                            let d = self
-                                .cfg
+                            self.cfg
                                 .codec()
-                                .coded_delta(*j, i, &old_bytes, new)
+                                .coded_delta_acc(*j, i, &old_bytes, new, &mut combined)
                                 .expect("validated indices and lengths");
-                            for (c, b) in combined.iter_mut().zip(&d) {
-                                *c ^= *b;
-                            }
                         }
                         ModifyPayload::Delta {
                             delta: Bytes::from(combined),

@@ -326,7 +326,9 @@ impl Replica {
             // ⊥ entries up to max-ts) is the version the coordinator read.
             let (_, cur) = self.log.max_block();
             self.metrics.reads += cur.disk_read_cost();
-            let old_parity = cur.materialize(self.cfg.block_size());
+            // One owned parity buffer, patched in place by every update —
+            // the seed allocated a fresh parity block per written block.
+            let mut parity = cur.materialize(self.cfg.block_size()).to_vec();
             match payload {
                 ModifyPayload::Full { updates } => {
                     if updates.len() != js.len() {
@@ -335,24 +337,21 @@ impl Replica {
                             seen: self.seen(),
                         };
                     }
-                    let mut parity = old_parity.to_vec();
                     for (j, u) in js.iter().zip(updates) {
                         let old_data = u.old.materialize(self.cfg.block_size());
-                        parity = self
-                            .cfg
+                        self.cfg
                             .codec()
-                            .modify(j.index(), i, &old_data, &u.new, &parity)
+                            .modify_in_place(j.index(), i, &old_data, &u.new, &mut parity)
                             .expect("validated indices and equal block lengths");
                     }
                     BlockValue::Data(Bytes::from(parity))
                 }
                 ModifyPayload::Delta { delta } => {
-                    let updated = self
-                        .cfg
+                    self.cfg
                         .codec()
-                        .apply_coded_delta(&old_parity, delta)
+                        .apply_coded_delta_in_place(&mut parity, delta)
                         .expect("equal block lengths");
-                    BlockValue::Data(Bytes::from(updated))
+                    BlockValue::Data(Bytes::from(parity))
                 }
                 ModifyPayload::NewValue { .. } | ModifyPayload::Empty => {
                     return Reply::ModifyR {

@@ -16,12 +16,30 @@
 //! used in Figure 5), single-parity / RAID-5 style XOR codes (m = n − 1),
 //! and general Reed–Solomon codes (any m ≤ n).
 
+use crate::kernel::{mul_acc_xor, xor_slice};
 use crate::parity::ParityCode;
 use crate::reed_solomon::ReedSolomon;
 use crate::replication::Replication;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+/// Clears `buf` and refills it with a copy of `src`, reusing the existing
+/// capacity. Reallocates only when `src` is longer than every block `buf`
+/// previously held — i.e. never in the steady state of a reused buffer.
+#[inline]
+pub(crate) fn fill_from(buf: &mut Vec<u8>, src: &[u8]) {
+    buf.clear();
+    buf.extend_from_slice(src);
+}
+
+/// Clears `buf` and refills it with `len` zero bytes, reusing the existing
+/// capacity (no reallocation in the steady state).
+#[inline]
+pub(crate) fn fill_zeroed(buf: &mut Vec<u8>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0);
+}
 
 /// Maximum number of blocks per stripe supported by the GF(2⁸) codes.
 pub const MAX_N: usize = 255;
@@ -333,22 +351,54 @@ impl Codec {
     /// systematic, matching the paper's definition of `encode`), the last
     /// n − m are parity.
     ///
+    /// Allocates the n output blocks; hot paths that encode repeatedly
+    /// should prefer [`Codec::encode_into`] with reused buffers.
+    ///
     /// # Errors
     ///
     /// * [`CodeError::WrongBlockCount`] if `stripe.len() != m`.
     /// * [`CodeError::UnequalBlockLengths`] if the blocks differ in length.
     pub fn encode<B: AsRef<[u8]>>(&self, stripe: &[B]) -> Result<Vec<Vec<u8>>> {
+        let mut out = vec![Vec::new(); self.n()];
+        self.encode_into(stripe, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encodes a stripe of m data blocks into n caller-provided buffers.
+    ///
+    /// Byte-identical to [`Codec::encode`], but writes into `out` instead
+    /// of allocating: each `out[k]` is cleared and refilled in place, so a
+    /// buffer that already has sufficient capacity (any buffer reused from
+    /// a previous call at the same block size) is **never reallocated** —
+    /// the steady state performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::WrongBlockCount`] if `stripe.len() != m` **or**
+    ///   `out.len() != n`.
+    /// * [`CodeError::UnequalBlockLengths`] if the blocks differ in length.
+    pub fn encode_into<B: AsRef<[u8]>>(&self, stripe: &[B], out: &mut [Vec<u8>]) -> Result<()> {
         let refs = check_stripe(stripe, self.m())?;
-        match self {
-            Codec::Replication(c) => Ok(c.encode(&refs)),
-            Codec::Parity(c) => Ok(c.encode(&refs)),
-            Codec::ReedSolomon(c) => Ok(c.encode(&refs)),
+        if out.len() != self.n() {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.n(),
+                actual: out.len(),
+            });
         }
+        match self {
+            Codec::Replication(c) => c.encode_into(&refs, out),
+            Codec::Parity(c) => c.encode_into(&refs, out),
+            Codec::ReedSolomon(c) => c.encode_into(&refs, out),
+        }
+        Ok(())
     }
 
     /// Decodes the m data blocks from any m distinct shares.
     ///
     /// Extra shares beyond the first m distinct ones are ignored.
+    ///
+    /// Allocates the m output blocks; hot paths that decode repeatedly
+    /// should prefer [`Codec::decode_into`] with reused buffers.
     ///
     /// # Errors
     ///
@@ -357,12 +407,38 @@ impl Codec {
     /// * [`CodeError::IndexOutOfRange`] on indices ≥ n.
     /// * [`CodeError::UnequalBlockLengths`] if shares differ in length.
     pub fn decode(&self, shares: &[Share<'_>]) -> Result<Vec<Vec<u8>>> {
+        let mut out = vec![Vec::new(); self.m()];
+        self.decode_into(shares, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes the m data blocks into m caller-provided buffers.
+    ///
+    /// Byte-identical to [`Codec::decode`], but writes into `out` instead
+    /// of allocating the output blocks: each `out[k]` is cleared and
+    /// refilled in place, so reused buffers are never reallocated in the
+    /// steady state. (A non-systematic Reed–Solomon decode still builds its
+    /// tiny m × m inversion matrix — that cost is independent of the block
+    /// size.)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode`], plus
+    /// [`CodeError::WrongBlockCount`] if `out.len() != m`.
+    pub fn decode_into(&self, shares: &[Share<'_>], out: &mut [Vec<u8>]) -> Result<()> {
         let shares = check_shares(shares, self.params())?;
-        match self {
-            Codec::Replication(c) => Ok(c.decode(&shares)),
-            Codec::Parity(c) => Ok(c.decode(&shares)),
-            Codec::ReedSolomon(c) => Ok(c.decode(&shares)),
+        if out.len() != self.m() {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.m(),
+                actual: out.len(),
+            });
         }
+        match self {
+            Codec::Replication(c) => c.decode_into(&shares, out),
+            Codec::Parity(c) => c.decode_into(&shares, out),
+            Codec::ReedSolomon(c) => c.decode_into(&shares, out),
+        }
+        Ok(())
     }
 
     /// Reconstructs one block (data *or* parity) at `target` from any m
@@ -428,11 +504,58 @@ impl Codec {
         if old_data.len() != new_data.len() || old_data.len() != old_parity.len() {
             return Err(CodeError::UnequalBlockLengths);
         }
-        match self {
-            Codec::Replication(c) => Ok(c.modify(new_data)),
-            Codec::Parity(c) => Ok(c.modify(old_data, new_data, old_parity)),
-            Codec::ReedSolomon(c) => Ok(c.modify(i, j, old_data, new_data, old_parity)),
+        let mut parity = old_parity.to_vec();
+        self.modify_in_place(i, j, old_data, new_data, &mut parity)?;
+        Ok(parity)
+    }
+
+    /// In-place variant of [`Codec::modify`]: patches `parity` from the old
+    /// to the new contents of parity block `j` directly, without allocating
+    /// a result block or an intermediate difference block.
+    ///
+    /// This is the allocation-free core of the paper's `modify_{i,j}`:
+    /// `c_j ^= g_{j,i} · (b_i ⊕ b_i′)` computed by one fused kernel pass.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::modify`] (with `parity` playing the role
+    /// of `old_parity` for the length check).
+    pub fn modify_in_place(
+        &self,
+        i: usize,
+        j: usize,
+        old_data: &[u8],
+        new_data: &[u8],
+        parity: &mut [u8],
+    ) -> Result<()> {
+        let p = self.params();
+        if !p.is_data_index(i) {
+            return Err(CodeError::IndexOutOfRange {
+                index: i,
+                bound: p.m(),
+            });
         }
+        if !p.is_parity_index(j) {
+            return Err(CodeError::IndexOutOfRange {
+                index: j,
+                bound: p.n(),
+            });
+        }
+        if old_data.len() != new_data.len() || old_data.len() != parity.len() {
+            return Err(CodeError::UnequalBlockLengths);
+        }
+        match self {
+            Codec::Replication(_) => parity.copy_from_slice(new_data),
+            // p' = p ⊕ b ⊕ b' — two word-wide XOR passes.
+            Codec::Parity(_) => {
+                xor_slice(parity, old_data);
+                xor_slice(parity, new_data);
+            }
+            Codec::ReedSolomon(c) => {
+                mul_acc_xor(parity, old_data, new_data, c.coefficient(j, i));
+            }
+        }
+        Ok(())
     }
 
     /// Computes the coded delta `g_{j,i} · (new − old)` that parity process
@@ -468,14 +591,58 @@ impl Codec {
         if old_data.len() != new_data.len() {
             return Err(CodeError::UnequalBlockLengths);
         }
+        let mut delta = vec![0u8; old_data.len()];
+        self.coded_delta_acc(i, j, old_data, new_data, &mut delta)?;
+        Ok(delta)
+    }
+
+    /// Accumulating variant of [`Codec::coded_delta`]: XORs the coded delta
+    /// `g_{j,i} · (new ⊕ old)` into `acc` without allocating.
+    ///
+    /// Coded deltas are linear, so a coordinator combining the
+    /// contributions of several written blocks into one parity patch can
+    /// fold them all into a single reused buffer (§5.2(b)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::coded_delta`], plus
+    /// [`CodeError::UnequalBlockLengths`] if `acc` differs in length.
+    pub fn coded_delta_acc(
+        &self,
+        i: usize,
+        j: usize,
+        old_data: &[u8],
+        new_data: &[u8],
+        acc: &mut [u8],
+    ) -> Result<()> {
+        let p = self.params();
+        if !p.is_data_index(i) {
+            return Err(CodeError::IndexOutOfRange {
+                index: i,
+                bound: p.m(),
+            });
+        }
+        if !p.is_parity_index(j) {
+            return Err(CodeError::IndexOutOfRange {
+                index: j,
+                bound: p.n(),
+            });
+        }
+        if old_data.len() != new_data.len() || old_data.len() != acc.len() {
+            return Err(CodeError::UnequalBlockLengths);
+        }
         match self {
             // A replica's "parity" is the value itself; the delta is the
             // XOR difference (coefficient 1).
             Codec::Replication(_) | Codec::Parity(_) => {
-                Ok(old_data.iter().zip(new_data).map(|(a, b)| a ^ b).collect())
+                xor_slice(acc, old_data);
+                xor_slice(acc, new_data);
             }
-            Codec::ReedSolomon(c) => Ok(c.coded_delta(i, j, old_data, new_data)),
+            Codec::ReedSolomon(c) => {
+                mul_acc_xor(acc, old_data, new_data, c.coefficient(j, i));
+            }
         }
+        Ok(())
     }
 
     /// Applies a coded delta produced by [`Codec::coded_delta`] to the old
@@ -485,10 +652,23 @@ impl Codec {
     ///
     /// [`CodeError::UnequalBlockLengths`] if lengths differ.
     pub fn apply_coded_delta(&self, old_parity: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
-        if old_parity.len() != delta.len() {
+        let mut parity = old_parity.to_vec();
+        self.apply_coded_delta_in_place(&mut parity, delta)?;
+        Ok(parity)
+    }
+
+    /// In-place variant of [`Codec::apply_coded_delta`]: XORs `delta` into
+    /// `parity` with the word-wide kernel, avoiding the result allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::UnequalBlockLengths`] if lengths differ.
+    pub fn apply_coded_delta_in_place(&self, parity: &mut [u8], delta: &[u8]) -> Result<()> {
+        if parity.len() != delta.len() {
             return Err(CodeError::UnequalBlockLengths);
         }
-        Ok(old_parity.iter().zip(delta).map(|(a, b)| a ^ b).collect())
+        xor_slice(parity, delta);
+        Ok(())
     }
 }
 
@@ -639,6 +819,158 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CodeError>();
         assert_send_sync::<Codec>();
+    }
+
+    fn stripe(m: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| {
+                (0..len)
+                    .map(|k| (seed as usize ^ (i * 37 + k * 11)) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_into_matches_encode_all_families() {
+        for (m, n) in [(1usize, 3usize), (3, 4), (5, 8), (2, 5)] {
+            let codec = Codec::new(m, n).unwrap();
+            let data = stripe(m, 40, 17);
+            let fresh = codec.encode(&data).unwrap();
+            let mut reused = vec![Vec::new(); n];
+            codec.encode_into(&data, &mut reused).unwrap();
+            assert_eq!(fresh, reused, "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_all_families() {
+        for (m, n) in [(1usize, 3usize), (3, 4), (5, 8), (2, 5)] {
+            let codec = Codec::new(m, n).unwrap();
+            let data = stripe(m, 40, 23);
+            let blocks = codec.encode(&data).unwrap();
+            // Parity-heavy share selection exercises the real decode path.
+            let shares: Vec<Share<'_>> = (n - m..n)
+                .map(|i| Share::new(i, blocks[i].as_slice()))
+                .collect();
+            let fresh = codec.decode(&shares).unwrap();
+            let mut reused = vec![Vec::new(); m];
+            codec.decode_into(&shares, &mut reused).unwrap();
+            assert_eq!(fresh, reused, "({m},{n})");
+            assert_eq!(fresh, data, "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn into_variants_reject_wrong_output_arity() {
+        let codec = Codec::new(3, 5).unwrap();
+        let data = stripe(3, 8, 1);
+        let mut too_small = vec![Vec::new(); 4];
+        assert!(matches!(
+            codec.encode_into(&data, &mut too_small),
+            Err(CodeError::WrongBlockCount {
+                expected: 5,
+                actual: 4
+            })
+        ));
+        let blocks = codec.encode(&data).unwrap();
+        let shares: Vec<Share<'_>> = (0..3).map(|i| Share::new(i, blocks[i].as_slice())).collect();
+        let mut too_big = vec![Vec::new(); 4];
+        assert!(matches!(
+            codec.decode_into(&shares, &mut too_big),
+            Err(CodeError::WrongBlockCount {
+                expected: 3,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn steady_state_encode_decode_do_not_reallocate() {
+        let codec = Codec::new(5, 8).unwrap();
+        let mut enc_out = vec![Vec::new(); 8];
+        let mut dec_out = vec![Vec::new(); 5];
+        codec.encode_into(&stripe(5, 256, 3), &mut enc_out).unwrap();
+        {
+            let shares: Vec<Share<'_>> = (3..8)
+                .map(|i| Share::new(i, enc_out[i].as_slice()))
+                .collect();
+            codec.decode_into(&shares, &mut dec_out).unwrap();
+        }
+        let enc_ptrs: Vec<*const u8> = enc_out.iter().map(|b| b.as_ptr()).collect();
+        let dec_ptrs: Vec<*const u8> = dec_out.iter().map(|b| b.as_ptr()).collect();
+        // Ten more rounds at the same block size: every buffer stays put.
+        for round in 0..10u8 {
+            let data = stripe(5, 256, round.wrapping_mul(41));
+            codec.encode_into(&data, &mut enc_out).unwrap();
+            let shares: Vec<Share<'_>> = (3..8)
+                .map(|i| Share::new(i, enc_out[i].as_slice()))
+                .collect();
+            let decoded_ok = codec.decode_into(&shares, &mut dec_out).is_ok();
+            assert!(decoded_ok);
+            assert_eq!(dec_out, data, "round {round}");
+        }
+        assert_eq!(
+            enc_ptrs,
+            enc_out.iter().map(|b| b.as_ptr()).collect::<Vec<_>>(),
+            "encode_into reallocated in steady state"
+        );
+        assert_eq!(
+            dec_ptrs,
+            dec_out.iter().map(|b| b.as_ptr()).collect::<Vec<_>>(),
+            "decode_into reallocated in steady state"
+        );
+    }
+
+    #[test]
+    fn modify_in_place_matches_modify_all_families() {
+        for (m, n) in [(1usize, 3usize), (3, 4), (5, 8)] {
+            let codec = Codec::new(m, n).unwrap();
+            let data = stripe(m, 32, 9);
+            let blocks = codec.encode(&data).unwrap();
+            let new_b0 = vec![0x3Cu8; 32];
+            for j in m..n {
+                let owned = codec.modify(0, j, &data[0], &new_b0, &blocks[j]).unwrap();
+                let mut in_place = blocks[j].clone();
+                codec
+                    .modify_in_place(0, j, &data[0], &new_b0, &mut in_place)
+                    .unwrap();
+                assert_eq!(owned, in_place, "({m},{n}) j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn coded_delta_acc_folds_multiple_contributions() {
+        let codec = Codec::new(5, 8).unwrap();
+        let data = stripe(5, 24, 5);
+        let new0 = vec![0x11u8; 24];
+        let new2 = vec![0x77u8; 24];
+        for j in 5..8 {
+            // Reference: two allocating deltas XOR-ed together.
+            let d0 = codec.coded_delta(0, j, &data[0], &new0).unwrap();
+            let d2 = codec.coded_delta(2, j, &data[2], &new2).unwrap();
+            let want: Vec<u8> = d0.iter().zip(&d2).map(|(a, b)| a ^ b).collect();
+            // Accumulating: folded into one reused buffer.
+            let mut acc = vec![0u8; 24];
+            codec.coded_delta_acc(0, j, &data[0], &new0, &mut acc).unwrap();
+            codec.coded_delta_acc(2, j, &data[2], &new2, &mut acc).unwrap();
+            assert_eq!(want, acc, "j={j}");
+        }
+    }
+
+    #[test]
+    fn apply_coded_delta_in_place_matches_allocating() {
+        let codec = Codec::new(3, 5).unwrap();
+        let parity = stripe(1, 16, 31).pop().unwrap();
+        let delta = stripe(1, 16, 77).pop().unwrap();
+        let owned = codec.apply_coded_delta(&parity, &delta).unwrap();
+        let mut in_place = parity.clone();
+        codec.apply_coded_delta_in_place(&mut in_place, &delta).unwrap();
+        assert_eq!(owned, in_place);
+        assert!(codec
+            .apply_coded_delta_in_place(&mut in_place, &delta[..8])
+            .is_err());
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub const GROUP_ORDER: usize = 255;
 /// Builds the antilog (exponential) table `EXP[i] = g^i` for the generator
 /// `g = 2`, extended to 512 entries so products of logs need no modular
 /// reduction.
-const fn build_exp() -> [u8; 512] {
+///
+/// `pub(crate)` so the [`kernel`](crate::kernel) layer can derive its full
+/// multiplication and nibble tables from the same ground truth at compile
+/// time.
+pub(crate) const fn build_exp() -> [u8; 512] {
     let mut exp = [0u8; 512];
     let mut x: u16 = 1;
     let mut i = 0;
@@ -46,7 +50,7 @@ const fn build_exp() -> [u8; 512] {
 
 /// Builds the log table: `LOG[EXP[i]] = i`. `LOG[0]` is a sentinel that must
 /// never be consumed; multiplication guards the zero cases explicitly.
-const fn build_log() -> [u8; 256] {
+pub(crate) const fn build_log() -> [u8; 256] {
     let exp = build_exp();
     let mut log = [0u8; 256];
     let mut i = 0;
@@ -112,14 +116,14 @@ impl Gf256 {
     }
 
     /// Multiplies two field elements.
+    ///
+    /// Implemented as a single branch-free lookup in the kernel layer's
+    /// full 256 × 256 product table (the zero rows/columns of the table are
+    /// zero, so no explicit zero guard is needed).
     #[inline]
     #[allow(clippy::should_implement_trait)] // also exposed via std::ops::Mul
     pub fn mul(self, rhs: Gf256) -> Gf256 {
-        if self.0 == 0 || rhs.0 == 0 {
-            return Gf256::ZERO;
-        }
-        let idx = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
-        Gf256(EXP[idx])
+        Gf256(crate::kernel::MUL_TABLE[self.0 as usize][rhs.0 as usize])
     }
 
     /// Divides `self` by `rhs`.
@@ -152,7 +156,10 @@ impl Gf256 {
     /// Raises `self` to the power `exp`.
     ///
     /// `0⁰` is defined as `1`, matching the convention used when evaluating
-    /// Vandermonde matrices.
+    /// Vandermonde matrices. The exponent is reduced modulo the group order
+    /// *before* being multiplied by the base's logarithm (`a^255 = 1` for
+    /// non-zero `a`), so arbitrarily large exponents — up to `usize::MAX` —
+    /// cannot overflow the intermediate product.
     pub fn pow(self, exp: usize) -> Gf256 {
         if exp == 0 {
             return Gf256::ONE;
@@ -161,7 +168,12 @@ impl Gf256 {
             return Gf256::ZERO;
         }
         let log = LOG[self.0 as usize] as usize;
-        Gf256(EXP[(log * exp) % GROUP_ORDER])
+        // Reduce first: log ≤ 254 and exp % 255 ≤ 254, so the product is at
+        // most 254 · 254 = 64 516 — far below any overflow boundary. The
+        // seed code computed `(log * exp) % GROUP_ORDER`, which overflows
+        // (panicking in debug, silently wrapping in release) once
+        // `exp > usize::MAX / 254`.
+        Gf256(EXP[(log * (exp % GROUP_ORDER)) % GROUP_ORDER])
     }
 
     /// Returns `g^i` where `g` is [`Gf256::GENERATOR`].
@@ -303,66 +315,11 @@ impl std::ops::Neg for Gf256 {
     }
 }
 
-/// Multiplies every byte of `block` by the constant `coeff`, accumulating
-/// (XOR) into `acc`: `acc[k] += coeff * block[k]`.
-///
-/// This is the inner loop of both stripe encoding and decoding; it is kept
-/// free-standing so the matrix and codec layers share one implementation.
-///
-/// # Panics
-///
-/// Panics if `acc` and `block` have different lengths.
-pub fn mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
-    assert_eq!(
-        acc.len(),
-        block.len(),
-        "mul_acc requires equal-length buffers"
-    );
-    if coeff.is_zero() {
-        return;
-    }
-    if coeff == Gf256::ONE {
-        for (a, b) in acc.iter_mut().zip(block) {
-            *a ^= *b;
-        }
-        return;
-    }
-    let log_c = LOG[coeff.0 as usize] as usize;
-    for (a, b) in acc.iter_mut().zip(block) {
-        if *b != 0 {
-            *a ^= EXP[log_c + LOG[*b as usize] as usize];
-        }
-    }
-}
-
-/// Multiplies every byte of `block` in place by the constant `coeff`.
-pub fn mul_slice(block: &mut [u8], coeff: Gf256) {
-    if coeff == Gf256::ONE {
-        return;
-    }
-    if coeff.is_zero() {
-        block.fill(0);
-        return;
-    }
-    let log_c = LOG[coeff.0 as usize] as usize;
-    for b in block.iter_mut() {
-        if *b != 0 {
-            *b = EXP[log_c + LOG[*b as usize] as usize];
-        }
-    }
-}
-
-/// XORs `src` into `dst`: `dst[k] += src[k]` in GF(2⁸).
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths.
-pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor_slice requires equal lengths");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= *s;
-    }
-}
+// The bulk block operations (`mul_acc`, `mul_slice`, `mul_acc_xor`,
+// `xor_slice`) live in the [`kernel`](crate::kernel) module, which selects
+// between scalar, full-table, and SIMD implementations at runtime. They are
+// re-exported here so existing `gf256::mul_acc`-style paths keep working.
+pub use crate::kernel::{mul_acc, mul_acc_xor, mul_slice, xor_slice};
 
 #[cfg(test)]
 mod tests {
@@ -488,6 +445,24 @@ mod tests {
             }
         }
         assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_handles_huge_exponents_without_overflow() {
+        // Regression: the seed computed `(log * exp) % GROUP_ORDER`, which
+        // overflows `usize` for large exponents (panic in debug builds).
+        // `a^exp = a^(exp mod 255)` for non-zero `a`, so huge exponents are
+        // well-defined and must not panic.
+        for &a in &[2u8, 3, 29, 255] {
+            let a = Gf256(a);
+            assert_eq!(a.pow(usize::MAX), a.pow(usize::MAX % GROUP_ORDER));
+            assert_eq!(a.pow(usize::MAX - 1), a.pow((usize::MAX - 1) % GROUP_ORDER));
+            // 2^64 - 1 ≡ 0 (mod 255): Fermat gives exactly 1.
+            assert_eq!(a.pow(usize::MAX), Gf256::ONE);
+            // Consistency across the reduction boundary.
+            assert_eq!(a.pow(GROUP_ORDER + 7), a.pow(7));
+        }
+        assert_eq!(Gf256::ZERO.pow(usize::MAX), Gf256::ZERO);
     }
 
     #[test]

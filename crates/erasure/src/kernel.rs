@@ -1,0 +1,940 @@
+//! Throughput-oriented bulk kernels for GF(2⁸) arithmetic.
+//!
+//! Every read, write, and recovery in the storage-register protocol bottoms
+//! out in the erasure substrate's `encode`/`decode`/`modify` primitives
+//! (§2.1, Figure 4 of the paper), and those primitives reduce to three bulk
+//! operations over byte blocks:
+//!
+//! * [`mul_acc`] — `acc[k] ^= c · block[k]` (the encode/decode inner loop),
+//! * [`mul_slice`] — `block[k] = c · block[k]` in place,
+//! * [`xor_slice`] — `dst[k] ^= src[k]` (GF(2⁸) addition),
+//!
+//! plus the fused [`mul_acc_xor`] — `acc[k] ^= c · (old[k] ^ new[k])` —
+//! which is exactly the paper's `modify_{i,j}` parity patch computed
+//! without materializing the difference block.
+//!
+//! # Kernel tiers
+//!
+//! Three interchangeable kernels implement the multiply ops; all are
+//! byte-for-byte equivalent (pinned by exhaustive tests over every
+//! coefficient):
+//!
+//! 1. **Scalar** ([`Kernel::Scalar`]) — the original per-byte log/exp
+//!    lookup with a zero-guard branch. Slowest, but trivially auditable;
+//!    it is the *source of truth* the other kernels are tested against.
+//! 2. **Table** ([`Kernel::Table`]) — branch-free lookups in a full
+//!    256 × 256 multiplication table (`MUL_TABLE[c][x] = c·x`, 64 KiB,
+//!    built at compile time). Portable to every target.
+//! 3. **Simd** ([`Kernel::Simd`]) — the split low/high-nibble method:
+//!    `c·x = c·(x & 0x0F) ⊕ c·(x & 0xF0)`, with the two 16-entry
+//!    per-coefficient tables applied 16 bytes at a time via byte-shuffle
+//!    instructions (SSSE3 `_mm_shuffle_epi8` on x86_64, NEON `vqtbl1q_u8`
+//!    on aarch64). Selected by one-time runtime feature detection.
+//!
+//! [`xor_slice`] is always word-wide (`u64` chunks) in safe code; LLVM
+//! vectorizes that loop on every target.
+//!
+//! Dispatch order is Simd → Table; [`set_kernel_override`] pins a specific
+//! kernel for tests and benchmarks (e.g. forcing the portable fallback on
+//! SIMD-capable hardware to verify equivalence both ways).
+
+use crate::gf256::{build_exp, build_log, Gf256};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Compile-time tables
+// ---------------------------------------------------------------------------
+
+/// Full 256 × 256 multiplication table: `MUL_TABLE[a][b] = a · b`.
+///
+/// Row `a` is the image of the whole field under multiplication by `a`,
+/// which makes the per-coefficient inner loops branch-free: no zero guard,
+/// one load per byte.
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = exp[la + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// `NIB_LO[c][x] = c · x` for `x` in `0..16` (the low nibble).
+const fn build_nib_lo() -> [[u8; 16]; 256] {
+    let mul = build_mul_table();
+    let mut t = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            t[c][x] = mul[c][x];
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// `NIB_HI[c][x] = c · (x << 4)` for `x` in `0..16` (the high nibble).
+const fn build_nib_hi() -> [[u8; 16]; 256] {
+    let mul = build_mul_table();
+    let mut t = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            t[c][x] = mul[c][x << 4];
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// The full multiplication table (64 KiB). Shared with [`Gf256::mul`](crate::Gf256).
+pub(crate) static MUL_TABLE: [[u8; 256]; 256] = build_mul_table();
+/// Low-nibble product tables, one 16-byte row per coefficient (4 KiB).
+static NIB_LO: [[u8; 16]; 256] = build_nib_lo();
+/// High-nibble product tables, one 16-byte row per coefficient (4 KiB).
+static NIB_HI: [[u8; 16]; 256] = build_nib_hi();
+
+// Scalar-reference tables (log/exp), used only by the Scalar kernel.
+static EXP: [u8; 512] = build_exp();
+static LOG: [u8; 256] = build_log();
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+/// Identifies one of the interchangeable GF(2⁸) bulk-kernel implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Per-byte log/exp lookups with a zero guard (the reference kernel).
+    Scalar,
+    /// Branch-free full-table lookups (portable fast path).
+    Table,
+    /// Nibble-split byte-shuffle SIMD (SSSE3 / NEON), 16 bytes per step.
+    Simd,
+}
+
+const MODE_AUTO: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+const MODE_TABLE: u8 = 2;
+const MODE_SIMD: u8 = 3;
+
+/// Test/bench override of the kernel choice. `MODE_AUTO` means "detect".
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(MODE_AUTO);
+
+/// Returns `true` if the byte-shuffle SIMD kernel can run on this CPU.
+///
+/// Detection runs once and is cached; on aarch64 NEON is part of the
+/// baseline ISA so no runtime probe is needed.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("ssse3"))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Pins the kernel used by [`mul_acc`], [`mul_slice`], and [`mul_acc_xor`],
+/// or restores automatic selection with `None`.
+///
+/// Intended for tests and benchmarks (forcing the portable fallback on
+/// SIMD-capable hardware, or measuring one kernel against another).
+/// Requesting [`Kernel::Simd`] on hardware without SIMD support silently
+/// falls back to [`Kernel::Table`]. The override is process-global.
+pub fn set_kernel_override(kernel: Option<Kernel>) {
+    let mode = match kernel {
+        None => MODE_AUTO,
+        Some(Kernel::Scalar) => MODE_SCALAR,
+        Some(Kernel::Table) => MODE_TABLE,
+        Some(Kernel::Simd) => MODE_SIMD,
+    };
+    KERNEL_OVERRIDE.store(mode, Ordering::Relaxed);
+}
+
+/// The kernel the multiply ops will dispatch to right now.
+pub fn active_kernel() -> Kernel {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        MODE_SCALAR => Kernel::Scalar,
+        MODE_TABLE => Kernel::Table,
+        MODE_SIMD if simd_available() => Kernel::Simd,
+        MODE_SIMD => Kernel::Table,
+        _ => {
+            if simd_available() {
+                Kernel::Simd
+            } else {
+                Kernel::Table
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public bulk operations
+// ---------------------------------------------------------------------------
+
+/// Multiplies every byte of `block` by the constant `coeff`, accumulating
+/// (XOR) into `acc`: `acc[k] ^= coeff · block[k]`.
+///
+/// This is the inner loop of both stripe encoding and decoding. Empty
+/// slices are accepted and are a no-op.
+///
+/// # Panics
+///
+/// Panics if `acc` and `block` have different lengths; the message names
+/// both lengths and the coefficient.
+pub fn mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    assert_eq!(
+        acc.len(),
+        block.len(),
+        "mul_acc: length mismatch (acc={}, block={}, coeff={:#04x})",
+        acc.len(),
+        block.len(),
+        coeff.value(),
+    );
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        xor_slice(acc, block);
+        return;
+    }
+    match active_kernel() {
+        Kernel::Scalar => scalar_mul_acc(acc, block, coeff),
+        Kernel::Table => table_mul_acc(acc, block, &MUL_TABLE[coeff.value() as usize]),
+        Kernel::Simd => simd_mul_acc(acc, block, coeff),
+    }
+}
+
+/// Multiplies every byte of `block` in place by the constant `coeff`:
+/// `block[k] = coeff · block[k]`.
+///
+/// Empty slices are accepted and are a no-op; multiplying by zero clears
+/// the block. This function cannot panic.
+pub fn mul_slice(block: &mut [u8], coeff: Gf256) {
+    if coeff == Gf256::ONE {
+        return;
+    }
+    if coeff.is_zero() {
+        block.fill(0);
+        return;
+    }
+    match active_kernel() {
+        Kernel::Scalar => scalar_mul_slice(block, coeff),
+        Kernel::Table => table_mul_slice(block, &MUL_TABLE[coeff.value() as usize]),
+        Kernel::Simd => simd_mul_slice(block, coeff),
+    }
+}
+
+/// Fused parity patch: `acc[k] ^= coeff · (old[k] ^ new[k])`.
+///
+/// This is the paper's `modify_{i,j}` (and §5.2(b) coded-delta) inner loop
+/// computed without materializing the `old ⊕ new` difference block. Empty
+/// slices are accepted and are a no-op.
+///
+/// # Panics
+///
+/// Panics if `acc`, `old`, and `new` do not all have the same length; the
+/// message names the lengths and the coefficient.
+pub fn mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], coeff: Gf256) {
+    assert!(
+        acc.len() == old.len() && acc.len() == new.len(),
+        "mul_acc_xor: length mismatch (acc={}, old={}, new={}, coeff={:#04x})",
+        acc.len(),
+        old.len(),
+        new.len(),
+        coeff.value(),
+    );
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        xor_slice(acc, old);
+        xor_slice(acc, new);
+        return;
+    }
+    match active_kernel() {
+        Kernel::Scalar => scalar_mul_acc_xor(acc, old, new, coeff),
+        Kernel::Table => {
+            table_mul_acc_xor(acc, old, new, &MUL_TABLE[coeff.value() as usize]);
+        }
+        Kernel::Simd => simd_mul_acc_xor(acc, old, new, coeff),
+    }
+}
+
+/// XORs `src` into `dst`: `dst[k] ^= src[k]` (addition in GF(2⁸)).
+///
+/// Processed one `u64` word (8 bytes) at a time with a byte-wise tail;
+/// empty slices are accepted and are a no-op.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths; the message names both
+/// lengths.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_slice: length mismatch (dst={}, src={})",
+        dst.len(),
+        src.len(),
+    );
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in (&mut dst_words).zip(&mut src_words) {
+        let x = u64::from_ne_bytes(d.as_ref().try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernel (source of truth)
+// ---------------------------------------------------------------------------
+
+/// The seed implementation: per-byte log/exp with a zero guard.
+fn scalar_mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    debug_assert!(!coeff.is_zero());
+    let log_c = LOG[coeff.value() as usize] as usize;
+    for (a, b) in acc.iter_mut().zip(block) {
+        if *b != 0 {
+            *a ^= EXP[log_c + LOG[*b as usize] as usize];
+        }
+    }
+}
+
+fn scalar_mul_slice(block: &mut [u8], coeff: Gf256) {
+    debug_assert!(!coeff.is_zero());
+    let log_c = LOG[coeff.value() as usize] as usize;
+    for b in block.iter_mut() {
+        if *b != 0 {
+            *b = EXP[log_c + LOG[*b as usize] as usize];
+        }
+    }
+}
+
+fn scalar_mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], coeff: Gf256) {
+    debug_assert!(!coeff.is_zero());
+    let log_c = LOG[coeff.value() as usize] as usize;
+    for (a, (o, n)) in acc.iter_mut().zip(old.iter().zip(new)) {
+        let d = *o ^ *n;
+        if d != 0 {
+            *a ^= EXP[log_c + LOG[d as usize] as usize];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-table kernel (portable fast path)
+// ---------------------------------------------------------------------------
+
+fn table_mul_acc(acc: &mut [u8], block: &[u8], table: &[u8; 256]) {
+    for (a, b) in acc.iter_mut().zip(block) {
+        *a ^= table[*b as usize];
+    }
+}
+
+fn table_mul_slice(block: &mut [u8], table: &[u8; 256]) {
+    for b in block.iter_mut() {
+        *b = table[*b as usize];
+    }
+}
+
+fn table_mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], table: &[u8; 256]) {
+    for (a, (o, n)) in acc.iter_mut().zip(old.iter().zip(new)) {
+        *a ^= table[(*o ^ *n) as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel (nibble-split byte shuffles)
+// ---------------------------------------------------------------------------
+
+/// Splits a length into the 16-byte-aligned head and its start offset.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[inline]
+fn simd_head(len: usize) -> usize {
+    len & !15
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(acc.len());
+    // SAFETY: `simd_available()` verified SSSE3 support before this kernel
+    // was selected, and the head slices are equal-length.
+    unsafe { x86::mul_acc_ssse3(&mut acc[..head], &block[..head], &NIB_LO[c], &NIB_HI[c]) };
+    table_mul_acc(&mut acc[head..], &block[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_slice(block: &mut [u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(block.len());
+    // SAFETY: SSSE3 support was verified by `simd_available()`.
+    unsafe { x86::mul_slice_ssse3(&mut block[..head], &NIB_LO[c], &NIB_HI[c]) };
+    table_mul_slice(&mut block[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(acc.len());
+    // SAFETY: SSSE3 support was verified by `simd_available()`, and the
+    // head slices are equal-length.
+    unsafe {
+        x86::mul_acc_xor_ssse3(
+            &mut acc[..head],
+            &old[..head],
+            &new[..head],
+            &NIB_LO[c],
+            &NIB_HI[c],
+        );
+    }
+    table_mul_acc_xor(&mut acc[head..], &old[head..], &new[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    //! SSSE3 nibble-shuffle kernels.
+    //!
+    //! `_mm_shuffle_epi8(table, idx)` performs 16 parallel 4-bit table
+    //! lookups (indices with the high bit set produce 0, which cannot occur
+    //! here because indices are masked to `0..16`). All loads/stores are
+    //! unaligned (`loadu`/`storeu`) so callers never need aligned buffers.
+
+    use std::arch::x86_64::*;
+
+    /// `acc[k] ^= c·block[k]` over equal-length, 16-byte-multiple slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available, `acc.len() == block.len()`,
+    /// and `acc.len() % 16 == 0`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_acc_ssse3(
+        acc: &mut [u8],
+        block: &[u8],
+        lo: &[u8; 16],
+        hi: &[u8; 16],
+    ) {
+        debug_assert_eq!(acc.len(), block.len());
+        debug_assert_eq!(acc.len() % 16, 0);
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let mut i = 0;
+        while i < acc.len() {
+            let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
+            let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+            let prod = nib_product(b, lo_t, hi_t, mask);
+            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+            i += 16;
+        }
+    }
+
+    /// `block[k] = c·block[k]` over a 16-byte-multiple slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available and `block.len() % 16 == 0`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_slice_ssse3(block: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
+        debug_assert_eq!(block.len() % 16, 0);
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let mut i = 0;
+        while i < block.len() {
+            let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
+            let prod = nib_product(b, lo_t, hi_t, mask);
+            _mm_storeu_si128(block.as_mut_ptr().add(i).cast(), prod);
+            i += 16;
+        }
+    }
+
+    /// `acc[k] ^= c·(old[k]^new[k])` over equal-length, 16-byte-multiple
+    /// slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available, all three slices have equal
+    /// length, and the length is a multiple of 16.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_acc_xor_ssse3(
+        acc: &mut [u8],
+        old: &[u8],
+        new: &[u8],
+        lo: &[u8; 16],
+        hi: &[u8; 16],
+    ) {
+        debug_assert_eq!(acc.len(), old.len());
+        debug_assert_eq!(acc.len(), new.len());
+        debug_assert_eq!(acc.len() % 16, 0);
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let mut i = 0;
+        while i < acc.len() {
+            let o = _mm_loadu_si128(old.as_ptr().add(i).cast());
+            let n = _mm_loadu_si128(new.as_ptr().add(i).cast());
+            let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+            let prod = nib_product(_mm_xor_si128(o, n), lo_t, hi_t, mask);
+            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+            i += 16;
+        }
+    }
+
+    /// The nibble-split product of one 16-byte vector by the constant whose
+    /// nibble tables are `lo_t`/`hi_t`.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSSE3 (guaranteed by the `target_feature` on callers).
+    #[target_feature(enable = "ssse3")]
+    #[inline]
+    unsafe fn nib_product(b: __m128i, lo_t: __m128i, hi_t: __m128i, mask: __m128i) -> __m128i {
+        let b_lo = _mm_and_si128(b, mask);
+        // Shift as 64-bit lanes (no 8-bit shift exists in SSE); the mask
+        // removes the bits smeared across byte boundaries.
+        let b_hi = _mm_and_si128(_mm_srli_epi64::<4>(b), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo_t, b_lo), _mm_shuffle_epi8(hi_t, b_hi))
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(acc.len());
+    // SAFETY: NEON is part of the aarch64 baseline ISA; head slices are
+    // equal-length.
+    unsafe { neon::mul_acc_neon(&mut acc[..head], &block[..head], &NIB_LO[c], &NIB_HI[c]) };
+    table_mul_acc(&mut acc[head..], &block[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_slice(block: &mut [u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(block.len());
+    // SAFETY: NEON is part of the aarch64 baseline ISA.
+    unsafe { neon::mul_slice_neon(&mut block[..head], &NIB_LO[c], &NIB_HI[c]) };
+    table_mul_slice(&mut block[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // arch kernels need `unsafe` feature-gated calls
+fn simd_mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], coeff: Gf256) {
+    let c = coeff.value() as usize;
+    let head = simd_head(acc.len());
+    // SAFETY: NEON is part of the aarch64 baseline ISA; head slices are
+    // equal-length.
+    unsafe {
+        neon::mul_acc_xor_neon(
+            &mut acc[..head],
+            &old[..head],
+            &new[..head],
+            &NIB_LO[c],
+            &NIB_HI[c],
+        );
+    }
+    table_mul_acc_xor(&mut acc[head..], &old[head..], &new[head..], &MUL_TABLE[c]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    //! NEON nibble-shuffle kernels (`vqtbl1q_u8` = 16 parallel lookups).
+
+    use std::arch::aarch64::*;
+
+    /// `acc[k] ^= c·block[k]` over equal-length, 16-byte-multiple slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `acc.len() == block.len()` and
+    /// `acc.len() % 16 == 0`. NEON is baseline on aarch64.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn mul_acc_neon(acc: &mut [u8], block: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
+        debug_assert_eq!(acc.len(), block.len());
+        debug_assert_eq!(acc.len() % 16, 0);
+        let lo_t = vld1q_u8(lo.as_ptr());
+        let hi_t = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let mut i = 0;
+        while i < acc.len() {
+            let b = vld1q_u8(block.as_ptr().add(i));
+            let a = vld1q_u8(acc.as_ptr().add(i));
+            let prod = veorq_u8(
+                vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
+                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
+            );
+            vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
+            i += 16;
+        }
+    }
+
+    /// `block[k] = c·block[k]` over a 16-byte-multiple slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `block.len() % 16 == 0`. NEON is baseline on
+    /// aarch64.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn mul_slice_neon(block: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
+        debug_assert_eq!(block.len() % 16, 0);
+        let lo_t = vld1q_u8(lo.as_ptr());
+        let hi_t = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let mut i = 0;
+        while i < block.len() {
+            let b = vld1q_u8(block.as_ptr().add(i));
+            let prod = veorq_u8(
+                vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
+                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
+            );
+            vst1q_u8(block.as_mut_ptr().add(i), prod);
+            i += 16;
+        }
+    }
+
+    /// `acc[k] ^= c·(old[k]^new[k])` over equal-length, 16-byte-multiple
+    /// slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure all three slices have equal, 16-multiple length.
+    /// NEON is baseline on aarch64.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn mul_acc_xor_neon(
+        acc: &mut [u8],
+        old: &[u8],
+        new: &[u8],
+        lo: &[u8; 16],
+        hi: &[u8; 16],
+    ) {
+        debug_assert_eq!(acc.len(), old.len());
+        debug_assert_eq!(acc.len(), new.len());
+        debug_assert_eq!(acc.len() % 16, 0);
+        let lo_t = vld1q_u8(lo.as_ptr());
+        let hi_t = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let mut i = 0;
+        while i < acc.len() {
+            let o = vld1q_u8(old.as_ptr().add(i));
+            let n = vld1q_u8(new.as_ptr().add(i));
+            let a = vld1q_u8(acc.as_ptr().add(i));
+            let d = veorq_u8(o, n);
+            let prod = veorq_u8(
+                vqtbl1q_u8(lo_t, vandq_u8(d, mask)),
+                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(d)),
+            );
+            vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
+            i += 16;
+        }
+    }
+}
+
+// On targets with neither SSSE3 nor NEON the Simd kernel is never selected,
+// but the dispatch arms still need symbols to compile against.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_mul_acc(acc: &mut [u8], block: &[u8], coeff: Gf256) {
+    table_mul_acc(acc, block, &MUL_TABLE[coeff.value() as usize]);
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_mul_slice(block: &mut [u8], coeff: Gf256) {
+    table_mul_slice(block, &MUL_TABLE[coeff.value() as usize]);
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_mul_acc_xor(acc: &mut [u8], old: &[u8], new: &[u8], coeff: Gf256) {
+    table_mul_acc_xor(acc, old, new, &MUL_TABLE[coeff.value() as usize]);
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::GROUP_ORDER;
+
+    /// Deterministic pseudo-random bytes (xorshift-ish LCG).
+    fn fill(buf: &mut [u8], mut seed: u64) {
+        for b in buf.iter_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (seed >> 33) as u8;
+        }
+    }
+
+    /// Lengths covering empty, sub-vector, exact-vector, vector+tail, and
+    /// multi-vector cases.
+    const LENGTHS: [usize; 10] = [0, 1, 7, 15, 16, 17, 63, 64, 65, 300];
+
+    #[test]
+    fn mul_table_matches_field_mul() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    MUL_TABLE[a as usize][b as usize],
+                    Gf256::new(a).mul(Gf256::new(b)).value(),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_tables_reassemble_products() {
+        for c in 0..=255u8 {
+            for x in 0..=255u8 {
+                let lo = NIB_LO[c as usize][(x & 0x0F) as usize];
+                let hi = NIB_HI[c as usize][(x >> 4) as usize];
+                assert_eq!(lo ^ hi, MUL_TABLE[c as usize][x as usize], "c={c} x={x}");
+            }
+        }
+    }
+
+    /// Exhaustive coefficient sweep: table kernel ≡ scalar kernel on
+    /// aligned, unaligned, and odd-length buffers.
+    #[test]
+    fn table_kernel_matches_scalar_all_coefficients() {
+        let mut backing_block = vec![0u8; 303];
+        let mut backing_acc = vec![0u8; 303];
+        fill(&mut backing_block, 11);
+        fill(&mut backing_acc, 23);
+        for c in 1..=255u8 {
+            let coeff = Gf256::new(c);
+            for &len in &LENGTHS {
+                for offset in [0usize, 1, 3] {
+                    let block = &backing_block[offset..offset + len];
+                    let mut scalar_acc = backing_acc[offset..offset + len].to_vec();
+                    let mut table_acc = scalar_acc.clone();
+                    scalar_mul_acc(&mut scalar_acc, block, coeff);
+                    table_mul_acc(&mut table_acc, block, &MUL_TABLE[c as usize]);
+                    assert_eq!(scalar_acc, table_acc, "mul_acc c={c} len={len} off={offset}");
+
+                    let mut scalar_blk = block.to_vec();
+                    let mut table_blk = block.to_vec();
+                    scalar_mul_slice(&mut scalar_blk, coeff);
+                    table_mul_slice(&mut table_blk, &MUL_TABLE[c as usize]);
+                    assert_eq!(
+                        scalar_blk, table_blk,
+                        "mul_slice c={c} len={len} off={offset}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exhaustive coefficient sweep: SIMD kernel ≡ scalar kernel on
+    /// aligned, unaligned, and odd-length buffers (when SIMD exists).
+    #[test]
+    fn simd_kernel_matches_scalar_all_coefficients() {
+        if !simd_available() {
+            return; // the dispatch can never select the SIMD kernel here
+        }
+        let mut backing_block = vec![0u8; 303];
+        let mut backing_acc = vec![0u8; 303];
+        fill(&mut backing_block, 31);
+        fill(&mut backing_acc, 47);
+        for c in 1..=255u8 {
+            let coeff = Gf256::new(c);
+            for &len in &LENGTHS {
+                for offset in [0usize, 1, 3] {
+                    let block = &backing_block[offset..offset + len];
+                    let mut scalar_acc = backing_acc[offset..offset + len].to_vec();
+                    let mut simd_acc = scalar_acc.clone();
+                    scalar_mul_acc(&mut scalar_acc, block, coeff);
+                    simd_mul_acc(&mut simd_acc, block, coeff);
+                    assert_eq!(scalar_acc, simd_acc, "mul_acc c={c} len={len} off={offset}");
+
+                    let mut scalar_blk = block.to_vec();
+                    let mut simd_blk = block.to_vec();
+                    scalar_mul_slice(&mut scalar_blk, coeff);
+                    simd_mul_slice(&mut simd_blk, coeff);
+                    assert_eq!(
+                        scalar_blk, simd_blk,
+                        "mul_slice c={c} len={len} off={offset}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fused patch kernel agrees with the composed operations on all
+    /// kernels and coefficients (including 0 and 1 via the public entry).
+    #[test]
+    fn mul_acc_xor_matches_composition() {
+        let mut old = vec![0u8; 130];
+        let mut new = vec![0u8; 130];
+        let mut acc0 = vec![0u8; 130];
+        fill(&mut old, 3);
+        fill(&mut new, 5);
+        fill(&mut acc0, 7);
+        for c in [0u8, 1, 2, 3, 29, 76, 142, 255] {
+            let coeff = Gf256::new(c);
+            for &len in &[0usize, 1, 16, 17, 64, 130] {
+                // Reference: diff then mul_acc via the scalar kernel.
+                let mut reference = acc0[..len].to_vec();
+                let diff: Vec<u8> = old[..len].iter().zip(&new[..len]).map(|(a, b)| a ^ b).collect();
+                if c == 1 {
+                    xor_slice(&mut reference, &diff);
+                } else if c != 0 {
+                    scalar_mul_acc(&mut reference, &diff, coeff);
+                }
+                // Fused scalar.
+                let mut fused_s = acc0[..len].to_vec();
+                if c != 0 && c != 1 {
+                    scalar_mul_acc_xor(&mut fused_s, &old[..len], &new[..len], coeff);
+                } else {
+                    mul_acc_xor(&mut fused_s, &old[..len], &new[..len], coeff);
+                }
+                assert_eq!(reference, fused_s, "scalar c={c} len={len}");
+                // Fused table.
+                let mut fused_t = acc0[..len].to_vec();
+                if c != 0 && c != 1 {
+                    table_mul_acc_xor(&mut fused_t, &old[..len], &new[..len], &MUL_TABLE[c as usize]);
+                    assert_eq!(reference, fused_t, "table c={c} len={len}");
+                }
+                // Fused SIMD.
+                if simd_available() && c != 0 && c != 1 {
+                    let mut fused_v = acc0[..len].to_vec();
+                    simd_mul_acc_xor(&mut fused_v, &old[..len], &new[..len], coeff);
+                    assert_eq!(reference, fused_v, "simd c={c} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_bytewise() {
+        // Large enough for every length in LENGTHS (max 300).
+        let mut a = vec![0u8; 317];
+        let mut b = vec![0u8; 317];
+        fill(&mut a, 1);
+        fill(&mut b, 2);
+        for &len in &LENGTHS {
+            let mut got = a[..len].to_vec();
+            xor_slice(&mut got, &b[..len]);
+            let want: Vec<u8> = a[..len].iter().zip(&b[..len]).map(|(x, y)| x ^ y).collect();
+            assert_eq!(got, want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn public_entry_zero_and_one_fast_paths() {
+        let block = [1u8, 2, 3, 200];
+        let mut acc = [9u8, 9, 9, 9];
+        mul_acc(&mut acc, &block, Gf256::ZERO);
+        assert_eq!(acc, [9, 9, 9, 9]);
+        mul_acc(&mut acc, &block, Gf256::ONE);
+        assert_eq!(acc, [8, 11, 10, 0xC1]);
+        let mut blk = [1u8, 2, 3];
+        mul_slice(&mut blk, Gf256::ONE);
+        assert_eq!(blk, [1, 2, 3]);
+        mul_slice(&mut blk, Gf256::ZERO);
+        assert_eq!(blk, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_acc: length mismatch")]
+    fn mul_acc_length_mismatch_panics_with_context() {
+        let mut acc = [0u8; 3];
+        mul_acc(&mut acc, &[1, 2], Gf256::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_acc_xor: length mismatch")]
+    fn mul_acc_xor_length_mismatch_panics_with_context() {
+        let mut acc = [0u8; 3];
+        mul_acc_xor(&mut acc, &[1, 2, 3], &[4, 5], Gf256::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "xor_slice: length mismatch")]
+    fn xor_slice_length_mismatch_panics_with_context() {
+        let mut acc = [0u8; 3];
+        xor_slice(&mut acc, &[1, 2]);
+    }
+
+    /// The override pins the kernel (serialized through a lock because the
+    /// override is process-global and tests run concurrently).
+    #[test]
+    fn kernel_override_round_trip() {
+        use std::sync::Mutex;
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap();
+
+        set_kernel_override(Some(Kernel::Scalar));
+        assert_eq!(active_kernel(), Kernel::Scalar);
+        set_kernel_override(Some(Kernel::Table));
+        assert_eq!(active_kernel(), Kernel::Table);
+        set_kernel_override(Some(Kernel::Simd));
+        let k = active_kernel();
+        if simd_available() {
+            assert_eq!(k, Kernel::Simd);
+        } else {
+            assert_eq!(k, Kernel::Table);
+        }
+        set_kernel_override(None);
+        let auto = active_kernel();
+        assert!(auto == Kernel::Simd || auto == Kernel::Table);
+
+        // With the override active the public ops still agree with scalar.
+        let mut block = vec![0u8; 97];
+        fill(&mut block, 77);
+        let coeff = Gf256::new(0xB7);
+        let mut via_auto = vec![0u8; 97];
+        mul_acc(&mut via_auto, &block, coeff);
+        set_kernel_override(Some(Kernel::Scalar));
+        let mut via_scalar = vec![0u8; 97];
+        mul_acc(&mut via_scalar, &block, coeff);
+        set_kernel_override(None);
+        assert_eq!(via_auto, via_scalar);
+    }
+
+    #[test]
+    fn group_order_is_exposed_consistently() {
+        // `GROUP_ORDER` is re-used by the scalar kernel's tables; a mismatch
+        // would silently corrupt every product.
+        assert_eq!(GROUP_ORDER, 255);
+        assert_eq!(EXP[0], 1);
+        assert_eq!(EXP[GROUP_ORDER], 1);
+    }
+}

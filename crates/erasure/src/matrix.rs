@@ -223,23 +223,34 @@ impl Matrix {
         if a == b {
             return;
         }
-        for c in 0..self.cols {
-            self.data.swap(a * self.cols + c, b * self.cols + c);
-        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..lo * self.cols + self.cols].swap_with_slice(&mut tail[..self.cols]);
     }
 
     fn scale_row(&mut self, r: usize, by: Gf256) {
-        for c in 0..self.cols {
-            let v = self[(r, c)] * by;
-            self[(r, c)] = v;
+        // Row-slice iteration: one bounds check per row, not per element,
+        // and the table-backed `Gf256::mul` is branch-free.
+        for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+            *v = *v * by;
         }
     }
 
     /// `row[dst] += factor * row[src]`.
     fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
-        for c in 0..self.cols {
-            let v = self[(dst, c)] + factor * self[(src, c)];
-            self[(dst, c)] = v;
+        debug_assert_ne!(dst, src, "caller never eliminates a row with itself");
+        let cols = self.cols;
+        let (d0, s0) = (dst * cols, src * cols);
+        // Split so the destination and source rows can be borrowed at once.
+        let (dst_row, src_row) = if d0 < s0 {
+            let (head, tail) = self.data.split_at_mut(s0);
+            (&mut head[d0..d0 + cols], &tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(d0);
+            (&mut tail[..cols], &head[s0..s0 + cols])
+        };
+        for (d, s) in dst_row.iter_mut().zip(src_row) {
+            *d = *d + factor * *s;
         }
     }
 }

@@ -4,10 +4,11 @@
 //! The single parity block is the XOR of the m data blocks. Any one missing
 //! block — data or parity — can be rebuilt by XOR-ing the surviving n − 1.
 //! This is the cheapest member of the m-of-n family and the one the paper's
-//! RAID-5 comparisons refer to.
+//! RAID-5 comparisons refer to. All XOR work goes through the word-wide
+//! [`xor_slice`](crate::kernel::xor_slice) kernel.
 
-use crate::code::{CodeError, CodeParams, Result, Share};
-use crate::gf256::xor_slice;
+use crate::code::{fill_from, fill_zeroed, CodeError, CodeParams, Result, Share};
+use crate::kernel::xor_slice;
 
 /// An (n−1)-of-n XOR parity codec.
 #[derive(Debug, Clone)]
@@ -38,66 +39,77 @@ impl ParityCode {
         self.params
     }
 
-    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+    /// Encodes the stripe into `out` (length n, blocks reused in place).
+    pub(crate) fn encode_into(&self, stripe: &[&[u8]], out: &mut [Vec<u8>]) {
+        debug_assert_eq!(stripe.len(), self.params.m());
+        debug_assert_eq!(out.len(), self.params.n());
         let len = stripe[0].len();
-        let mut out: Vec<Vec<u8>> = stripe.iter().map(|b| b.to_vec()).collect();
-        let mut parity = vec![0u8; len];
-        for block in stripe {
-            xor_slice(&mut parity, block);
+        // `zip` stops after the m data blocks, leaving the parity slot.
+        for (buf, block) in out.iter_mut().zip(stripe) {
+            fill_from(buf, block);
         }
-        out.push(parity);
-        out
+        let parity = out.last_mut().expect("n ≥ 2 blocks");
+        fill_zeroed(parity, len);
+        for block in stripe {
+            xor_slice(parity, block);
+        }
     }
 
-    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+    /// Decodes the m data blocks into `out` (length m, blocks reused in
+    /// place) from exactly m validated shares.
+    pub(crate) fn decode_into(&self, shares: &[Share<'_>], out: &mut [Vec<u8>]) {
         let m = self.params.m();
         debug_assert_eq!(shares.len(), m);
+        debug_assert_eq!(out.len(), m);
         // Shares arrive sorted by index (Codec::decode guarantees it). If the
         // parity block is absent, the shares are exactly the data blocks.
         if shares.iter().all(|s| s.index < m) {
-            return shares.iter().map(|s| s.data.to_vec()).collect();
+            for (buf, s) in out.iter_mut().zip(shares) {
+                fill_from(buf, s.data);
+            }
+            return;
         }
         // Exactly one data block is missing; rebuild it by XOR.
         let missing = (0..m)
             .find(|i| !shares.iter().any(|s| s.index == *i))
             .expect("parity share present implies one data index missing");
         let len = shares[0].data.len();
-        let mut rebuilt = vec![0u8; len];
-        for s in shares {
-            xor_slice(&mut rebuilt, s.data);
-        }
-        let mut out: Vec<Vec<u8>> = Vec::with_capacity(m);
-        for i in 0..m {
+        for (i, buf) in out.iter_mut().enumerate() {
             if i == missing {
-                out.push(rebuilt.clone());
+                fill_zeroed(buf, len);
+                for s in shares {
+                    xor_slice(buf, s.data);
+                }
             } else {
                 let s = shares
                     .iter()
                     .find(|s| s.index == i)
                     .expect("non-missing data share present");
-                out.push(s.data.to_vec());
+                fill_from(buf, s.data);
             }
         }
-        out
-    }
-
-    pub(crate) fn modify(&self, old_data: &[u8], new_data: &[u8], old_parity: &[u8]) -> Vec<u8> {
-        // p' = p ⊕ b ⊕ b'
-        old_parity
-            .iter()
-            .zip(old_data)
-            .zip(new_data)
-            .map(|((p, a), b)| p ^ a ^ b)
-            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Codec;
 
     fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
         blocks.iter().map(|b| b.as_slice()).collect()
+    }
+
+    fn encode(c: &ParityCode, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); c.params().n()];
+        c.encode_into(&refs(data), &mut out);
+        out
+    }
+
+    fn decode(c: &ParityCode, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); c.params().m()];
+        c.decode_into(shares, &mut out);
+        out
     }
 
     #[test]
@@ -112,7 +124,7 @@ mod tests {
     fn parity_is_xor_of_data() {
         let c = ParityCode::new(4).unwrap();
         let data = vec![vec![1u8, 2], vec![4u8, 8], vec![16u8, 32]];
-        let blocks = c.encode(&refs(&data));
+        let blocks = encode(&c, &data);
         assert_eq!(blocks[3], vec![1 ^ 4 ^ 16, 2 ^ 8 ^ 32]);
     }
 
@@ -120,39 +132,39 @@ mod tests {
     fn decode_with_all_data_present() {
         let c = ParityCode::new(4).unwrap();
         let data = vec![vec![9u8], vec![8u8], vec![7u8]];
-        let blocks = c.encode(&refs(&data));
+        let blocks = encode(&c, &data);
         let shares = [
             Share::new(0, &blocks[0]),
             Share::new(1, &blocks[1]),
             Share::new(2, &blocks[2]),
         ];
-        assert_eq!(c.decode(&shares), data);
+        assert_eq!(decode(&c, &shares), data);
     }
 
     #[test]
     fn decode_recovers_each_missing_data_block() {
         let c = ParityCode::new(4).unwrap();
         let data = vec![vec![0xAAu8, 1], vec![0xBBu8, 2], vec![0xCCu8, 3]];
-        let blocks = c.encode(&refs(&data));
+        let blocks = encode(&c, &data);
         for missing in 0..3 {
             let shares: Vec<Share<'_>> = (0..4)
                 .filter(|&i| i != missing)
                 .map(|i| Share::new(i, blocks[i].as_slice()))
                 .collect();
-            assert_eq!(c.decode(&shares), data, "missing={missing}");
+            assert_eq!(decode(&c, &shares), data, "missing={missing}");
         }
     }
 
     #[test]
     fn modify_matches_reencode() {
-        let c = ParityCode::new(5).unwrap();
+        let codec = Codec::parity(5).unwrap();
         let data = vec![vec![1u8, 1], vec![2u8, 2], vec![3u8, 3], vec![4u8, 4]];
-        let blocks = c.encode(&refs(&data));
+        let blocks = codec.encode(&data).unwrap();
         let new_b1 = vec![0x77u8, 0x66];
         let mut new_data = data.clone();
         new_data[1] = new_b1.clone();
-        let reencoded = c.encode(&refs(&new_data));
-        let patched = c.modify(&data[1], &new_b1, &blocks[4]);
+        let reencoded = codec.encode(&new_data).unwrap();
+        let patched = codec.modify(1, 4, &data[1], &new_b1, &blocks[4]).unwrap();
         assert_eq!(patched, reencoded[4]);
     }
 }

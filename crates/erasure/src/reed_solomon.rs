@@ -7,9 +7,15 @@
 //! Vandermonde property that **any** m rows of `G` form an invertible
 //! matrix — which is exactly the paper's `decode` requirement: the stripe
 //! can be rebuilt from any m of the n blocks.
+//!
+//! The primitive operations are the `_into` variants, which write into
+//! caller-provided buffers; the allocating fronts on
+//! [`Codec`](crate::Codec) wrap them. All bulk byte work goes through the
+//! [`kernel`](crate::kernel) layer (SIMD where available).
 
-use crate::code::{CodeParams, Share};
-use crate::gf256::{mul_acc, Gf256};
+use crate::code::{fill_from, fill_zeroed, CodeParams, Share};
+use crate::gf256::Gf256;
+use crate::kernel::mul_acc;
 use crate::matrix::Matrix;
 
 /// A systematic m-of-n Reed–Solomon codec.
@@ -60,29 +66,35 @@ impl ReedSolomon {
         self.generator[(j, i)]
     }
 
-    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+    /// Encodes the stripe into `out` (length n, blocks reused in place).
+    pub(crate) fn encode_into(&self, stripe: &[&[u8]], out: &mut [Vec<u8>]) {
         let (m, n) = (self.params.m(), self.params.n());
+        debug_assert_eq!(stripe.len(), m);
+        debug_assert_eq!(out.len(), n);
         let len = stripe[0].len();
-        let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
-        for block in stripe.iter().take(m) {
-            out.push(block.to_vec());
+        for (buf, block) in out.iter_mut().zip(stripe) {
+            fill_from(buf, block);
         }
-        for j in m..n {
-            let mut parity = vec![0u8; len];
+        for (j, buf) in out.iter_mut().enumerate().take(n).skip(m) {
+            fill_zeroed(buf, len);
             for (i, block) in stripe.iter().enumerate() {
-                mul_acc(&mut parity, block, self.generator[(j, i)]);
+                mul_acc(buf, block, self.generator[(j, i)]);
             }
-            out.push(parity);
         }
-        out
     }
 
-    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+    /// Decodes the m data blocks into `out` (length m, blocks reused in
+    /// place) from exactly m validated shares.
+    pub(crate) fn decode_into(&self, shares: &[Share<'_>], out: &mut [Vec<u8>]) {
         let m = self.params.m();
         debug_assert_eq!(shares.len(), m);
+        debug_assert_eq!(out.len(), m);
         // Fast path: all m shares are data blocks already.
         if shares.iter().all(|s| s.index < m) {
-            return shares.iter().map(|s| s.data.to_vec()).collect();
+            for (buf, s) in out.iter_mut().zip(shares) {
+                fill_from(buf, s.data);
+            }
+            return;
         }
         let indices: Vec<usize> = shares.iter().map(|s| s.index).collect();
         let sub = self.generator.select_rows(&indices);
@@ -90,45 +102,12 @@ impl ReedSolomon {
             .inverted()
             .expect("any m rows of a systematic Vandermonde generator are independent");
         let len = shares[0].data.len();
-        let mut out = Vec::with_capacity(m);
-        for r in 0..m {
-            let mut block = vec![0u8; len];
+        for (r, buf) in out.iter_mut().enumerate() {
+            fill_zeroed(buf, len);
             for (c, share) in shares.iter().enumerate() {
-                mul_acc(&mut block, share.data, inv[(r, c)]);
+                mul_acc(buf, share.data, inv[(r, c)]);
             }
-            out.push(block);
         }
-        out
-    }
-
-    pub(crate) fn modify(
-        &self,
-        i: usize,
-        j: usize,
-        old_data: &[u8],
-        new_data: &[u8],
-        old_parity: &[u8],
-    ) -> Vec<u8> {
-        // c_j' = c_j + g_{j,i} · (b_i' − b_i); all adds are XOR.
-        let coeff = self.generator[(j, i)];
-        let mut out = old_parity.to_vec();
-        let diff: Vec<u8> = old_data.iter().zip(new_data).map(|(a, b)| a ^ b).collect();
-        mul_acc(&mut out, &diff, coeff);
-        out
-    }
-
-    pub(crate) fn coded_delta(
-        &self,
-        i: usize,
-        j: usize,
-        old_data: &[u8],
-        new_data: &[u8],
-    ) -> Vec<u8> {
-        let coeff = self.generator[(j, i)];
-        let mut out = vec![0u8; old_data.len()];
-        let diff: Vec<u8> = old_data.iter().zip(new_data).map(|(a, b)| a ^ b).collect();
-        mul_acc(&mut out, &diff, coeff);
-        out
     }
 }
 
@@ -136,6 +115,7 @@ impl ReedSolomon {
 mod tests {
     use super::*;
     use crate::code::Share;
+    use crate::Codec;
 
     fn stripe(m: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
         (0..m)
@@ -149,6 +129,19 @@ mod tests {
 
     fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
         blocks.iter().map(|b| b.as_slice()).collect()
+    }
+
+    /// Test-side allocating wrappers over the `_into` primitives.
+    fn encode(rs: &ReedSolomon, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); rs.params().n()];
+        rs.encode_into(&refs(data), &mut out);
+        out
+    }
+
+    fn decode(rs: &ReedSolomon, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); rs.params().m()];
+        rs.decode_into(shares, &mut out);
+        out
     }
 
     #[test]
@@ -167,7 +160,7 @@ mod tests {
     fn encode_prefix_is_data() {
         let rs = ReedSolomon::new(3, 6).unwrap();
         let data = stripe(3, 16, 1);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = encode(&rs, &data);
         assert_eq!(blocks.len(), 6);
         for i in 0..3 {
             assert_eq!(blocks[i], data[i]);
@@ -179,7 +172,7 @@ mod tests {
         let (m, n) = (3, 6);
         let rs = ReedSolomon::new(m, n).unwrap();
         let data = stripe(m, 8, 42);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = encode(&rs, &data);
         // All C(6,3) = 20 subsets.
         for a in 0..n {
             for b in a + 1..n {
@@ -189,7 +182,7 @@ mod tests {
                         Share::new(b, &blocks[b]),
                         Share::new(c, &blocks[c]),
                     ];
-                    let out = rs.decode(&shares);
+                    let out = decode(&rs, &shares);
                     assert_eq!(out, data, "subset {a},{b},{c}");
                 }
             }
@@ -201,23 +194,41 @@ mod tests {
         // The Codec front end sorts shares; raw decode handles any order too.
         let rs = ReedSolomon::new(2, 4).unwrap();
         let data = stripe(2, 4, 9);
-        let blocks = rs.encode(&refs(&data));
-        let out = rs.decode(&[Share::new(3, &blocks[3]), Share::new(0, &blocks[0])]);
+        let blocks = encode(&rs, &data);
+        let out = decode(&rs, &[Share::new(3, &blocks[3]), Share::new(0, &blocks[0])]);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity_without_reallocating() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data = stripe(3, 64, 5);
+        let mut out = vec![Vec::new(); 6];
+        rs.encode_into(&refs(&data), &mut out);
+        let ptrs: Vec<*const u8> = out.iter().map(|b| b.as_ptr()).collect();
+        // Second encode at the same block size must not move any buffer.
+        let data2 = stripe(3, 64, 99);
+        rs.encode_into(&refs(&data2), &mut out);
+        let ptrs2: Vec<*const u8> = out.iter().map(|b| b.as_ptr()).collect();
+        assert_eq!(ptrs, ptrs2, "steady-state encode_into reallocated");
+        // And the contents equal a fresh encode.
+        assert_eq!(out, encode(&rs, &data2));
     }
 
     #[test]
     fn modify_matches_full_reencode() {
         let (m, n) = (5, 8);
-        let rs = ReedSolomon::new(m, n).unwrap();
+        let codec = Codec::reed_solomon(m, n).unwrap();
         let data = stripe(m, 8, 7);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = codec.encode(&data).unwrap();
         for i in 0..m {
             let mut new_data = data.clone();
             new_data[i] = vec![0xAB; 8];
-            let reencoded = rs.encode(&refs(&new_data));
+            let reencoded = codec.encode(&new_data).unwrap();
             for j in m..n {
-                let patched = rs.modify(i, j, &data[i], &new_data[i], &blocks[j]);
+                let patched = codec
+                    .modify(i, j, &data[i], &new_data[i], &blocks[j])
+                    .unwrap();
                 assert_eq!(patched, reencoded[j], "i={i} j={j}");
             }
         }
@@ -227,14 +238,14 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // j is also the parity index
     fn coded_delta_equals_modify() {
         let (m, n) = (4, 7);
-        let rs = ReedSolomon::new(m, n).unwrap();
+        let codec = Codec::reed_solomon(m, n).unwrap();
         let data = stripe(m, 16, 3);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = codec.encode(&data).unwrap();
         let new_b2 = vec![0x5A; 16];
         for j in m..n {
-            let delta = rs.coded_delta(2, j, &data[2], &new_b2);
+            let delta = codec.coded_delta(2, j, &data[2], &new_b2).unwrap();
             let applied: Vec<u8> = blocks[j].iter().zip(&delta).map(|(a, b)| a ^ b).collect();
-            let direct = rs.modify(2, j, &data[2], &new_b2, &blocks[j]);
+            let direct = codec.modify(2, j, &data[2], &new_b2, &blocks[j]).unwrap();
             assert_eq!(applied, direct, "j={j}");
         }
     }
@@ -243,21 +254,21 @@ mod tests {
     fn m_equals_n_is_pure_striping() {
         let rs = ReedSolomon::new(3, 3).unwrap();
         let data = stripe(3, 4, 1);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = encode(&rs, &data);
         assert_eq!(blocks, data);
         let shares: Vec<Share<'_>> = blocks
             .iter()
             .enumerate()
             .map(|(i, b)| Share::new(i, b))
             .collect();
-        assert_eq!(rs.decode(&shares), data);
+        assert_eq!(decode(&rs, &shares), data);
     }
 
     #[test]
     fn empty_blocks_are_fine() {
         let rs = ReedSolomon::new(2, 4).unwrap();
         let data = vec![vec![], vec![]];
-        let blocks = rs.encode(&refs(&data));
+        let blocks = encode(&rs, &data);
         assert!(blocks.iter().all(|b| b.is_empty()));
     }
 
@@ -265,9 +276,9 @@ mod tests {
     fn large_m_n() {
         let rs = ReedSolomon::new(20, 30).unwrap();
         let data = stripe(20, 4, 11);
-        let blocks = rs.encode(&refs(&data));
+        let blocks = encode(&rs, &data);
         // Decode from the last 20 blocks (10 data lost).
         let shares: Vec<Share<'_>> = (10..30).map(|i| Share::new(i, &blocks[i])).collect();
-        assert_eq!(rs.decode(&shares), data);
+        assert_eq!(decode(&rs, &shares), data);
     }
 }

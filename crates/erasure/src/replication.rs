@@ -6,7 +6,7 @@
 //! register run replicated or erasure-coded without special cases, and
 //! gives the LS97 comparison a common footing.
 
-use crate::code::{CodeError, CodeParams, Result, Share};
+use crate::code::{fill_from, CodeError, CodeParams, Result, Share};
 
 /// A 1-of-n replication codec: every encoded block is a copy of the datum.
 #[derive(Debug, Clone)]
@@ -34,24 +34,34 @@ impl Replication {
         self.params
     }
 
-    pub(crate) fn encode(&self, stripe: &[&[u8]]) -> Vec<Vec<u8>> {
+    /// Encodes the stripe into `out` (length n, blocks reused in place).
+    pub(crate) fn encode_into(&self, stripe: &[&[u8]], out: &mut [Vec<u8>]) {
         debug_assert_eq!(stripe.len(), 1);
-        (0..self.params.n()).map(|_| stripe[0].to_vec()).collect()
+        debug_assert_eq!(out.len(), self.params.n());
+        for buf in out.iter_mut() {
+            fill_from(buf, stripe[0]);
+        }
     }
 
-    pub(crate) fn decode(&self, shares: &[Share<'_>]) -> Vec<Vec<u8>> {
+    /// Decodes the single data block into `out` (length 1, reused in
+    /// place).
+    pub(crate) fn decode_into(&self, shares: &[Share<'_>], out: &mut [Vec<u8>]) {
         debug_assert_eq!(shares.len(), 1);
-        vec![shares[0].data.to_vec()]
-    }
-
-    pub(crate) fn modify(&self, new_data: &[u8]) -> Vec<u8> {
-        new_data.to_vec()
+        debug_assert_eq!(out.len(), 1);
+        fill_from(&mut out[0], shares[0].data);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Codec;
+
+    fn encode(c: &Replication, datum: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); c.params().n()];
+        c.encode_into(&[datum], &mut out);
+        out
+    }
 
     #[test]
     fn construction_bounds() {
@@ -64,7 +74,7 @@ mod tests {
     #[test]
     fn encode_makes_n_copies() {
         let c = Replication::new(3).unwrap();
-        let blocks = c.encode(&[b"hello"]);
+        let blocks = encode(&c, b"hello");
         assert_eq!(blocks, vec![b"hello".to_vec(); 3]);
     }
 
@@ -72,16 +82,18 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index also names the share
     fn any_single_share_decodes() {
         let c = Replication::new(3).unwrap();
-        let blocks = c.encode(&[b"data"]);
+        let blocks = encode(&c, b"data");
         for i in 0..3 {
-            let out = c.decode(&[Share::new(i, &blocks[i])]);
+            let mut out = vec![Vec::new()];
+            c.decode_into(&[Share::new(i, &blocks[i])], &mut out);
             assert_eq!(out, vec![b"data".to_vec()]);
         }
     }
 
     #[test]
     fn modify_returns_new_value() {
-        let c = Replication::new(2).unwrap();
-        assert_eq!(c.modify(b"new"), b"new".to_vec());
+        let codec = Codec::replication(2).unwrap();
+        let patched = codec.modify(0, 1, b"old", b"new", b"old").unwrap();
+        assert_eq!(patched, b"new".to_vec());
     }
 }

@@ -15,6 +15,37 @@ fn params() -> impl Strategy<Value = (usize, usize)> {
     (1usize..=8).prop_flat_map(|m| (Just(m), m..=(m + 6).min(12)))
 }
 
+/// The (m, n) grid the zero-copy equivalence tests must cover, spanning
+/// replication (m = 1), small parity-style codes, and wide Reed-Solomon.
+const INTO_PARAMS: [(usize, usize); 4] = [(1, 3), (3, 4), (5, 8), (10, 14)];
+
+/// Block sizes the zero-copy equivalence tests must cover: empty, single
+/// byte, around the 64-byte SIMD/word boundaries, and a page.
+const INTO_LENS: [usize; 6] = [0, 1, 63, 64, 65, 4096];
+
+/// Strategy picking one (m, n) from the fixed grid plus a block size.
+fn into_case() -> impl Strategy<Value = ((usize, usize), usize)> {
+    (
+        proptest::sample::select(&INTO_PARAMS[..]),
+        proptest::sample::select(&INTO_LENS[..]),
+    )
+}
+
+/// Deterministic stripe of `m` blocks of `len` bytes from a seed.
+fn seeded_stripe(m: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut s = seed | 1;
+    (0..m)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (s >> 56) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Strategy producing a stripe of `m` equal-length random blocks.
 fn stripe(m: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
     (1usize..=64).prop_flat_map(move |len| {
@@ -118,6 +149,64 @@ proptest! {
             .collect();
         prop_assume!(shares.len() == m);
         prop_assert_eq!(codec.reconstruct(target, &shares).unwrap(), blocks[target].clone());
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_to_encode(
+        ((m, n), len) in into_case(),
+        seed in any::<u64>(),
+    ) {
+        let codec = Codec::new(m, n).unwrap();
+        let data = seeded_stripe(m, len, seed);
+        let expected = codec.encode(&data).unwrap();
+
+        // Fresh buffers and dirty reused buffers must both converge on the
+        // same bytes as the allocating path.
+        let mut out = vec![Vec::new(); n];
+        codec.encode_into(&data, &mut out).unwrap();
+        prop_assert_eq!(&out, &expected);
+
+        for buf in &mut out {
+            buf.clear();
+            buf.extend_from_slice(&[0xAB; 9]);
+        }
+        codec.encode_into(&data, &mut out).unwrap();
+        prop_assert_eq!(&out, &expected);
+    }
+
+    #[test]
+    fn decode_into_is_byte_identical_to_decode(
+        ((m, n), len) in into_case(),
+        seed in any::<u64>(),
+    ) {
+        let codec = Codec::new(m, n).unwrap();
+        let data = seeded_stripe(m, len, seed);
+        let blocks = codec.encode(&data).unwrap();
+
+        // Pick a pseudo-random m-subset of share indices from the seed.
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        indices.truncate(m);
+
+        let shares: Vec<Share<'_>> =
+            indices.iter().map(|&i| Share::new(i, blocks[i].as_slice())).collect();
+        let expected = codec.decode(&shares).unwrap();
+        prop_assert_eq!(&expected, &data);
+
+        let mut out = vec![Vec::new(); m];
+        codec.decode_into(&shares, &mut out).unwrap();
+        prop_assert_eq!(&out, &expected);
+
+        for buf in &mut out {
+            buf.clear();
+            buf.extend_from_slice(&[0xCD; 17]);
+        }
+        codec.decode_into(&shares, &mut out).unwrap();
+        prop_assert_eq!(&out, &expected);
     }
 
     #[test]
