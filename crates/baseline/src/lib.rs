@@ -86,9 +86,9 @@ impl WireSize for BaselineMsg {
         HEADER
             + match self {
                 BaselineMsg::Query { .. } | BaselineMsg::QueryTs { .. } => 0,
-                BaselineMsg::QueryR { value, .. } => 12 + value.as_ref().map_or(0, |v| v.len()),
+                BaselineMsg::QueryR { value, .. } => 12 + value.as_ref().map_or(0, Bytes::len),
                 BaselineMsg::QueryTsR { .. } => 12,
-                BaselineMsg::Store { value, .. } => 12 + value.as_ref().map_or(0, |v| v.len()),
+                BaselineMsg::Store { value, .. } => 12 + value.as_ref().map_or(0, Bytes::len),
                 BaselineMsg::StoreR { .. } => 0,
             }
     }
@@ -387,7 +387,7 @@ impl Actor for BaselineNode {
                 ctx.send(from, BaselineMsg::StoreR { round });
             }
             BaselineMsg::QueryR { round, ts, value } => {
-                self.on_reply(ctx, from, round, Some(ts), value)
+                self.on_reply(ctx, from, round, Some(ts), value);
             }
             BaselineMsg::QueryTsR { round, ts } => self.on_reply(ctx, from, round, Some(ts), None),
             BaselineMsg::StoreR { round } => self.on_reply(ctx, from, round, None, None),
@@ -570,9 +570,9 @@ mod tests {
         let mut c = BaselineCluster::new(5, SimConfig::ideal(3));
         for i in 0..10u8 {
             let v = Bytes::from(vec![i; 8]);
-            c.write(pid((i % 5) as u32), v.clone());
+            c.write(pid(u32::from(i % 5)), v.clone());
             assert_eq!(
-                c.read(pid(((i + 1) % 5) as u32)),
+                c.read(pid(u32::from((i + 1) % 5))),
                 BaselineResult::Read(Some(v))
             );
         }
@@ -623,11 +623,11 @@ mod tests {
         for i in 0..5u8 {
             let v = Bytes::from(vec![i; 4]);
             assert_eq!(
-                c.write(pid((i % 3) as u32), v.clone()),
+                c.write(pid(u32::from(i % 3)), v.clone()),
                 BaselineResult::Written
             );
             assert_eq!(
-                c.read(pid(((i + 2) % 3) as u32)),
+                c.read(pid(u32::from((i + 2) % 3))),
                 BaselineResult::Read(Some(v))
             );
         }

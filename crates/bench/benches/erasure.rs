@@ -42,14 +42,14 @@ fn bench_decode(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Bytes((m * size) as u64));
         group.bench_function(BenchmarkId::new(format!("{m}-of-{n}"), "parity"), |b| {
-            b.iter(|| codec.decode(&parity_shares).unwrap())
+            b.iter(|| codec.decode(&parity_shares).unwrap());
         });
         // Best case: all data shares present (systematic fast path).
         let data_shares: Vec<Share<'_>> = (0..m)
             .map(|i| Share::new(i, blocks[i].as_slice()))
             .collect();
         group.bench_function(BenchmarkId::new(format!("{m}-of-{n}"), "systematic"), |b| {
-            b.iter(|| codec.decode(&data_shares).unwrap())
+            b.iter(|| codec.decode(&data_shares).unwrap());
         });
     }
     group.finish();
@@ -68,10 +68,10 @@ fn bench_modify(c: &mut Criterion) {
             codec
                 .modify(0, 5, &data[0], &new_block, &blocks[5])
                 .unwrap()
-        })
+        });
     });
     group.bench_function("coded_delta", |b| {
-        b.iter(|| codec.coded_delta(0, 5, &data[0], &new_block).unwrap())
+        b.iter(|| codec.coded_delta(0, 5, &data[0], &new_block).unwrap());
     });
     // The alternative the paper's modify primitive avoids: re-encoding the
     // whole stripe.
@@ -80,7 +80,7 @@ fn bench_modify(c: &mut Criterion) {
             let mut d = data.clone();
             d[0] = new_block.clone();
             codec.encode(&d).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -121,7 +121,7 @@ fn bench_kernels(c: &mut Criterion) {
         set_kernel_override(None);
         let mut dst = vec![0u8; size];
         group.bench_with_input(BenchmarkId::new("xor_slice", size), &size, |b, _| {
-            b.iter(|| xor_slice(&mut dst, &src))
+            b.iter(|| xor_slice(&mut dst, &src));
         });
     }
     set_kernel_override(None);

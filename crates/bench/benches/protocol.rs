@@ -34,13 +34,13 @@ fn bench_sim_ops(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 cluster.write_stripe(pid(0), StripeId(0), blocks(m, i, size))
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("read_stripe_fast", &label), |b| {
             let cfg = RegisterConfig::new(m, n, size).unwrap();
             let mut cluster = SimCluster::new(cfg, SimConfig::ideal(2));
             cluster.write_stripe(pid(0), StripeId(0), blocks(m, 1, size));
-            b.iter(|| cluster.read_stripe(pid(1), StripeId(0)))
+            b.iter(|| cluster.read_stripe(pid(1), StripeId(0)));
         });
         group.bench_function(BenchmarkId::new("write_block_fast", &label), |b| {
             let cfg = RegisterConfig::new(m, n, size)
@@ -52,7 +52,7 @@ fn bench_sim_ops(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 cluster.write_block(pid(1), StripeId(0), 0, Bytes::from(vec![i; size]))
-            })
+            });
         });
     }
     group.finish();
@@ -69,12 +69,12 @@ fn bench_baseline_ops(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 cluster.write(pid(0), Bytes::from(vec![i; 1024]))
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("read", n), |b| {
             let mut cluster = BaselineCluster::new(n, SimConfig::ideal(5));
             cluster.write(pid(0), Bytes::from(vec![7u8; 1024]));
-            b.iter(|| cluster.read(pid(1)))
+            b.iter(|| cluster.read(pid(1)));
         });
     }
     group.finish();
@@ -91,7 +91,7 @@ fn bench_runtime_ops(c: &mut Criterion) {
         .write_stripe(StripeId(0), blocks(2, 1, 1024))
         .unwrap();
     group.bench_function("read_stripe_threads_2of4", |b| {
-        b.iter(|| client.read_stripe(StripeId(0)).unwrap())
+        b.iter(|| client.read_stripe(StripeId(0)).unwrap());
     });
     group.bench_function("write_stripe_threads_2of4", |b| {
         let mut i = 0u8;
@@ -100,7 +100,7 @@ fn bench_runtime_ops(c: &mut Criterion) {
             client
                 .write_stripe(StripeId(0), blocks(2, i, 1024))
                 .unwrap()
-        })
+        });
     });
     group.finish();
     cluster.shutdown();

@@ -9,15 +9,15 @@ use fab_reliability::{
 
 fn bench_figures(c: &mut Criterion) {
     c.bench_function("figure2_full_sweep", |b| {
-        let caps: Vec<f64> = (0..=30).map(|i| 10f64.powf(i as f64 / 10.0)).collect();
-        b.iter(|| figure2(&caps))
+        let caps: Vec<f64> = (0..=30).map(|i| 10f64.powf(f64::from(i) / 10.0)).collect();
+        b.iter(|| figure2(&caps));
     });
     c.bench_function("figure3_full_sweep", |b| b.iter(|| figure3(256.0, 7, 13)));
 }
 
 fn bench_models(c: &mut Criterion) {
     c.bench_function("markov_hitting_time", |b| {
-        b.iter(|| declustered_mttdl_hours(16, 7, 5e5, 24.0))
+        b.iter(|| declustered_mttdl_hours(16, 7, 5e5, 24.0));
     });
     c.bench_function("system_design_mttdl", |b| {
         let d = SystemDesign {
@@ -25,7 +25,7 @@ fn bench_models(c: &mut Criterion) {
             brick: BrickParams::commodity(),
             layout: InternalLayout::Raid5,
         };
-        b.iter(|| d.mttdl_years(256.0))
+        b.iter(|| d.mttdl_years(256.0));
     });
 }
 

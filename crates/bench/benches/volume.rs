@@ -28,7 +28,7 @@ fn bench_volume_io(c: &mut Criterion) {
             b.iter(|| {
                 v.write(off % 40_960, &data).unwrap();
                 off += 8 * 1024;
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("read_8k", &label), |b| {
             let mut v = volume(layout);
@@ -38,7 +38,7 @@ fn bench_volume_io(c: &mut Criterion) {
                 let out = v.read(off % 32_768, 8 * 1024).unwrap();
                 off += 8 * 1024;
                 out
-            })
+            });
         });
     }
     // Sub-block read-modify-write cost.
@@ -50,7 +50,7 @@ fn bench_volume_io(c: &mut Criterion) {
         b.iter(|| {
             v.write(off % 40_000, &data).unwrap();
             off += 512;
-        })
+        });
     });
     group.finish();
 }

@@ -58,8 +58,7 @@ fn main() {
         m2 / m1
     );
     println!(
-        "replaces {} disk reads + {} disk WRITES with {} reads and none —",
-        r2, w2, r1
+        "replaces {r2} disk reads + {w2} disk WRITES with {r1} reads and none —"
     );
     println!("without it, every read performs a write-back like LS97 (Table 1).");
 }

@@ -51,7 +51,7 @@ fn main() {
     println!("{:>16} {:>12}", "max skew (ticks)", "abort rate");
     println!("{}", "-".repeat(30));
     for &max_skew in &[0i64, 10, 100, 1_000, 10_000] {
-        let skews: Vec<i64> = (0..8).map(|i| (i as i64 - 4) * max_skew / 4).collect();
+        let skews: Vec<i64> = (0..8).map(|i| (i64::from(i) - 4) * max_skew / 4).collect();
         let (aborts, _) = run(64, 0.7, 4, Some(&skews));
         println!("{max_skew:>16} {:>11.1}%", aborts * 100.0);
     }

@@ -7,7 +7,7 @@
 use fab_reliability::figure2;
 
 fn main() {
-    let capacities: Vec<f64> = (0..=12).map(|i| 10f64.powf(i as f64 / 4.0)).collect();
+    let capacities: Vec<f64> = (0..=12).map(|i| 10f64.powf(f64::from(i) / 4.0)).collect();
     let series = figure2(&capacities);
 
     println!("Figure 2 — MTTDL (years) vs logical capacity (TB)");

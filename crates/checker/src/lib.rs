@@ -82,6 +82,7 @@ pub struct OpRecord {
 
 impl OpRecord {
     /// A successful read of `value` over `[start, end]`.
+    #[must_use]
     pub fn read(value: ValueId, start: u64, end: u64) -> Self {
         OpRecord {
             value,
@@ -95,6 +96,7 @@ impl OpRecord {
     /// A write of `value` over `[start, end]` whose outcome is not (yet)
     /// successful: aborted, or crashed at `end`. Chain
     /// [`committed`](OpRecord::committed) for a successful write.
+    #[must_use]
     pub fn write(value: ValueId, start: u64, end: u64) -> Self {
         OpRecord {
             value,
@@ -107,6 +109,7 @@ impl OpRecord {
 
     /// A write of `value` invoked at `start` and still pending at the end
     /// of the history (issuer alive, response outstanding).
+    #[must_use]
     pub fn pending_write(value: ValueId, start: u64) -> Self {
         OpRecord {
             value,
@@ -118,6 +121,7 @@ impl OpRecord {
     }
 
     /// Marks this write as having returned OK.
+    #[must_use]
     pub fn committed(mut self) -> Self {
         self.committed = true;
         self
@@ -149,6 +153,7 @@ pub struct History {
 
 impl History {
     /// Creates an empty history.
+    #[must_use]
     pub fn new() -> Self {
         History::default()
     }
@@ -159,16 +164,19 @@ impl History {
     }
 
     /// Number of recorded operations.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
     /// Whether the history is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
     /// The recorded operations.
+    #[must_use]
     pub fn ops(&self) -> &[OpRecord] {
         &self.ops
     }

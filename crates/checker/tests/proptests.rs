@@ -80,7 +80,7 @@ proptest! {
         let mut s = seed;
         for _ in 0..count {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 h.push(OpRecord::write(v, 0, 1000).committed());
                 v += 1;
             } else if v > 1 {
@@ -88,6 +88,55 @@ proptest! {
             }
         }
         prop_assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn figure5_injection_always_fails(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..5, 0u64..5), 0..50),
+    ) {
+        // Append the paper's Figure 5 anomaly to ANY valid sequential
+        // prefix: a partial write crashes, a later read misses its value,
+        // and the value surfaces in an even later read. The checker must
+        // reject every such history.
+        let (mut h, _) = sequential_history(&ops);
+        let current = h
+            .ops()
+            .iter()
+            .filter(|o| !o.is_read && o.committed)
+            .map(|o| o.value)
+            .next_back()
+            .unwrap_or(NIL);
+        let fresh = h
+            .ops()
+            .iter()
+            .map(|o| o.value)
+            .max()
+            .unwrap_or(NIL) + 1;
+        let e = h.ops().iter().filter_map(|o| o.end).max().unwrap_or(0) + 10;
+        h.push(OpRecord::write(fresh, e, e + 1)); // partial: crash at e+1
+        h.push(OpRecord::read(current, e + 2, e + 3)); // misses it
+        h.push(OpRecord::read(fresh, e + 4, e + 5)); // late surfacing
+        prop_assert!(h.check().is_err(), "{h:?}");
+    }
+
+    #[test]
+    fn rt_order_inversion_always_fails(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..5, 0u64..5), 0..50),
+    ) {
+        // Append a real-time order inversion to ANY valid sequential
+        // prefix: a read returns v_f strictly before an interposed value
+        // v_mid is written and read, yet v_f is only written afterwards.
+        // Definition 5 then orders v_f < v_mid AND v_mid < v_f — a cycle
+        // the checker must always detect.
+        let (mut h, _) = sequential_history(&ops);
+        let top = h.ops().iter().map(|o| o.value).max().unwrap_or(NIL);
+        let (v_mid, v_f) = (top + 1, top + 2);
+        let e = h.ops().iter().filter_map(|o| o.end).max().unwrap_or(0) + 10;
+        h.push(OpRecord::read(v_f, e, e + 1)); // read before the write!
+        h.push(OpRecord::write(v_mid, e + 2, e + 3).committed());
+        h.push(OpRecord::read(v_mid, e + 4, e + 5));
+        h.push(OpRecord::write(v_f, e + 6, e + 7).committed());
+        prop_assert!(h.check().is_err(), "{h:?}");
     }
 
     #[test]

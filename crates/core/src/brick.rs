@@ -18,7 +18,9 @@ use crate::replica::{DiskMetrics, Replica};
 use bytes::Bytes;
 use fab_simnet::{Actor, Context, NetMetrics, SimConfig, SimTime, Simulation, TimerId};
 use fab_timestamp::ProcessId;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: brick state iteration (metrics, crash handling)
+// must be deterministic across runs for reproducible simulations.
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Adapter exposing a simulator [`Context`] as protocol [`Effects`].
@@ -28,6 +30,8 @@ struct CtxFx<'a, 'b> {
 
 impl Effects for CtxFx<'_, '_> {
     fn send(&mut self, to: ProcessId, env: Envelope) {
+        // Persistence decisions are made by the replica/coordinator callers.
+        // xtask-allow(log-before-send): thin Effects adapter with no state of its own
         self.ctx.send(to, env);
     }
     fn set_timer(&mut self, delay: u64) -> u64 {
@@ -52,7 +56,7 @@ impl Effects for CtxFx<'_, '_> {
 pub struct Brick {
     pid: ProcessId,
     cfg: Arc<RegisterConfig>,
-    replicas: HashMap<StripeId, Replica>,
+    replicas: BTreeMap<StripeId, Replica>,
     /// The coordinator module (volatile across crashes).
     pub coordinator: Coordinator,
     /// Completed operations awaiting harness pickup.
@@ -66,7 +70,7 @@ impl Brick {
             pid,
             coordinator: Coordinator::new(pid, cfg.clone()),
             cfg,
-            replicas: HashMap::new(),
+            replicas: BTreeMap::new(),
             completions: Vec::new(),
         }
     }
@@ -78,7 +82,7 @@ impl Brick {
             pid,
             coordinator: Coordinator::with_skew(pid, cfg.clone(), skew),
             cfg,
-            replicas: HashMap::new(),
+            replicas: BTreeMap::new(),
             completions: Vec::new(),
         }
     }
@@ -406,6 +410,8 @@ impl SimCluster {
         blocks: Vec<Bytes>,
     ) -> OpResult {
         self.run_op(coordinator, move |b, ctx| {
+            // Harness-only input validation; the protocol path returns InvokeError.
+            // xtask-allow(no-panic): test-harness convenience wrapper, not a protocol path
             b.write_stripe(ctx, stripe, blocks).expect("valid stripe");
         })
         .result
@@ -414,6 +420,8 @@ impl SimCluster {
     /// Runs a `read-block` to completion via `coordinator`.
     pub fn read_block(&mut self, coordinator: ProcessId, stripe: StripeId, j: usize) -> OpResult {
         self.run_op(coordinator, move |b, ctx| {
+            // Harness-only input validation; the protocol path returns InvokeError.
+            // xtask-allow(no-panic): test-harness convenience wrapper, not a protocol path
             b.read_block(ctx, stripe, j).expect("valid block index");
         })
         .result
@@ -428,6 +436,8 @@ impl SimCluster {
         block: Bytes,
     ) -> OpResult {
         self.run_op(coordinator, move |b, ctx| {
+            // Harness-only input validation; the protocol path returns InvokeError.
+            // xtask-allow(no-panic): test-harness convenience wrapper, not a protocol path
             b.write_block(ctx, stripe, j, block).expect("valid block");
         })
         .result
@@ -441,6 +451,8 @@ impl SimCluster {
         js: Vec<usize>,
     ) -> OpResult {
         self.run_op(coordinator, move |b, ctx| {
+            // Harness-only input validation; the protocol path returns InvokeError.
+            // xtask-allow(no-panic): test-harness convenience wrapper, not a protocol path
             b.read_blocks(ctx, stripe, js).expect("valid index set");
         })
         .result
@@ -463,6 +475,8 @@ impl SimCluster {
         updates: Vec<(usize, Bytes)>,
     ) -> OpResult {
         self.run_op(coordinator, move |b, ctx| {
+            // Harness-only input validation; the protocol path returns InvokeError.
+            // xtask-allow(no-panic): test-harness convenience wrapper, not a protocol path
             b.write_blocks(ctx, stripe, updates).expect("valid updates");
         })
         .result
@@ -631,12 +645,12 @@ mod tests {
         for round in 0..5u8 {
             let data = blocks(2, round * 7 + 1, 16);
             assert_eq!(
-                c.write_stripe(pid((round % 4) as u32), s, data.clone()),
+                c.write_stripe(pid(u32::from(round % 4)), s, data.clone()),
                 OpResult::Written,
                 "round {round}"
             );
             assert_eq!(
-                c.read_stripe(pid(((round + 1) % 4) as u32), s),
+                c.read_stripe(pid(u32::from((round + 1) % 4)), s),
                 OpResult::Stripe(StripeValue::Data(data)),
                 "round {round}"
             );
@@ -739,9 +753,9 @@ mod tests {
         // Multi-read returns both new blocks and the untouched middle one.
         match c.read_blocks(pid(2), s, vec![0, 1, 2]) {
             OpResult::Blocks(vs) => {
-                assert_eq!(vs[0].materialize(16).as_ref(), &[0xA0u8; 16]);
-                assert_eq!(vs[1].materialize(16).as_ref(), &[11u8; 16]);
-                assert_eq!(vs[2].materialize(16).as_ref(), &[0xA2u8; 16]);
+                assert_eq!(vs[0].materialize(16).unwrap().as_ref(), &[0xA0u8; 16]);
+                assert_eq!(vs[1].materialize(16).unwrap().as_ref(), &[11u8; 16]);
+                assert_eq!(vs[2].materialize(16).unwrap().as_ref(), &[0xA2u8; 16]);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -850,7 +864,7 @@ mod tests {
             );
             let s = StripeId(0);
             for i in 0..4u8 {
-                c.write_stripe(pid((i % 4) as u32), s, blocks(2, i, 16));
+                c.write_stripe(pid(u32::from(i % 4)), s, blocks(2, i, 16));
             }
             let r = c.read_stripe(pid(0), s);
             (c.sim().fingerprint(), format!("{r:?}"))

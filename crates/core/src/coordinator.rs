@@ -27,6 +27,7 @@
 
 use crate::config::{GcPolicy, RegisterConfig, WriteStrategy};
 use crate::effects::{sample_processes, Effects};
+use crate::error::ProtocolError;
 use crate::messages::{
     BlockTarget, BlockUpdate, Envelope, ModifyPayload, Payload, Reply, Request, StripeId,
 };
@@ -36,7 +37,10 @@ use bytes::Bytes;
 use fab_erasure::Share;
 use fab_quorum::QuorumTracker;
 use fab_timestamp::{ProcessId, Timestamp, TimestampGenerator};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: coordinator state is iterated by the simulator's
+// deterministic replay machinery, and hash-order iteration would make runs
+// seed-irreproducible (xtask lint `determinism`).
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -54,6 +58,11 @@ pub enum AbortReason {
     /// Recovery exhausted its iteration budget (only possible when more
     /// than f processes misbehave, outside the fault model).
     RecoveryExhausted,
+    /// An internal invariant was violated and the operation could not
+    /// continue safely; details are available via
+    /// [`Coordinator::take_protocol_errors`]. Never occurs under the fault
+    /// model — it indicates a local bug or >f misbehaving processes.
+    Internal,
 }
 
 impl fmt::Display for AbortReason {
@@ -61,6 +70,7 @@ impl fmt::Display for AbortReason {
         match self {
             AbortReason::Conflict => write!(f, "conflicting operation with newer timestamp"),
             AbortReason::RecoveryExhausted => write!(f, "recovery iteration budget exhausted"),
+            AbortReason::Internal => write!(f, "internal invariant violation"),
         }
     }
 }
@@ -226,15 +236,18 @@ pub struct Coordinator {
     ts_gen: TimestampGenerator,
     next_op: OpId,
     next_round: u64,
-    ops: HashMap<OpId, Op>,
+    ops: BTreeMap<OpId, Op>,
     /// Active round → operation (stale rounds are absent).
-    rounds: HashMap<u64, OpId>,
-    timers: HashMap<u64, OpId>,
-    grace_timers: HashMap<u64, OpId>,
+    rounds: BTreeMap<u64, OpId>,
+    timers: BTreeMap<u64, OpId>,
+    grace_timers: BTreeMap<u64, OpId>,
     completions: Vec<Completion>,
     tracing: bool,
-    traces: HashMap<OpId, OpTrace>,
+    traces: BTreeMap<OpId, OpTrace>,
     finished_traces: Vec<OpTrace>,
+    /// Invariant violations survived instead of panicked; drained by
+    /// [`Coordinator::take_protocol_errors`].
+    errors: Vec<ProtocolError>,
 }
 
 impl Coordinator {
@@ -246,15 +259,31 @@ impl Coordinator {
             cfg,
             next_op: 0,
             next_round: 0,
-            ops: HashMap::new(),
-            rounds: HashMap::new(),
-            timers: HashMap::new(),
-            grace_timers: HashMap::new(),
+            ops: BTreeMap::new(),
+            rounds: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            grace_timers: BTreeMap::new(),
             completions: Vec::new(),
             tracing: false,
-            traces: HashMap::new(),
+            traces: BTreeMap::new(),
             finished_traces: Vec::new(),
+            errors: Vec::new(),
         }
+    }
+
+    /// Records an invariant violation instead of panicking (see
+    /// [`ProtocolError`]). In debug builds the violation is also visible to
+    /// the driver immediately via [`Coordinator::take_protocol_errors`];
+    /// the simulation harness checks this after every run.
+    fn record_error(&mut self, err: ProtocolError) {
+        self.errors.push(err);
+    }
+
+    /// Drains invariant violations recorded since the last call. Under the
+    /// fault model this is always empty; drivers and tests should treat a
+    /// non-empty result as a bug report.
+    pub fn take_protocol_errors(&mut self) -> Vec<ProtocolError> {
+        std::mem::take(&mut self.errors)
     }
 
     /// Enables or disables per-operation tracing. Traces of finished
@@ -313,6 +342,7 @@ impl Coordinator {
         self.completions.clear();
         self.traces.clear();
         self.finished_traces.clear();
+        self.errors.clear();
     }
 
     // ------------------------------------------------------------------
@@ -330,7 +360,7 @@ impl Coordinator {
             targets: targets.clone(),
         };
         let outgoing = vec![Request::Read { targets }; self.cfg.n()];
-        self.start_op(fx, stripe, kind, None, phase, outgoing)
+        self.start_op(fx, stripe, kind, None, phase, outgoing, false)
     }
 
     /// Starts a read that goes straight to the recovery path (used when
@@ -350,7 +380,7 @@ impl Coordinator {
             };
             self.cfg.n()
         ];
-        let id = self.start_op(
+        self.start_op(
             fx,
             stripe,
             kind,
@@ -360,9 +390,8 @@ impl Coordinator {
                 iteration: 0,
             },
             outgoing,
-        );
-        self.ops.get_mut(&id).expect("just inserted").recovered = true;
-        id
+            true, // counts as recovered: it skipped the fast path
+        )
     }
 
     /// Starts a scrub: a forced recovery pass that reads the current
@@ -380,7 +409,7 @@ impl Coordinator {
             };
             self.cfg.n()
         ];
-        let id = self.start_op(
+        self.start_op(
             fx,
             stripe,
             OpKind::Scrub,
@@ -390,9 +419,8 @@ impl Coordinator {
                 iteration: 0,
             },
             outgoing,
-        );
-        self.ops.get_mut(&id).expect("just inserted").recovered = true;
-        id
+            true, // a scrub is by definition a recovery pass
+        )
     }
 
     /// Starts a `write-stripe` operation (Alg. 1 line 12).
@@ -429,6 +457,7 @@ impl Coordinator {
             Some(ts),
             Phase::Order,
             outgoing,
+            false,
         ))
     }
 
@@ -486,6 +515,7 @@ impl Coordinator {
             None,
             Phase::FastRead { targets },
             outgoing,
+            false,
         ))
     }
 
@@ -558,9 +588,11 @@ impl Coordinator {
             Some(ts),
             Phase::FastWriteOrderRead,
             outgoing,
+            false,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the Op record
     fn start_op(
         &mut self,
         fx: &mut dyn Effects,
@@ -569,6 +601,7 @@ impl Coordinator {
         ts: Option<Timestamp>,
         phase: Phase,
         outgoing: Vec<Request>,
+        recovered: bool,
     ) -> OpId {
         self.next_op += 1;
         let id = self.next_op;
@@ -588,7 +621,7 @@ impl Coordinator {
             retransmit_timer: None,
             grace_timer: None,
             grace_expired: false,
-            recovered: false,
+            recovered,
         };
         self.rounds.insert(round, id);
         if self.tracing {
@@ -633,13 +666,21 @@ impl Coordinator {
         let Some(&op_id) = self.rounds.get(&env.round) else {
             return; // stale round
         };
-        let op = self.ops.get_mut(&op_id).expect("rounds maps to live ops");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            // `rounds` and `ops` are updated together; a round pointing at a
+            // dead op is an internal invariant violation, not a peer error.
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         debug_assert_eq!(op.round, env.round);
-        if from.index() >= op.replies.len() || op.replies[from.index()].is_some() {
-            return; // duplicate or alien reply
+        let Some(slot) = op.replies.get_mut(from.index()) else {
+            return; // alien sender outside 0..n
+        };
+        if slot.is_some() {
+            return; // duplicate reply
         }
         let status = reply.status();
-        op.replies[from.index()] = Some(reply.clone());
+        *slot = Some(reply.clone());
         op.tracker.record(from);
         self.trace(op_id, fx.now(), TraceEvent::Reply { from, status });
         self.progress(fx, op_id);
@@ -675,7 +716,10 @@ impl Coordinator {
     // ------------------------------------------------------------------
 
     fn progress(&mut self, fx: &mut dyn Effects, op_id: OpId) {
-        let op = self.ops.get_mut(&op_id).expect("progress on live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         if !op.tracker.is_complete() {
             return; // quorum() has not returned yet
         }
@@ -683,7 +727,7 @@ impl Coordinator {
             Phase::FastRead { targets } => self.progress_fast_read(fx, op_id, &targets),
             Phase::Order => self.progress_order(fx, op_id),
             Phase::RecoverOrderRead { bound, iteration } => {
-                self.progress_recover(fx, op_id, bound, iteration)
+                self.progress_recover(fx, op_id, bound, iteration);
             }
             Phase::StoreStripe { value } => self.progress_store(fx, op_id, value),
             Phase::FastWriteOrderRead => self.progress_fast_write_order(fx, op_id),
@@ -694,7 +738,10 @@ impl Coordinator {
     /// Alg. 1 lines 5–11 / Alg. 3 lines 61–69, success test of the fast
     /// (single-round) read.
     fn progress_fast_read(&mut self, fx: &mut dyn Effects, op_id: OpId, targets: &[ProcessId]) {
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         let received: Vec<(usize, &Reply)> = op
             .replies
             .iter()
@@ -721,7 +768,9 @@ impl Coordinator {
             return;
         }
 
-        let all_targets_replied = targets.iter().all(|t| op.replies[t.index()].is_some());
+        let all_targets_replied = targets
+            .iter()
+            .all(|t| matches!(op.replies.get(t.index()), Some(Some(_))));
         if !all_targets_replied {
             if op.grace_expired {
                 self.begin_recovery(fx, op_id, false);
@@ -736,13 +785,14 @@ impl Coordinator {
 
         // Success: all statuses true, val-ts agree, targets all answered.
         let block_of = |pid: &ProcessId| -> Option<BlockValue> {
-            match op.replies[pid.index()].as_ref() {
+            match op.replies.get(pid.index()).and_then(|r| r.as_ref()) {
                 Some(Reply::ReadR { block, .. }) => block.clone(),
                 _ => None,
             }
         };
         match &op.kind {
             OpKind::ReadBlocks { single, .. } => {
+                let single = *single;
                 let mut out = Vec::with_capacity(targets.len());
                 for t in targets {
                     match block_of(t) {
@@ -753,8 +803,16 @@ impl Coordinator {
                         }
                     }
                 }
-                let result = if *single {
-                    OpResult::Block(out.remove(0))
+                let result = if single {
+                    // A single-block read has exactly one (validated) target.
+                    let Some(b) = out.pop() else {
+                        self.record_error(ProtocolError::Invariant(
+                            "single-block read with an empty target set",
+                        ));
+                        self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+                        return;
+                    };
+                    OpResult::Block(b)
                 } else {
                     OpResult::Blocks(out)
                 };
@@ -776,7 +834,15 @@ impl Coordinator {
                     None => self.begin_recovery(fx, op_id, false),
                 }
             }
-            _ => unreachable!("FastRead only runs for read operations"),
+            _ => {
+                // FastRead only runs for read operations; a write landing
+                // here is an internal phase/kind mismatch.
+                self.record_error(ProtocolError::PhaseKindMismatch {
+                    op: op_id,
+                    expected: "a read operation in FastRead",
+                });
+                self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            }
         }
     }
 
@@ -787,12 +853,20 @@ impl Coordinator {
             self.complete(fx, op_id, OpResult::Aborted(AbortReason::Conflict));
             return;
         }
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         let OpKind::WriteStripe { blocks } = &op.kind else {
-            unreachable!("Order only runs for write-stripe")
+            self.record_error(ProtocolError::PhaseKindMismatch {
+                op: op_id,
+                expected: "write-stripe in Order",
+            });
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
         };
         let value = StripeValue::Data(blocks.clone());
-        self.enter_phase(fx, op_id, Phase::StoreStripe { value });
+        self.enter_store_phase(fx, op_id, value);
     }
 
     /// Alg. 1 lines 24–33: one iteration of `read-prev-stripe`.
@@ -808,7 +882,10 @@ impl Coordinator {
             self.complete(fx, op_id, OpResult::Aborted(AbortReason::Conflict));
             return;
         }
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         // max ← the highest timestamp in replies (Alg. 1 line 30).
         let mut max = Timestamp::LOW;
         for r in op.replies.iter().flatten() {
@@ -838,11 +915,15 @@ impl Coordinator {
                     if let OpKind::WriteBlocks { updates, .. } = &op.kind {
                         let mut data = value.materialize(self.cfg.m(), self.cfg.block_size());
                         for (j, block) in updates {
-                            data[*j] = block.clone();
+                            // `j < m` was validated at invocation; a stale
+                            // index is silently skipped rather than panicking.
+                            if let Some(slot) = data.get_mut(*j) {
+                                *slot = block.clone();
+                            }
                         }
                         value = StripeValue::Data(data);
                     }
-                    self.enter_phase(fx, op_id, Phase::StoreStripe { value });
+                    self.enter_store_phase(fx, op_id, value);
                 }
                 None => {
                     self.complete(fx, op_id, OpResult::Aborted(AbortReason::RecoveryExhausted));
@@ -855,7 +936,13 @@ impl Coordinator {
             self.complete(fx, op_id, OpResult::Aborted(AbortReason::RecoveryExhausted));
             return;
         }
-        let ts = op.ts.expect("recovery has a timestamp");
+        let Some(ts) = op.ts else {
+            // Every recovery pass assigns a timestamp on entry
+            // (`begin_recovery`, `start_recovery_read`, `invoke_scrub`).
+            self.record_error(ProtocolError::MissingTimestamp(op_id));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
+        };
         let outgoing = vec![
             Request::OrderRead {
                 target: BlockTarget::All,
@@ -883,23 +970,34 @@ impl Coordinator {
             return;
         }
         // All statuses true over an m-quorum: the write is complete.
-        let op = self.ops.get(&op_id).expect("live op");
-        let ts = op.ts.expect("store-stripe has a timestamp");
+        let Some(op) = self.ops.get(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
+        let op_ts = op.ts;
         let result = match &op.kind {
-            OpKind::ReadStripe => OpResult::Stripe(value),
+            OpKind::ReadStripe => Some(OpResult::Stripe(value)),
             OpKind::ReadBlocks { js, single } => {
                 let mut out: Vec<BlockValue> = js
                     .iter()
                     .map(|&j| stripe_block_value(&value, j, self.cfg.block_size()))
                     .collect();
                 if *single {
-                    OpResult::Block(out.remove(0))
+                    // Exactly one (validated) index for a single-block read.
+                    out.pop().map(OpResult::Block)
                 } else {
-                    OpResult::Blocks(out)
+                    Some(OpResult::Blocks(out))
                 }
             }
-            OpKind::WriteStripe { .. } | OpKind::WriteBlocks { .. } => OpResult::Written,
-            OpKind::Scrub => OpResult::Stripe(value),
+            OpKind::WriteStripe { .. } | OpKind::WriteBlocks { .. } => Some(OpResult::Written),
+            OpKind::Scrub => Some(OpResult::Stripe(value)),
+        };
+        let (Some(ts), Some(result)) = (op_ts, result) else {
+            self.record_error(ProtocolError::Invariant(
+                "store-stripe without a timestamp or a reportable result",
+            ));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
         };
         self.maybe_gc(fx, op_id, ts);
         self.complete(fx, op_id, result);
@@ -908,9 +1006,17 @@ impl Coordinator {
     /// Alg. 3 lines 74–79: evaluate the `Order&Read` round of
     /// `fast-write-block` (generalized to a block set).
     fn progress_fast_write_order(&mut self, fx: &mut dyn Effects, op_id: OpId) {
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         let OpKind::WriteBlocks { updates, .. } = &op.kind else {
-            unreachable!("FastWriteOrderRead only runs for block writes")
+            self.record_error(ProtocolError::PhaseKindMismatch {
+                op: op_id,
+                expected: "a block write in FastWriteOrderRead",
+            });
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
         };
         let updates = updates.clone();
         let js: Vec<ProcessId> = updates
@@ -924,12 +1030,16 @@ impl Coordinator {
             self.begin_recovery(fx, op_id, false);
             return;
         }
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
+        let op_ts = op.ts;
         // Every written process must have answered with its block.
         let mut olds: Vec<BlockValue> = Vec::with_capacity(js.len());
         let mut ts_js: Vec<Timestamp> = Vec::with_capacity(js.len());
         for j in &js {
-            match op.replies[j.index()].as_ref() {
+            match op.replies.get(j.index()).and_then(|r| r.as_ref()) {
                 Some(Reply::OrderReadR {
                     lts,
                     block: Some(old),
@@ -955,14 +1065,25 @@ impl Coordinator {
         // written blocks; mixed versions mean the stripe is mid-update —
         // recover instead (no Modify has been sent, so the same ts is
         // safe).
-        let ts_j = ts_js[0];
+        let Some(&ts_j) = ts_js.first() else {
+            // js was validated non-empty at invocation.
+            self.record_error(ProtocolError::Invariant(
+                "block write with an empty target set",
+            ));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
+        };
         if ts_js.iter().any(|t| *t != ts_j) {
             self.begin_recovery(fx, op_id, false);
             return;
         }
 
         // Build per-destination Modify payloads per the write strategy.
-        let ts = op.ts.expect("block writes carry a timestamp");
+        let Some(ts) = op_ts else {
+            self.record_error(ProtocolError::MissingTimestamp(op_id));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
+        };
         let n = self.cfg.n();
         let m = self.cfg.m();
         let block_size = self.cfg.block_size();
@@ -974,18 +1095,21 @@ impl Coordinator {
                 new: new.clone(),
             })
             .collect();
+        let mut delta_fallbacks = 0usize;
         let mut outgoing = Vec::with_capacity(n);
         for i in 0..n {
-            let written_pos = js.iter().position(|j| j.index() == i);
+            // The new block destined for process i, when i is written.
+            let written_new = updates
+                .iter()
+                .find(|(j, _)| *j == i)
+                .map(|(_, new)| new.clone());
             let payload = match self.cfg.write_strategy {
                 WriteStrategy::Paper => ModifyPayload::Full {
                     updates: full_updates.clone(),
                 },
                 WriteStrategy::Targeted => {
-                    if let Some(pos) = written_pos {
-                        ModifyPayload::NewValue {
-                            new: updates[pos].1.clone(),
-                        }
+                    if let Some(new) = written_new {
+                        ModifyPayload::NewValue { new }
                     } else if i >= m {
                         ModifyPayload::Full {
                             updates: full_updates.clone(),
@@ -995,10 +1119,8 @@ impl Coordinator {
                     }
                 }
                 WriteStrategy::Delta => {
-                    if let Some(pos) = written_pos {
-                        ModifyPayload::NewValue {
-                            new: updates[pos].1.clone(),
-                        }
+                    if let Some(new) = written_new {
+                        ModifyPayload::NewValue { new }
                     } else if i >= m {
                         // Coded deltas are linear: fold every per-block
                         // contribution straight into one parity patch with
@@ -1006,15 +1128,34 @@ impl Coordinator {
                         // seed allocated a fresh delta block per written
                         // block per parity destination.
                         let mut combined = vec![0u8; block_size];
+                        let mut ok = true;
                         for (old, (j, new)) in olds.iter().zip(&updates) {
-                            let old_bytes = old.materialize(block_size);
-                            self.cfg
+                            let Some(old_bytes) = old.materialize(block_size) else {
+                                ok = false; // a ⊥ base has no bytes to diff
+                                break;
+                            };
+                            if self
+                                .cfg
                                 .codec()
                                 .coded_delta_acc(*j, i, &old_bytes, new, &mut combined)
-                                .expect("validated indices and lengths");
+                                .is_err()
+                            {
+                                ok = false;
+                                break;
+                            }
                         }
-                        ModifyPayload::Delta {
-                            delta: Bytes::from(combined),
+                        if ok {
+                            ModifyPayload::Delta {
+                                delta: Bytes::from(combined),
+                            }
+                        } else {
+                            // The full payload is a safe superset of the
+                            // delta: the replica recomputes its block from
+                            // (old, new) pairs instead of patching.
+                            delta_fallbacks += 1;
+                            ModifyPayload::Full {
+                                updates: full_updates.clone(),
+                            }
                         }
                     } else {
                         ModifyPayload::Empty
@@ -1027,6 +1168,11 @@ impl Coordinator {
                 ts,
                 payload,
             });
+        }
+        if delta_fallbacks > 0 {
+            self.record_error(ProtocolError::Codec(
+                "delta encoding unavailable; fell back to full Modify payloads",
+            ));
         }
         self.restart_phase(fx, op_id, Phase::FastWriteModify, outgoing);
     }
@@ -1041,8 +1187,11 @@ impl Coordinator {
             self.begin_recovery(fx, op_id, true);
             return;
         }
-        let op = self.ops.get(&op_id).expect("live op");
-        let ts = op.ts.expect("write-block has a timestamp");
+        let Some(ts) = self.ops.get(&op_id).and_then(|op| op.ts) else {
+            self.record_error(ProtocolError::MissingTimestamp(op_id));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
+        };
         self.maybe_gc(fx, op_id, ts);
         self.complete(fx, op_id, OpResult::Written);
     }
@@ -1067,16 +1216,22 @@ impl Coordinator {
     /// timestamp still loses to any genuinely newer competitor).
     fn begin_recovery(&mut self, fx: &mut dyn Effects, op_id: OpId, fresh_ts: bool) {
         let now = fx.now();
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         op.recovered = true;
-        let ts = match (&op.kind, fresh_ts, op.ts) {
-            (_, _, None) | (_, true, _) => {
+        let existing_ts = op.ts;
+        let ts = match (fresh_ts, existing_ts) {
+            (false, Some(ts)) => ts,
+            _ => {
                 let ts = self.ts_gen.next(now);
-                self.ops.get_mut(&op_id).expect("live op").ts = Some(ts);
+                if let Some(op) = self.ops.get_mut(&op_id) {
+                    op.ts = Some(ts);
+                }
                 self.trace(op_id, now, TraceEvent::TimestampAssigned { ts });
                 ts
             }
-            (_, false, Some(ts)) => ts,
         };
         let outgoing = vec![
             Request::OrderRead {
@@ -1097,18 +1252,26 @@ impl Coordinator {
         );
     }
 
-    /// Moves `op` into `phase`, deriving the outgoing requests for phases
-    /// whose request is uniform.
-    fn enter_phase(&mut self, fx: &mut dyn Effects, op_id: OpId, phase: Phase) {
-        let outgoing = match &phase {
-            Phase::StoreStripe { value } => {
-                let op = self.ops.get(&op_id).expect("live op");
-                let ts = op.ts.expect("store-stripe has a timestamp");
-                encode_stripe_writes(&self.cfg, value, ts)
-            }
-            _ => unreachable!("enter_phase only used for StoreStripe"),
+    /// Moves `op` into `StoreStripe { value }`, deriving the per-process
+    /// `Write` requests. (Taking the phase's payload directly — rather than
+    /// a generic `Phase` — makes the one legal transition the only
+    /// expressible one; the seed's `enter_phase` needed an `unreachable!`
+    /// arm for every other phase.)
+    fn enter_store_phase(&mut self, fx: &mut dyn Effects, op_id: OpId, value: StripeValue) {
+        let Some(ts) = self.ops.get(&op_id).and_then(|op| op.ts) else {
+            self.record_error(ProtocolError::MissingTimestamp(op_id));
+            self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+            return;
         };
-        self.restart_phase(fx, op_id, phase, outgoing);
+        let outgoing = match encode_stripe_writes(&self.cfg, &value, ts) {
+            Ok(out) => out,
+            Err(err) => {
+                self.record_error(err);
+                self.complete(fx, op_id, OpResult::Aborted(AbortReason::Internal));
+                return;
+            }
+        };
+        self.restart_phase(fx, op_id, Phase::StoreStripe { value }, outgoing);
     }
 
     /// Resets per-phase reply state, installs a fresh round, broadcasts.
@@ -1121,7 +1284,10 @@ impl Coordinator {
     ) {
         self.next_round += 1;
         let round = self.next_round;
-        let op = self.ops.get_mut(&op_id).expect("live op");
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         self.rounds.remove(&op.round);
         self.rounds.insert(round, op_id);
         op.round = round;
@@ -1148,22 +1314,23 @@ impl Coordinator {
 
     /// Whether any collected reply of the current round has status false.
     fn any_false(&self, op_id: OpId) -> bool {
-        self.ops[&op_id]
-            .replies
-            .iter()
-            .flatten()
-            .any(|r| !r.status())
+        self.ops
+            .get(&op_id)
+            .is_some_and(|op| op.replies.iter().flatten().any(|r| !r.status()))
     }
 
     /// After a conflict abort, advance our clock past the highest
     /// timestamp the replicas reported so a retry wins (PROGRESS,
     /// Prop. 23).
     fn observe_conflict(&mut self, op_id: OpId) {
+        let Some(op) = self.ops.get(&op_id) else {
+            return;
+        };
         let mut highest = Timestamp::LOW;
-        for r in self.ops[&op_id].replies.iter().flatten() {
+        for r in op.replies.iter().flatten() {
             highest = highest.max(r.seen());
         }
-        if let Some(ts) = self.ops[&op_id].ts {
+        if let Some(ts) = op.ts {
             highest = highest.max(ts);
         }
         self.ts_gen.observe(highest);
@@ -1183,8 +1350,12 @@ impl Coordinator {
         if self.cfg.gc != GcPolicy::AfterCompleteWrite {
             return;
         }
-        let stripe = self.ops[&op_id].stripe;
+        let Some(stripe) = self.ops.get(&op_id).map(|op| op.stripe) else {
+            return;
+        };
         for i in 0..self.cfg.n() {
+            // Coordinator state is volatile by design (§4.1).
+            // xtask-allow(log-before-send): fire-and-forget GC hint; nothing to persist
             fx.send(
                 ProcessId::new(i as u32),
                 Envelope {
@@ -1197,7 +1368,10 @@ impl Coordinator {
     }
 
     fn complete(&mut self, fx: &mut dyn Effects, op_id: OpId, result: OpResult) {
-        let op = self.ops.remove(&op_id).expect("completing a live op");
+        let Some(op) = self.ops.remove(&op_id) else {
+            self.record_error(ProtocolError::UnknownOp(op_id));
+            return;
+        };
         self.rounds.remove(&op.round);
         if let Some(t) = op.retransmit_timer {
             self.timers.remove(&t);
@@ -1241,6 +1415,9 @@ fn broadcast(fx: &mut dyn Effects, op: &Op, only_missing: Option<&QuorumTracker>
                 continue;
             }
         }
+        // Coordinator state is volatile by design (§4.1); durability lives in
+        // the replica logs, so there is nothing to persist before a request.
+        // xtask-allow(log-before-send): coordinator requests carry no durable state
         fx.send(
             pid,
             Envelope {
@@ -1340,26 +1517,35 @@ fn stripe_block_value(value: &StripeValue, j: usize, block_size: usize) -> Block
 }
 
 /// Encodes a stripe value into per-destination `Write` requests.
-fn encode_stripe_writes(cfg: &RegisterConfig, value: &StripeValue, ts: Timestamp) -> Vec<Request> {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Codec`] when the codec rejects the stripe
+/// (wrong block count or size — impossible for invocation-validated input).
+fn encode_stripe_writes(
+    cfg: &RegisterConfig,
+    value: &StripeValue,
+    ts: Timestamp,
+) -> Result<Vec<Request>, ProtocolError> {
     match value {
-        StripeValue::Nil => (0..cfg.n())
+        StripeValue::Nil => Ok((0..cfg.n())
             .map(|_| Request::Write {
                 block: BlockValue::Nil,
                 ts,
             })
-            .collect(),
+            .collect()),
         StripeValue::Data(blocks) => {
             let encoded = cfg
                 .codec()
                 .encode(blocks)
-                .expect("validated stripe dimensions");
-            encoded
+                .map_err(|_| ProtocolError::Codec("stripe encode rejected validated dimensions"))?;
+            Ok(encoded
                 .into_iter()
                 .map(|b| Request::Write {
                     block: BlockValue::Data(Bytes::from(b)),
                     ts,
                 })
-                .collect()
+                .collect())
         }
     }
 }
@@ -1468,7 +1654,7 @@ mod tests {
         for (to, env) in &fx.sent {
             match &env.kind {
                 Payload::Request(Request::Write { block, .. }) => {
-                    let b = block.materialize(8);
+                    let b = block.materialize(8).unwrap();
                     if to.index() == 0 {
                         assert_eq!(b.as_ref(), &[1u8; 8]);
                     } else if to.index() == 1 {

@@ -1,0 +1,85 @@
+//! Typed protocol errors.
+//!
+//! The coordinator and replica state machines never panic on malformed or
+//! surprising input (enforced by `cargo xtask analyze`, lint `no-panic`).
+//! Conditions that the seed implementation treated as `unreachable!` /
+//! `.expect()` are instead surfaced as [`ProtocolError`] values: replicas
+//! refuse the request (`status: false`), and coordinators record the error
+//! for the driver to inspect via
+//! [`Coordinator::take_protocol_errors`](crate::Coordinator::take_protocol_errors).
+//!
+//! Rationale: a brick is a long-lived storage appliance. A single corrupted
+//! or adversarially-crafted message must not take down the whole process —
+//! the fault model (§2.1) already forces every handler to tolerate
+//! arbitrary message loss and reordering, so "refuse and keep serving" is
+//! strictly more robust than "abort the process", and the error channel
+//! keeps the misbehaviour observable instead of silently swallowed.
+
+use crate::coordinator::OpId;
+use std::error::Error;
+use std::fmt;
+
+/// An internal invariant violation detected (and survived) by the protocol
+/// state machines.
+///
+/// Under the fault model, none of these occur; each one indicates either a
+/// local bug or input from a process misbehaving beyond crash-recovery
+/// faults. They are recorded rather than panicked so a production brick
+/// degrades per-operation, not per-process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// An event referenced an operation id with no live operation.
+    UnknownOp(OpId),
+    /// An operation that must already carry a timestamp does not.
+    MissingTimestamp(OpId),
+    /// An operation's phase does not match its kind (e.g. an `Order` phase
+    /// on a read operation).
+    PhaseKindMismatch {
+        /// The operation.
+        op: OpId,
+        /// What the phase logic required.
+        expected: &'static str,
+    },
+    /// The erasure codec rejected dimensions the coordinator had already
+    /// validated.
+    Codec(&'static str),
+    /// Any other broken invariant, described statically.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownOp(op) => write!(f, "no live operation with id {op}"),
+            ProtocolError::MissingTimestamp(op) => {
+                write!(f, "operation {op} is missing its timestamp")
+            }
+            ProtocolError::PhaseKindMismatch { op, expected } => {
+                write!(f, "operation {op}: phase/kind mismatch (expected {expected})")
+            }
+            ProtocolError::Codec(detail) => write!(f, "codec invariant violated: {detail}"),
+            ProtocolError::Invariant(detail) => write!(f, "invariant violated: {detail}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProtocolError::UnknownOp(7).to_string().contains('7'));
+        assert!(ProtocolError::Codec("encode failed")
+            .to_string()
+            .contains("encode failed"));
+        let e = ProtocolError::PhaseKindMismatch {
+            op: 3,
+            expected: "write-stripe",
+        };
+        assert!(e.to_string().contains("write-stripe"));
+    }
+}

@@ -23,6 +23,8 @@
 //!   rolls partial writes forward or back, §5.1 garbage collection, §5.2
 //!   write optimizations),
 //! * [`effects`] — the sans-io driver interface,
+//! * [`error`] — typed invariant-violation reporting (protocol code never
+//!   panics; see `cargo xtask analyze`),
 //! * [`brick`] — a deterministic-simulation driver ([`SimCluster`]) used
 //!   by the test suite and benchmarks.
 //!
@@ -55,6 +57,7 @@ pub mod brick;
 pub mod config;
 pub mod coordinator;
 pub mod effects;
+pub mod error;
 pub mod log;
 pub mod messages;
 pub mod replica;
@@ -65,6 +68,7 @@ pub use brick::{Brick, OpCosts, SimCluster};
 pub use config::{ConfigError, GcPolicy, RegisterConfig, WriteStrategy};
 pub use coordinator::{AbortReason, Completion, Coordinator, InvokeError, OpId, OpResult};
 pub use effects::Effects;
+pub use error::ProtocolError;
 pub use log::Log;
 pub use messages::{BlockTarget, Envelope, ModifyPayload, Payload, Reply, Request, StripeId};
 pub use replica::{DiskMetrics, PersistEvent, Replica};

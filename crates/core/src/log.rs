@@ -36,22 +36,27 @@ impl Log {
 
     /// `max-ts(log)`: the highest timestamp in the log (at least `LowTS`).
     pub fn max_ts(&self) -> Timestamp {
-        *self
-            .entries
+        // The LowTS sentinel is inserted at construction and never removed,
+        // so the fallback is unreachable; it exists because protocol code
+        // must not be able to panic (xtask lint `no-panic`).
+        self.entries
             .keys()
             .next_back()
-            .expect("log always contains the LowTS sentinel")
+            .copied()
+            .unwrap_or(Timestamp::LOW)
     }
 
     /// `max-block(log)`: the non-`⊥` value with the highest timestamp,
     /// together with that timestamp.
     pub fn max_block(&self) -> (Timestamp, &BlockValue) {
+        // Falls back to the `[LowTS, nil]` sentinel that `new()` installs
+        // and `gc()` retains — the same default `max_below` uses.
         self.entries
             .iter()
             .rev()
             .find(|(_, v)| !v.is_bottom())
             .map(|(ts, v)| (*ts, v))
-            .expect("log always contains the non-⊥ LowTS sentinel")
+            .unwrap_or((Timestamp::LOW, &BlockValue::Nil))
     }
 
     /// `max-below(log, ts)`: the non-`⊥` value with the highest timestamp

@@ -328,7 +328,16 @@ impl Replica {
             self.metrics.reads += cur.disk_read_cost();
             // One owned parity buffer, patched in place by every update —
             // the seed allocated a fresh parity block per written block.
-            let mut parity = cur.materialize(self.cfg.block_size()).to_vec();
+            // `max_block` never returns `⊥`, but a replica refuses rather
+            // than trusts that (no-panic discipline: corrupt state must not
+            // take the brick down).
+            let Some(cur_bytes) = cur.materialize(self.cfg.block_size()) else {
+                return Reply::ModifyR {
+                    status: false,
+                    seen: self.seen(),
+                };
+            };
+            let mut parity = cur_bytes.to_vec();
             match payload {
                 ModifyPayload::Full { updates } => {
                     if updates.len() != js.len() {
@@ -338,19 +347,41 @@ impl Replica {
                         };
                     }
                     for (j, u) in js.iter().zip(updates) {
-                        let old_data = u.old.materialize(self.cfg.block_size());
-                        self.cfg
+                        // A `⊥` old value or codec-rejected dimensions mean
+                        // the request is malformed: refuse it (`status:
+                        // false`) instead of corrupting parity or panicking.
+                        let Some(old_data) = u.old.materialize(self.cfg.block_size()) else {
+                            return Reply::ModifyR {
+                                status: false,
+                                seen: self.seen(),
+                            };
+                        };
+                        if self
+                            .cfg
                             .codec()
                             .modify_in_place(j.index(), i, &old_data, &u.new, &mut parity)
-                            .expect("validated indices and equal block lengths");
+                            .is_err()
+                        {
+                            return Reply::ModifyR {
+                                status: false,
+                                seen: self.seen(),
+                            };
+                        }
                     }
                     BlockValue::Data(Bytes::from(parity))
                 }
                 ModifyPayload::Delta { delta } => {
-                    self.cfg
+                    if self
+                        .cfg
                         .codec()
                         .apply_coded_delta_in_place(&mut parity, delta)
-                        .expect("equal block lengths");
+                        .is_err()
+                    {
+                        return Reply::ModifyR {
+                            status: false,
+                            seen: self.seen(),
+                        };
+                    }
                     BlockValue::Data(Bytes::from(parity))
                 }
                 ModifyPayload::NewValue { .. } | ModifyPayload::Empty => {
@@ -606,7 +637,7 @@ mod tests {
                 new: new.clone(),
             }],
         };
-        for r in replicas.iter_mut() {
+        for r in &mut replicas {
             // Order&Read phase (fast-write-block) first.
             r.handle(&Request::OrderRead {
                 target: BlockTarget::One(pid(0)),
@@ -624,9 +655,9 @@ mod tests {
 
         // p1 logged ⊥; p0, p2, p3 hold decodable blocks of the new stripe.
         assert!(replicas[1].log().entry_at(ts(9)).unwrap().is_bottom());
-        let b0 = replicas[0].log().entry_at(ts(9)).unwrap().materialize(8);
-        let b2 = replicas[2].log().entry_at(ts(9)).unwrap().materialize(8);
-        let b3 = replicas[3].log().entry_at(ts(9)).unwrap().materialize(8);
+        let b0 = replicas[0].log().entry_at(ts(9)).unwrap().materialize(8).unwrap();
+        let b2 = replicas[2].log().entry_at(ts(9)).unwrap().materialize(8).unwrap();
+        let b3 = replicas[3].log().entry_at(ts(9)).unwrap().materialize(8).unwrap();
         let decoded = codec
             .decode(&[Share::new(0, &b0), Share::new(2, &b2), Share::new(3, &b3)])
             .unwrap();
@@ -747,7 +778,7 @@ mod tests {
             },
         });
         assert!(matches!(reply, Some(Reply::ModifyR { status: true, .. })));
-        let got = parity.log().entry_at(ts(9)).unwrap().materialize(8);
+        let got = parity.log().entry_at(ts(9)).unwrap().materialize(8).unwrap();
         // Expected: parity of the stripe (new, 0).
         let expected = codec.encode(&[new, vec![0u8; 8]]).unwrap()[3].clone();
         assert_eq!(got.to_vec(), expected);

@@ -42,15 +42,15 @@ impl BlockValue {
 
     /// Returns the block bytes, materializing `Nil` as `block_size` zeros.
     ///
-    /// # Panics
-    ///
-    /// Panics on `Bottom` — `⊥` never participates in block arithmetic
-    /// (handlers guard it before this point).
-    pub fn materialize(&self, block_size: usize) -> Bytes {
+    /// Returns `None` for `Bottom` — `⊥` is a timestamp-only marker and
+    /// never participates in block arithmetic. (The seed panicked here;
+    /// handlers now *refuse* requests that would materialize `⊥`, per the
+    /// no-panic discipline enforced by `cargo xtask analyze`.)
+    pub fn materialize(&self, block_size: usize) -> Option<Bytes> {
         match self {
-            BlockValue::Bottom => panic!("cannot materialize ⊥ as block bytes"),
-            BlockValue::Nil => Bytes::from(vec![0u8; block_size]),
-            BlockValue::Data(b) => b.clone(),
+            BlockValue::Bottom => None,
+            BlockValue::Nil => Some(Bytes::from(vec![0u8; block_size])),
+            BlockValue::Data(b) => Some(b.clone()),
         }
     }
 
@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn materialize_nil_is_zeros() {
-        assert_eq!(BlockValue::Nil.materialize(4), Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            BlockValue::Nil.materialize(4),
+            Some(Bytes::from(vec![0u8; 4]))
+        );
         let s = StripeValue::Nil;
         assert_eq!(s.materialize(2, 3), vec![Bytes::from(vec![0u8; 3]); 2]);
         assert_eq!(s.block(1, 3), Bytes::from(vec![0u8; 3]));
@@ -152,13 +155,12 @@ mod tests {
     #[test]
     fn materialize_data_is_identity() {
         let b = BlockValue::Data(Bytes::from_static(b"abc"));
-        assert_eq!(b.materialize(99), Bytes::from_static(b"abc"));
+        assert_eq!(b.materialize(99), Some(Bytes::from_static(b"abc")));
     }
 
     #[test]
-    #[should_panic(expected = "materialize")]
-    fn materialize_bottom_panics() {
-        let _ = BlockValue::Bottom.materialize(4);
+    fn materialize_bottom_is_none() {
+        assert_eq!(BlockValue::Bottom.materialize(4), None);
     }
 
     #[test]

@@ -145,7 +145,7 @@ proptest! {
         // Model: the current stripe (None = nil).
         let mut model: Option<Vec<Bytes>> = None;
         for (step, (kind, tag, who)) in script.into_iter().enumerate() {
-            let coordinator = ProcessId::new((who as u32) % (n as u32));
+            let coordinator = ProcessId::new(u32::from(who) % (n as u32));
             match kind {
                 0 => {
                     let blocks: Vec<Bytes> =
@@ -188,7 +188,7 @@ proptest! {
                         .unwrap_or_else(|| Bytes::from(vec![0u8; size]));
                     match r {
                         OpResult::Block(v) => {
-                            prop_assert_eq!(v.materialize(size), want, "step {}", step)
+                            prop_assert_eq!(v.materialize(size), Some(want), "step {}", step);
                         }
                         other => {
                             return Err(TestCaseError::fail(format!(
@@ -211,7 +211,7 @@ proptest! {
             let s = StripeId(0);
             for i in 0..4u8 {
                 c.write_stripe(
-                    ProcessId::new((i % 4) as u32),
+                    ProcessId::new(u32::from(i % 4)),
                     s,
                     vec![Bytes::from(vec![i; 8]), Bytes::from(vec![i + 1; 8])],
                 );

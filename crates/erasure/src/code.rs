@@ -680,7 +680,7 @@ fn check_stripe<B: AsRef<[u8]>>(stripe: &[B], m: usize) -> Result<Vec<&[u8]>> {
             actual: stripe.len(),
         });
     }
-    let refs: Vec<&[u8]> = stripe.iter().map(|b| b.as_ref()).collect();
+    let refs: Vec<&[u8]> = stripe.iter().map(AsRef::as_ref).collect();
     let len = refs[0].len();
     if refs.iter().any(|b| b.len() != len) {
         return Err(CodeError::UnequalBlockLengths);
@@ -897,8 +897,8 @@ mod tests {
                 .collect();
             codec.decode_into(&shares, &mut dec_out).unwrap();
         }
-        let enc_ptrs: Vec<*const u8> = enc_out.iter().map(|b| b.as_ptr()).collect();
-        let dec_ptrs: Vec<*const u8> = dec_out.iter().map(|b| b.as_ptr()).collect();
+        let enc_ptrs: Vec<*const u8> = enc_out.iter().map(std::vec::Vec::as_ptr).collect();
+        let dec_ptrs: Vec<*const u8> = dec_out.iter().map(std::vec::Vec::as_ptr).collect();
         // Ten more rounds at the same block size: every buffer stays put.
         for round in 0..10u8 {
             let data = stripe(5, 256, round.wrapping_mul(41));
@@ -912,12 +912,12 @@ mod tests {
         }
         assert_eq!(
             enc_ptrs,
-            enc_out.iter().map(|b| b.as_ptr()).collect::<Vec<_>>(),
+            enc_out.iter().map(std::vec::Vec::as_ptr).collect::<Vec<_>>(),
             "encode_into reallocated in steady state"
         );
         assert_eq!(
             dec_ptrs,
-            dec_out.iter().map(|b| b.as_ptr()).collect::<Vec<_>>(),
+            dec_out.iter().map(std::vec::Vec::as_ptr).collect::<Vec<_>>(),
             "decode_into reallocated in steady state"
         );
     }
@@ -929,9 +929,9 @@ mod tests {
             let data = stripe(m, 32, 9);
             let blocks = codec.encode(&data).unwrap();
             let new_b0 = vec![0x3Cu8; 32];
-            for j in m..n {
-                let owned = codec.modify(0, j, &data[0], &new_b0, &blocks[j]).unwrap();
-                let mut in_place = blocks[j].clone();
+            for (j, block) in blocks.iter().enumerate().take(n).skip(m) {
+                let owned = codec.modify(0, j, &data[0], &new_b0, block).unwrap();
+                let mut in_place = block.clone();
                 codec
                     .modify_in_place(0, j, &data[0], &new_b0, &mut in_place)
                     .unwrap();

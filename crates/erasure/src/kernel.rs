@@ -450,16 +450,21 @@ mod x86 {
     ) {
         debug_assert_eq!(acc.len(), block.len());
         debug_assert_eq!(acc.len() % 16, 0);
-        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
-        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
-        let mask = _mm_set1_epi8(0x0F);
-        let mut i = 0;
-        while i < acc.len() {
-            let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
-            let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
-            let prod = nib_product(b, lo_t, hi_t, mask);
-            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
-            i += 16;
+        // SAFETY: the caller contract guarantees SSSE3, equal slice lengths,
+        // and a 16-multiple length, so every unaligned 16-byte load/store at
+        // offset i < len stays inside the slices.
+        unsafe {
+            let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let mut i = 0;
+            while i < acc.len() {
+                let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
+                let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+                let prod = nib_product(b, lo_t, hi_t, mask);
+                _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+                i += 16;
+            }
         }
     }
 
@@ -471,15 +476,20 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_slice_ssse3(block: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
         debug_assert_eq!(block.len() % 16, 0);
-        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
-        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
-        let mask = _mm_set1_epi8(0x0F);
-        let mut i = 0;
-        while i < block.len() {
-            let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
-            let prod = nib_product(b, lo_t, hi_t, mask);
-            _mm_storeu_si128(block.as_mut_ptr().add(i).cast(), prod);
-            i += 16;
+        // SAFETY: the caller contract guarantees SSSE3 and a 16-multiple
+        // length, so every unaligned 16-byte load/store at offset i < len
+        // stays inside the slice.
+        unsafe {
+            let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let mut i = 0;
+            while i < block.len() {
+                let b = _mm_loadu_si128(block.as_ptr().add(i).cast());
+                let prod = nib_product(b, lo_t, hi_t, mask);
+                _mm_storeu_si128(block.as_mut_ptr().add(i).cast(), prod);
+                i += 16;
+            }
         }
     }
 
@@ -501,17 +511,22 @@ mod x86 {
         debug_assert_eq!(acc.len(), old.len());
         debug_assert_eq!(acc.len(), new.len());
         debug_assert_eq!(acc.len() % 16, 0);
-        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
-        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
-        let mask = _mm_set1_epi8(0x0F);
-        let mut i = 0;
-        while i < acc.len() {
-            let o = _mm_loadu_si128(old.as_ptr().add(i).cast());
-            let n = _mm_loadu_si128(new.as_ptr().add(i).cast());
-            let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
-            let prod = nib_product(_mm_xor_si128(o, n), lo_t, hi_t, mask);
-            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
-            i += 16;
+        // SAFETY: the caller contract guarantees SSSE3, three equal-length
+        // slices, and a 16-multiple length, so every unaligned 16-byte
+        // load/store at offset i < len stays inside the slices.
+        unsafe {
+            let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let mut i = 0;
+            while i < acc.len() {
+                let o = _mm_loadu_si128(old.as_ptr().add(i).cast());
+                let n = _mm_loadu_si128(new.as_ptr().add(i).cast());
+                let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+                let prod = nib_product(_mm_xor_si128(o, n), lo_t, hi_t, mask);
+                _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+                i += 16;
+            }
         }
     }
 
@@ -524,6 +539,9 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     #[inline]
     unsafe fn nib_product(b: __m128i, lo_t: __m128i, hi_t: __m128i, mask: __m128i) -> __m128i {
+        // Pure register arithmetic on values, no memory access: with the
+        // `target_feature` attribute in effect the intrinsics themselves are
+        // safe to call, so no inner `unsafe` block is required here.
         let b_lo = _mm_and_si128(b, mask);
         // Shift as 64-bit lanes (no 8-bit shift exists in SSE); the mask
         // removes the bits smeared across byte boundaries.
@@ -589,19 +607,24 @@ mod neon {
     pub(super) unsafe fn mul_acc_neon(acc: &mut [u8], block: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
         debug_assert_eq!(acc.len(), block.len());
         debug_assert_eq!(acc.len() % 16, 0);
-        let lo_t = vld1q_u8(lo.as_ptr());
-        let hi_t = vld1q_u8(hi.as_ptr());
-        let mask = vdupq_n_u8(0x0F);
-        let mut i = 0;
-        while i < acc.len() {
-            let b = vld1q_u8(block.as_ptr().add(i));
-            let a = vld1q_u8(acc.as_ptr().add(i));
-            let prod = veorq_u8(
-                vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
-                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
-            );
-            vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
-            i += 16;
+        // SAFETY: the caller contract guarantees equal slice lengths and a
+        // 16-multiple length; NEON is baseline on aarch64, so every 16-byte
+        // load/store at offset i < len stays inside the slices.
+        unsafe {
+            let lo_t = vld1q_u8(lo.as_ptr());
+            let hi_t = vld1q_u8(hi.as_ptr());
+            let mask = vdupq_n_u8(0x0F);
+            let mut i = 0;
+            while i < acc.len() {
+                let b = vld1q_u8(block.as_ptr().add(i));
+                let a = vld1q_u8(acc.as_ptr().add(i));
+                let prod = veorq_u8(
+                    vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
+                    vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
+                );
+                vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
+                i += 16;
+            }
         }
     }
 
@@ -614,18 +637,23 @@ mod neon {
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn mul_slice_neon(block: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
         debug_assert_eq!(block.len() % 16, 0);
-        let lo_t = vld1q_u8(lo.as_ptr());
-        let hi_t = vld1q_u8(hi.as_ptr());
-        let mask = vdupq_n_u8(0x0F);
-        let mut i = 0;
-        while i < block.len() {
-            let b = vld1q_u8(block.as_ptr().add(i));
-            let prod = veorq_u8(
-                vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
-                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
-            );
-            vst1q_u8(block.as_mut_ptr().add(i), prod);
-            i += 16;
+        // SAFETY: the caller contract guarantees a 16-multiple length; NEON
+        // is baseline on aarch64, so every 16-byte load/store at offset
+        // i < len stays inside the slice.
+        unsafe {
+            let lo_t = vld1q_u8(lo.as_ptr());
+            let hi_t = vld1q_u8(hi.as_ptr());
+            let mask = vdupq_n_u8(0x0F);
+            let mut i = 0;
+            while i < block.len() {
+                let b = vld1q_u8(block.as_ptr().add(i));
+                let prod = veorq_u8(
+                    vqtbl1q_u8(lo_t, vandq_u8(b, mask)),
+                    vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(b)),
+                );
+                vst1q_u8(block.as_mut_ptr().add(i), prod);
+                i += 16;
+            }
         }
     }
 
@@ -647,21 +675,26 @@ mod neon {
         debug_assert_eq!(acc.len(), old.len());
         debug_assert_eq!(acc.len(), new.len());
         debug_assert_eq!(acc.len() % 16, 0);
-        let lo_t = vld1q_u8(lo.as_ptr());
-        let hi_t = vld1q_u8(hi.as_ptr());
-        let mask = vdupq_n_u8(0x0F);
-        let mut i = 0;
-        while i < acc.len() {
-            let o = vld1q_u8(old.as_ptr().add(i));
-            let n = vld1q_u8(new.as_ptr().add(i));
-            let a = vld1q_u8(acc.as_ptr().add(i));
-            let d = veorq_u8(o, n);
-            let prod = veorq_u8(
-                vqtbl1q_u8(lo_t, vandq_u8(d, mask)),
-                vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(d)),
-            );
-            vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
-            i += 16;
+        // SAFETY: the caller contract guarantees three equal-length slices
+        // with a 16-multiple length; NEON is baseline on aarch64, so every
+        // 16-byte load/store at offset i < len stays inside the slices.
+        unsafe {
+            let lo_t = vld1q_u8(lo.as_ptr());
+            let hi_t = vld1q_u8(hi.as_ptr());
+            let mask = vdupq_n_u8(0x0F);
+            let mut i = 0;
+            while i < acc.len() {
+                let o = vld1q_u8(old.as_ptr().add(i));
+                let n = vld1q_u8(new.as_ptr().add(i));
+                let a = vld1q_u8(acc.as_ptr().add(i));
+                let d = veorq_u8(o, n);
+                let prod = veorq_u8(
+                    vqtbl1q_u8(lo_t, vandq_u8(d, mask)),
+                    vqtbl1q_u8(hi_t, vshrq_n_u8::<4>(d)),
+                );
+                vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
+                i += 16;
+            }
         }
     }
 }

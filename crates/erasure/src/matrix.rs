@@ -232,7 +232,7 @@ impl Matrix {
         // Row-slice iteration: one bounds check per row, not per element,
         // and the table-backed `Gf256::mul` is branch-free.
         for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
-            *v = *v * by;
+            *v *= by;
         }
     }
 
@@ -250,7 +250,7 @@ impl Matrix {
             (&mut tail[..cols], &head[s0..s0 + cols])
         };
         for (d, s) in dst_row.iter_mut().zip(src_row) {
-            *d = *d + factor * *s;
+            *d += factor * *s;
         }
     }
 }

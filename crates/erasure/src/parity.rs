@@ -97,7 +97,7 @@ mod tests {
     use crate::Codec;
 
     fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
-        blocks.iter().map(|b| b.as_slice()).collect()
+        blocks.iter().map(std::vec::Vec::as_slice).collect()
     }
 
     fn encode(c: &ParityCode, data: &[Vec<u8>]) -> Vec<Vec<u8>> {

@@ -128,7 +128,7 @@ mod tests {
     }
 
     fn refs(blocks: &[Vec<u8>]) -> Vec<&[u8]> {
-        blocks.iter().map(|b| b.as_slice()).collect()
+        blocks.iter().map(std::vec::Vec::as_slice).collect()
     }
 
     /// Test-side allocating wrappers over the `_into` primitives.
@@ -205,11 +205,11 @@ mod tests {
         let data = stripe(3, 64, 5);
         let mut out = vec![Vec::new(); 6];
         rs.encode_into(&refs(&data), &mut out);
-        let ptrs: Vec<*const u8> = out.iter().map(|b| b.as_ptr()).collect();
+        let ptrs: Vec<*const u8> = out.iter().map(std::vec::Vec::as_ptr).collect();
         // Second encode at the same block size must not move any buffer.
         let data2 = stripe(3, 64, 99);
         rs.encode_into(&refs(&data2), &mut out);
-        let ptrs2: Vec<*const u8> = out.iter().map(|b| b.as_ptr()).collect();
+        let ptrs2: Vec<*const u8> = out.iter().map(std::vec::Vec::as_ptr).collect();
         assert_eq!(ptrs, ptrs2, "steady-state encode_into reallocated");
         // And the contents equal a fresh encode.
         assert_eq!(out, encode(&rs, &data2));
@@ -269,7 +269,7 @@ mod tests {
         let rs = ReedSolomon::new(2, 4).unwrap();
         let data = vec![vec![], vec![]];
         let blocks = encode(&rs, &data);
-        assert!(blocks.iter().all(|b| b.is_empty()));
+        assert!(blocks.iter().all(std::vec::Vec::is_empty));
     }
 
     #[test]

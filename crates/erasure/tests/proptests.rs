@@ -256,7 +256,7 @@ proptest! {
             }
             rows.push(row);
         }
-        let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[u8]> = rows.iter().map(std::vec::Vec::as_slice).collect();
         let mat = Matrix::from_rows(&refs);
         if let Some(inv) = mat.inverted() {
             prop_assert!((&mat * &inv).is_identity());

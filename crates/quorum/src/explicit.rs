@@ -96,7 +96,7 @@ impl Error for ExplicitError {}
 ///     1,
 ///     4,
 ///     1,
-///     vec![vec![p(0), p(1)], vec![p(0), p(2)], vec![p(0), p(3)], vec![p(1), p(2), p(3)]],
+///     &[vec![p(0), p(1)], vec![p(0), p(2)], vec![p(0), p(3)], vec![p(1), p(2), p(3)]],
 /// )?;
 /// assert!(q.is_quorum([p(0), p(3)]));
 /// assert!(!q.is_quorum([p(1), p(3)]));
@@ -124,7 +124,7 @@ impl ExplicitQuorumSystem {
         m: usize,
         n: usize,
         f: usize,
-        quorums: Vec<Vec<ProcessId>>,
+        quorums: &[Vec<ProcessId>],
     ) -> Result<Self, ExplicitError> {
         if m == 0 || n < m {
             return Err(ExplicitError::Params(QuorumError::InvalidParams { m, n }));
@@ -154,6 +154,7 @@ impl ExplicitQuorumSystem {
         // CONSISTENCY: all pairs intersect in >= m.
         for a in 0..masks.len() {
             for b in a..masks.len() {
+                // xtask-allow(no-as-truncation): u32→usize is widening on every supported platform
                 let inter = (masks[a] & masks[b]).count_ones() as usize;
                 if inter < m {
                     return Err(ExplicitError::Inconsistent {
@@ -203,35 +204,40 @@ impl ExplicitQuorumSystem {
             quorums.push(
                 (0..n)
                     .filter(|i| q & (1 << i) != 0)
-                    .map(|i| ProcessId::new(i as u32))
+                    .filter_map(|i| u32::try_from(i).ok().map(ProcessId::new))
                     .collect(),
             );
             mask = next_combination(q, full);
         }
-        Self::new(m, n, f, quorums)
+        Self::new(m, n, f, &quorums)
     }
 
     /// Required intersection m.
+    #[must_use]
     pub fn m(&self) -> usize {
         self.m
     }
 
     /// Universe size n.
+    #[must_use]
     pub fn n(&self) -> usize {
         self.n
     }
 
     /// Fault tolerance f.
+    #[must_use]
     pub fn max_faulty(&self) -> usize {
         self.f
     }
 
     /// Number of listed quorums.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.masks.len()
     }
 
     /// An explicit system is never empty (construction rejects it).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -257,6 +263,7 @@ impl ExplicitQuorumSystem {
     /// The per-process load: the fraction of listed quorums each process
     /// participates in (the quantity lopsided constructions reduce for
     /// chosen processes).
+    #[must_use]
     pub fn loads(&self) -> Vec<f64> {
         let total = self.masks.len() as f64;
         (0..self.n)
@@ -330,7 +337,7 @@ mod tests {
     #[test]
     fn inconsistent_family_rejected() {
         // Two disjoint "quorums" with m = 1.
-        let err = ExplicitQuorumSystem::new(1, 4, 0, vec![vec![p(0), p(1)], vec![p(2), p(3)]])
+        let err = ExplicitQuorumSystem::new(1, 4, 0, &[vec![p(0), p(1)], vec![p(2), p(3)]])
             .unwrap_err();
         assert!(matches!(err, ExplicitError::Inconsistent { .. }));
     }
@@ -338,18 +345,18 @@ mod tests {
     #[test]
     fn unavailable_family_rejected() {
         // Every quorum contains p0, so the fault pattern {p0} kills all.
-        let err = ExplicitQuorumSystem::new(1, 3, 1, vec![vec![p(0), p(1)], vec![p(0), p(2)]])
+        let err = ExplicitQuorumSystem::new(1, 3, 1, &[vec![p(0), p(1)], vec![p(0), p(2)]])
             .unwrap_err();
         assert!(matches!(err, ExplicitError::Unavailable { .. }));
     }
 
     #[test]
     fn malformed_quorums_rejected() {
-        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![vec![p(0), p(9)]]).unwrap_err();
+        let err = ExplicitQuorumSystem::new(1, 3, 0, &[vec![p(0), p(9)]]).unwrap_err();
         assert!(matches!(err, ExplicitError::Malformed { quorum: 0 }));
-        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![vec![p(0), p(0)]]).unwrap_err();
+        let err = ExplicitQuorumSystem::new(1, 3, 0, &[vec![p(0), p(0)]]).unwrap_err();
         assert!(matches!(err, ExplicitError::Malformed { quorum: 0 }));
-        let err = ExplicitQuorumSystem::new(1, 3, 0, vec![]).unwrap_err();
+        let err = ExplicitQuorumSystem::new(1, 3, 0, &[]).unwrap_err();
         assert!(matches!(err, ExplicitError::Unavailable { .. }));
     }
 
@@ -360,7 +367,7 @@ mod tests {
             1,
             4,
             1,
-            vec![
+            &[
                 vec![p(0), p(1)],
                 vec![p(0), p(2)],
                 vec![p(0), p(3)],
@@ -377,7 +384,7 @@ mod tests {
 
     #[test]
     fn f_zero_single_quorum_is_fine() {
-        let q = ExplicitQuorumSystem::new(2, 3, 0, vec![vec![p(0), p(1)]]).unwrap();
+        let q = ExplicitQuorumSystem::new(2, 3, 0, &[vec![p(0), p(1)]]).unwrap();
         assert!(q.is_quorum([p(0), p(1), p(2)]));
         assert!(!q.is_quorum([p(1), p(2)]));
     }

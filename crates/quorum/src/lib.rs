@@ -130,34 +130,43 @@ impl MQuorumSystem {
     }
 
     /// Required intersection size m.
+    #[must_use]
     pub fn m(&self) -> usize {
         self.m
     }
 
     /// Universe size n.
+    #[must_use]
     pub fn n(&self) -> usize {
         self.n
     }
 
     /// Maximum number of faulty processes tolerated.
+    #[must_use]
     pub fn max_faulty(&self) -> usize {
         self.f
     }
 
     /// Number of processes in every quorum (`n − f`).
+    #[must_use]
     pub fn quorum_size(&self) -> usize {
         self.n - self.f
     }
 
     /// The guaranteed minimum intersection of any two quorums
     /// (`n − 2f ≥ m`).
+    #[must_use]
     pub fn min_intersection(&self) -> usize {
         self.n - 2 * self.f
     }
 
     /// Iterates over the universe `U = {p_0, …, p_{n−1}}`.
     pub fn universe(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        (0..self.n as u32).map(ProcessId::new)
+        // `filter_map` rather than `as`: an index that does not fit in a
+        // `u32` cannot name a process, so it is dropped instead of wrapped.
+        (0..self.n)
+            .filter_map(|i| u32::try_from(i).ok())
+            .map(ProcessId::new)
     }
 
     /// Returns `true` if the distinct processes in `members` form a quorum.
@@ -181,6 +190,7 @@ impl MQuorumSystem {
 
     /// Samples a uniformly random quorum of exactly `quorum_size()`
     /// processes (used by tests and the fast-read target picker).
+    #[must_use]
     pub fn random_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ProcessId> {
         let mut ids: Vec<ProcessId> = self.universe().collect();
         ids.shuffle(rng);
@@ -195,6 +205,7 @@ impl MQuorumSystem {
     /// # Panics
     ///
     /// Panics if `k > n`.
+    #[must_use]
     pub fn random_processes<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<ProcessId> {
         assert!(k <= self.n, "cannot sample {k} of {} processes", self.n);
         let mut ids: Vec<ProcessId> = self.universe().collect();
@@ -234,6 +245,7 @@ pub struct QuorumTracker {
 
 impl QuorumTracker {
     /// Creates an empty tracker for one messaging phase.
+    #[must_use]
     pub fn new(system: MQuorumSystem) -> Self {
         QuorumTracker {
             replied: vec![false; system.n()],
@@ -255,16 +267,19 @@ impl QuorumTracker {
     }
 
     /// Returns `true` once the distinct responders form an m-quorum.
+    #[must_use]
     pub fn is_complete(&self) -> bool {
         self.count >= self.system.quorum_size()
     }
 
     /// Number of distinct responders so far.
+    #[must_use]
     pub fn replies(&self) -> usize {
         self.count
     }
 
     /// Returns `true` if `pid` has replied.
+    #[must_use]
     pub fn has_replied(&self, pid: ProcessId) -> bool {
         pid.index() < self.replied.len() && self.replied[pid.index()]
     }
@@ -275,10 +290,11 @@ impl QuorumTracker {
             .iter()
             .enumerate()
             .filter(|(_, &r)| r)
-            .map(|(i, _)| ProcessId::new(i as u32))
+            .filter_map(|(i, _)| u32::try_from(i).ok().map(ProcessId::new))
     }
 
     /// The quorum system this tracker checks against.
+    #[must_use]
     pub fn system(&self) -> MQuorumSystem {
         self.system
     }

@@ -209,7 +209,7 @@ impl BrickServer {
                         }
                     }
                     _ if self.crashed => {} // a dead brick is silent
-                    Event::Net { from, env } => self.on_net(from, env),
+                    Event::Net { from, env } => self.on_net(from, &env),
                     Event::Invoke { spec, reply } => self.on_invoke(spec, reply),
                 }
             }
@@ -243,7 +243,7 @@ impl BrickServer {
         self.coordinator.observe_timestamp(newest);
     }
 
-    fn on_net(&mut self, from: ProcessId, env: Envelope) {
+    fn on_net(&mut self, from: ProcessId, env: &Envelope) {
         match &env.kind {
             Payload::Request(req) => {
                 let stripe = env.stripe;
@@ -286,7 +286,7 @@ impl BrickServer {
                 }
             }
             Payload::Reply(_) => {
-                self.coordinator.on_reply(&mut self.io, from, &env);
+                self.coordinator.on_reply(&mut self.io, from, env);
             }
         }
     }
@@ -404,10 +404,10 @@ impl RuntimeCluster {
     pub fn with_persistence<P: AsRef<std::path::Path>>(cfg: RegisterConfig, dir: P) -> Self {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).expect("create brick store directory");
-        Self::build(cfg, Some(dir))
+        Self::build(cfg, Some(&dir))
     }
 
-    fn build(mut cfg: RegisterConfig, store_dir: Option<std::path::PathBuf>) -> Self {
+    fn build(mut cfg: RegisterConfig, store_dir: Option<&std::path::Path>) -> Self {
         if cfg.retransmit_interval < 5_000 {
             cfg.retransmit_interval = 20_000;
         }
@@ -420,7 +420,7 @@ impl RuntimeCluster {
         let mut handles = Vec::with_capacity(n);
         for (i, (_, inbox)) in channels.into_iter().enumerate() {
             let pid = ProcessId::new(i as u32);
-            let store = store_dir.as_ref().map(|dir| {
+            let store = store_dir.map(|dir| {
                 BrickStore::open(dir.join(format!("brick-{i}.log"))).expect("open brick store")
             });
             let mut server = BrickServer {
@@ -533,7 +533,7 @@ impl RuntimeClient {
         &self.cfg
     }
 
-    fn invoke(&mut self, spec: OpSpec) -> Result<OpResult, RuntimeError> {
+    fn invoke(&mut self, spec: &OpSpec) -> Result<OpResult, RuntimeError> {
         let n = self.senders.len();
         // Try up to n bricks: a crashed brick never answers, the next one
         // will (client-side failover needs no failure detector — §1.3).
@@ -567,7 +567,7 @@ impl RuntimeClient {
     ///
     /// [`RuntimeError`] on timeout, malformed request, or shutdown.
     pub fn read_stripe(&mut self, stripe: StripeId) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::ReadStripe(stripe))
+        self.invoke(&OpSpec::ReadStripe(stripe))
     }
 
     /// Writes a whole stripe.
@@ -580,7 +580,7 @@ impl RuntimeClient {
         stripe: StripeId,
         blocks: Vec<Bytes>,
     ) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::WriteStripe(stripe, blocks))
+        self.invoke(&OpSpec::WriteStripe(stripe, blocks))
     }
 
     /// Reads one block.
@@ -589,7 +589,7 @@ impl RuntimeClient {
     ///
     /// [`RuntimeError`] on timeout, malformed request, or shutdown.
     pub fn read_block(&mut self, stripe: StripeId, j: usize) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::ReadBlock(stripe, j))
+        self.invoke(&OpSpec::ReadBlock(stripe, j))
     }
 
     /// Writes one block.
@@ -603,7 +603,7 @@ impl RuntimeClient {
         j: usize,
         block: Bytes,
     ) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::WriteBlock(stripe, j, block))
+        self.invoke(&OpSpec::WriteBlock(stripe, j, block))
     }
 
     /// Reads several blocks of one stripe in one operation.
@@ -616,7 +616,7 @@ impl RuntimeClient {
         stripe: StripeId,
         js: Vec<usize>,
     ) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::ReadBlocks(stripe, js))
+        self.invoke(&OpSpec::ReadBlocks(stripe, js))
     }
 
     /// Writes several blocks of one stripe in one operation.
@@ -629,7 +629,7 @@ impl RuntimeClient {
         stripe: StripeId,
         updates: Vec<(usize, Bytes)>,
     ) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::WriteBlocks(stripe, updates))
+        self.invoke(&OpSpec::WriteBlocks(stripe, updates))
     }
 
     /// Scrubs one stripe: recovers the current value and writes it back to
@@ -640,7 +640,7 @@ impl RuntimeClient {
     ///
     /// [`RuntimeError`] on timeout or shutdown.
     pub fn scrub(&mut self, stripe: StripeId) -> Result<OpResult, RuntimeError> {
-        self.invoke(OpSpec::Scrub(stripe))
+        self.invoke(&OpSpec::Scrub(stripe))
     }
 }
 
@@ -688,7 +688,7 @@ mod tests {
         // slow-path materialization or as the nil initial value).
         match client.read_block(StripeId(3), 0).unwrap() {
             OpResult::Block(v) => {
-                assert_eq!(v.materialize(16), Bytes::from(vec![0u8; 16]))
+                assert_eq!(v.materialize(16), Some(Bytes::from(vec![0u8; 16])));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -703,7 +703,7 @@ mod tests {
             let mut client = cluster.client();
             handles.push(std::thread::spawn(move || {
                 // Each thread owns its own stripe: no conflicts.
-                let stripe = StripeId(t as u64);
+                let stripe = StripeId(u64::from(t));
                 for i in 0..10u8 {
                     let data = blocks(2, t.wrapping_mul(31).wrapping_add(i), 16);
                     let w = client.write_stripe(stripe, data.clone()).unwrap();

@@ -18,7 +18,7 @@ use fab_timestamp::ProcessId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Virtual time in abstract ticks.
 pub type SimTime = u64;
@@ -216,7 +216,7 @@ pub struct Simulation<A: Actor> {
     /// Partition group of each process; differing groups cannot exchange
     /// messages.
     partition: Vec<u32>,
-    cancelled: HashSet<TimerId>,
+    cancelled: BTreeSet<TimerId>,
     next_timer: u64,
     metrics: NetMetrics,
     fingerprint: u64,
@@ -263,7 +263,7 @@ impl<A: Actor> Simulation<A> {
                 .collect(),
             rng,
             partition: vec![0; n],
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_timer: 0,
             metrics: NetMetrics::default(),
             fingerprint: 0xcbf29ce484222325,
@@ -372,7 +372,7 @@ impl<A: Actor> Simulation<A> {
         }
         // Isolate unnamed processes with unique group ids.
         let mut next = groups.len() as u32;
-        for a in assignment.iter_mut() {
+        for a in &mut assignment {
             if *a == u32::MAX {
                 *a = next;
                 next += 1;
@@ -438,7 +438,7 @@ impl<A: Actor> Simulation<A> {
             EventKind::Recover(pid) => {
                 if self.slots[pid.index()].crashed {
                     self.slots[pid.index()].crashed = false;
-                    self.with_context(pid, |actor, ctx| actor.on_recover(ctx));
+                    self.with_context(pid, Actor::on_recover);
                 }
             }
             EventKind::SetPartition(assignment) => {
@@ -604,13 +604,13 @@ impl<A: Actor> Simulation<A> {
         const PRIME: u64 = 0x100000001b3;
         let tag: u64 = match kind {
             EventKind::Deliver { to, from, .. } => {
-                0x10 | ((to.value() as u64) << 8) | ((from.value() as u64) << 24)
+                0x10 | (u64::from(to.value()) << 8) | (u64::from(from.value()) << 24)
             }
-            EventKind::Timer { pid, id, .. } => 0x20 | ((pid.value() as u64) << 8) | (id.0 << 24),
-            EventKind::Crash(p) => 0x30 | ((p.value() as u64) << 8),
-            EventKind::Recover(p) => 0x40 | ((p.value() as u64) << 8),
+            EventKind::Timer { pid, id, .. } => 0x20 | (u64::from(pid.value()) << 8) | (id.0 << 24),
+            EventKind::Crash(p) => 0x30 | (u64::from(p.value()) << 8),
+            EventKind::Recover(p) => 0x40 | (u64::from(p.value()) << 8),
             EventKind::SetPartition(_) => 0x50,
-            EventKind::Call { pid, .. } => 0x60 | ((pid.value() as u64) << 8),
+            EventKind::Call { pid, .. } => 0x60 | (u64::from(pid.value()) << 8),
         };
         for word in [time, seq, tag] {
             self.fingerprint ^= word;

@@ -87,7 +87,7 @@ proptest! {
     ) {
         let cfg = SimConfig::ideal(seed)
             .delays(1, max_delay)
-            .drop_probability(drop_pct as f64 / 100.0);
+            .drop_probability(f64::from(drop_pct) / 100.0);
         let mut sim = Simulation::new(
             cfg,
             vec![Retx::new(ProcessId::new(1)), Retx::new(ProcessId::new(0))],
@@ -116,7 +116,7 @@ proptest! {
         let run = |s: u64| {
             let cfg = SimConfig::ideal(s)
                 .delays(1, 20)
-                .drop_probability(drop_pct as f64 / 100.0);
+                .drop_probability(f64::from(drop_pct) / 100.0);
             let mut sim = Simulation::new(
                 cfg,
                 vec![Retx::new(ProcessId::new(1)), Retx::new(ProcessId::new(0))],

@@ -46,17 +46,23 @@ pub struct ProcessId(u32);
 
 impl ProcessId {
     /// Creates a process id.
+    #[must_use]
     pub const fn new(id: u32) -> Self {
         ProcessId(id)
     }
 
     /// The raw integer id.
+    #[must_use]
     pub const fn value(self) -> u32 {
         self.0
     }
 
     /// The id as an index into dense per-process arrays.
+    #[must_use]
     pub const fn index(self) -> usize {
+        // `TryFrom` is not callable in a `const fn`; u32→usize is widening
+        // on every supported platform, so `as` cannot truncate here.
+        // xtask-allow(no-as-truncation): widening u32→usize in a const fn
         self.0 as usize
     }
 }
@@ -115,6 +121,7 @@ impl Timestamp {
     ///
     /// Panics if the parts equal a sentinel (`(0, 0)` or
     /// `(u64::MAX, u32::MAX)`).
+    #[must_use]
     pub fn from_parts(ticks: u64, pid: ProcessId) -> Self {
         let ts = Timestamp {
             ticks,
@@ -128,21 +135,25 @@ impl Timestamp {
     }
 
     /// The logical tick count.
+    #[must_use]
     pub const fn ticks(self) -> u64 {
         self.ticks
     }
 
     /// The issuing process id.
+    #[must_use]
     pub const fn pid(self) -> ProcessId {
         ProcessId::new(self.pid)
     }
 
     /// Returns `true` if this is the `LowTS` sentinel.
+    #[must_use]
     pub fn is_low(self) -> bool {
         self == Timestamp::LOW
     }
 
     /// Returns `true` if this is the `HighTS` sentinel.
+    #[must_use]
     pub fn is_high(self) -> bool {
         self == Timestamp::HIGH
     }
@@ -187,6 +198,7 @@ pub struct TimestampGenerator {
 
 impl TimestampGenerator {
     /// Creates a generator owned by `pid` with no skew.
+    #[must_use]
     pub fn new(pid: ProcessId) -> Self {
         TimestampGenerator {
             pid,
@@ -197,6 +209,7 @@ impl TimestampGenerator {
 
     /// Creates a generator whose clock hints are offset by `skew` ticks
     /// (positive = fast clock, negative = slow clock).
+    #[must_use]
     pub fn with_skew(pid: ProcessId, skew: i64) -> Self {
         TimestampGenerator {
             pid,
@@ -206,11 +219,13 @@ impl TimestampGenerator {
     }
 
     /// The owning process.
+    #[must_use]
     pub fn pid(&self) -> ProcessId {
         self.pid
     }
 
     /// The configured skew in ticks.
+    #[must_use]
     pub fn skew(&self) -> i64 {
         self.skew
     }
@@ -219,6 +234,7 @@ impl TimestampGenerator {
     ///
     /// Guarantees `LowTS < result < HighTS`, strict per-process
     /// monotonicity, and cross-process uniqueness (by pid tiebreak).
+    #[must_use]
     pub fn next(&mut self, clock_hint: u64) -> Timestamp {
         let skewed = clock_hint.saturating_add_signed(self.skew);
         // Never mint tick 0 (collides with LowTS when pid is 0) and never

@@ -185,7 +185,7 @@ impl<C: RegisterClient> Volume<C> {
     ///
     /// [`VolumeError::WrongBlockLength`] unless `data` is exactly one
     /// block; otherwise as [`Volume::read_block`].
-    pub fn write_block(&mut self, block: u64, data: Bytes) -> Result<(), VolumeError> {
+    pub fn write_block(&mut self, block: u64, data: &Bytes) -> Result<(), VolumeError> {
         self.check_block(block)?;
         if data.len() != self.geometry.block_size {
             return Err(VolumeError::WrongBlockLength {
@@ -235,10 +235,10 @@ impl<C: RegisterClient> Volume<C> {
     fn fetch_blocks(
         &mut self,
         stripe: fab_core::StripeId,
-        js: Vec<usize>,
+        js: &[usize],
     ) -> Result<Vec<Bytes>, VolumeError> {
         let bs = self.geometry.block_size;
-        let result = self.retry(|c| c.read_blocks(stripe, js.clone()))?;
+        let result = self.retry(|c| c.read_blocks(stripe, js.to_vec()))?;
         match result {
             OpResult::Blocks(values) => Ok(values
                 .into_iter()
@@ -271,7 +271,7 @@ impl<C: RegisterClient> Volume<C> {
             let mut js: Vec<usize> = items.iter().map(|&(j, ..)| j).collect();
             js.sort_unstable();
             js.dedup();
-            let blocks = self.fetch_blocks(stripe, js.clone())?;
+            let blocks = self.fetch_blocks(stripe, &js)?;
             for (j, block, within, take) in items {
                 let data = &blocks[js.iter().position(|&x| x == j).expect("listed")];
                 let dst = (block * bs + within as u64 - offset) as usize;
@@ -309,7 +309,7 @@ impl<C: RegisterClient> Volume<C> {
             let partial_blocks = if partial_js.is_empty() {
                 Vec::new()
             } else {
-                self.fetch_blocks(stripe, partial_js.clone())?
+                self.fetch_blocks(stripe, &partial_js)?
             };
             let mut updates: Vec<(usize, Bytes)> = Vec::with_capacity(items.len());
             for (j, block, within, take) in items {
@@ -380,17 +380,17 @@ impl<C: RegisterClient> Volume<C> {
     pub fn write_stripe(
         &mut self,
         stripe: fab_core::StripeId,
-        blocks: Vec<Bytes>,
+        blocks: &[Bytes],
     ) -> Result<(), VolumeError> {
         if blocks.len() != self.geometry.m
             || blocks.iter().any(|b| b.len() != self.geometry.block_size)
         {
             return Err(VolumeError::WrongBlockLength {
                 expected: self.geometry.block_size,
-                actual: blocks.first().map_or(0, |b| b.len()),
+                actual: blocks.first().map_or(0, Bytes::len),
             });
         }
-        let result = self.retry(|c| c.write_stripe(stripe, blocks.clone()))?;
+        let result = self.retry(|c| c.write_stripe(stripe, blocks.to_vec()))?;
         debug_assert_eq!(result, OpResult::Written);
         Ok(())
     }
@@ -470,7 +470,7 @@ mod tests {
     fn block_write_read_round_trip() {
         let mut v = volume(2, 4, 4, 16, Layout::Interleaved);
         let data = Bytes::from(vec![0xAB; 16]);
-        v.write_block(5, data.clone()).unwrap();
+        v.write_block(5, &data).unwrap();
         assert_eq!(v.read_block(5).unwrap(), data);
         // Neighbors untouched.
         assert_eq!(v.read_block(4).unwrap(), Bytes::from(vec![0u8; 16]));
@@ -491,7 +491,7 @@ mod tests {
     #[test]
     fn sub_block_write_preserves_surroundings() {
         let mut v = volume(2, 4, 2, 16, Layout::Linear);
-        v.write_block(0, Bytes::from(vec![0x11; 16])).unwrap();
+        v.write_block(0, &Bytes::from(vec![0x11; 16])).unwrap();
         v.write(4, b"XYZ").unwrap();
         let got = v.read_block(0).unwrap();
         assert_eq!(&got[..4], &[0x11; 4]);
@@ -503,7 +503,7 @@ mod tests {
     fn stripe_io_round_trip() {
         let mut v = volume(3, 5, 4, 8, Layout::Linear);
         let blocks: Vec<Bytes> = (0..3).map(|i| Bytes::from(vec![i as u8 + 1; 8])).collect();
-        v.write_stripe(fab_core::StripeId(2), blocks.clone())
+        v.write_stripe(fab_core::StripeId(2), &blocks)
             .unwrap();
         assert_eq!(v.read_stripe(fab_core::StripeId(2)).unwrap(), blocks);
         // Via the linear byte mapping, stripe 2 is bytes 48..72.
@@ -518,11 +518,11 @@ mod tests {
             Err(VolumeError::OutOfRange { .. })
         ));
         assert!(matches!(
-            v.write_block(4, Bytes::from(vec![0u8; 16])),
+            v.write_block(4, &Bytes::from(vec![0u8; 16])),
             Err(VolumeError::OutOfRange { .. })
         ));
         assert!(matches!(
-            v.write_block(0, Bytes::from(vec![0u8; 5])),
+            v.write_block(0, &Bytes::from(vec![0u8; 5])),
             Err(VolumeError::WrongBlockLength { .. })
         ));
     }

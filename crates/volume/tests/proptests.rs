@@ -85,7 +85,7 @@ proptest! {
             VolumeGeometry::new(4, m, bs, Layout::Interleaved),
         );
         let data = Bytes::from(vec![tag; bs]);
-        vol.write_block(block_idx, data.clone()).unwrap();
+        vol.write_block(block_idx, &data).unwrap();
         let via_bytes = vol.read((block_idx as usize * bs) as u64, bs).unwrap();
         prop_assert_eq!(via_bytes, data.to_vec());
         let via_block = vol.read_block(block_idx).unwrap();

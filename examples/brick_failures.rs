@@ -25,7 +25,10 @@ fn show(result: &OpResult, size: usize) -> String {
     match result {
         OpResult::Stripe(StripeValue::Nil) => "nil (never written)".into(),
         OpResult::Stripe(StripeValue::Data(b)) => format!("stripe tagged {:#04x}", b[0][0]),
-        OpResult::Block(v) => format!("block {:?}", v.materialize(size)[0]),
+        OpResult::Block(v) => match v.materialize(size) {
+            Some(b) => format!("block {:?}", b[0]),
+            None => "block ⊥".into(),
+        },
         OpResult::Blocks(vs) => format!("{} blocks", vs.len()),
         OpResult::Written => "written".into(),
         OpResult::Aborted(r) => format!("aborted ({r})"),

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             assert!(
                                 !model.contains_key(&object),
                                 "object {object} lost its data"
-                            )
+                            );
                         }
                         OpResult::Stripe(StripeValue::Data(blocks)) => {
                             let version = model

@@ -131,17 +131,17 @@ fn rolling_restarts_under_lossy_network() {
         // Roll one brick down and the previous one up each round (never
         // more than f = 1 down at once).
         let t = c.sim().now();
-        let down = pid((round % n as u8) as u32);
+        let down = pid(u32::from(round % n as u8));
         c.sim_mut().schedule_crash(t, down);
         let data = blocks(m, round.wrapping_mul(17).wrapping_add(1), size);
-        let writer = pid(((round as u32) + 1) % n as u32);
+        let writer = pid((u32::from(round) + 1) % n as u32);
         assert_eq!(
             c.write_stripe(writer, s, data.clone()),
             OpResult::Written,
             "round {round}"
         );
         current = Some(data);
-        let reader = pid(((round as u32) + 3) % n as u32);
+        let reader = pid((u32::from(round) + 3) % n as u32);
         assert_eq!(
             c.read_stripe(reader, s),
             OpResult::Stripe(StripeValue::Data(current.clone().unwrap())),
@@ -217,12 +217,12 @@ fn heavy_duplication_is_harmless() {
     for i in 0..10u8 {
         let data = blocks(m, i.wrapping_mul(29).wrapping_add(3), size);
         assert_eq!(
-            c.write_stripe(pid((i % n as u8) as u32), s, data.clone()),
+            c.write_stripe(pid(u32::from(i % n as u8)), s, data.clone()),
             OpResult::Written,
             "round {i}"
         );
         assert_eq!(
-            c.read_stripe(pid(((i + 2) % n as u8) as u32), s),
+            c.read_stripe(pid(u32::from((i + 2) % n as u8)), s),
             OpResult::Stripe(StripeValue::Data(data)),
             "round {i}"
         );

@@ -44,7 +44,7 @@ fn gc_bounds_log_growth() {
         let mut c = SimCluster::new(cfg, SimConfig::ideal(5));
         for i in 0..50u8 {
             assert_eq!(
-                c.write_stripe(pid((i % 4) as u32), s, blocks(m, i, size)),
+                c.write_stripe(pid(u32::from(i % 4)), s, blocks(m, i, size)),
                 OpResult::Written
             );
         }
@@ -77,7 +77,7 @@ fn gc_after_block_writes_keeps_fast_reads_correct() {
     // Many block writes to block 1; block 0's replica sees only ⊥ entries.
     for i in 0..20u8 {
         assert_eq!(
-            c.write_block(pid((i % 4) as u32), s, 1, Bytes::from(vec![0x80 + i; size])),
+            c.write_block(pid(u32::from(i % 4)), s, 1, Bytes::from(vec![0x80 + i; size])),
             OpResult::Written
         );
     }

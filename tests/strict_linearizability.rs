@@ -47,7 +47,7 @@ fn tagged_blocks(m: usize, size: usize, id: ValueId) -> Vec<Bytes> {
 fn value_of(result: &StripeValue) -> ValueId {
     match result {
         StripeValue::Nil => NIL,
-        StripeValue::Data(blocks) => ((blocks[0][0] as u64) << 8) | blocks[0][1] as u64,
+        StripeValue::Data(blocks) => (u64::from(blocks[0][0]) << 8) | u64::from(blocks[0][1]),
     }
 }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full local CI gate for the FAB reproduction workspace.
+#
+# Runs every check the project treats as merge-blocking, in the order
+# cheapest-feedback-first. Any failure aborts the run (set -e) and the
+# script exits non-zero, so it can be dropped into any CI runner as-is:
+#
+#   ./tools/ci.sh
+#
+# Stages:
+#   1. release build          — the code must compile with optimizations
+#   2. test suite             — workspace unit + integration tests
+#   3. bench compile          — criterion benches must keep building
+#   4. protocol static lints  — `cargo xtask analyze` (L1–L6, zero tolerance)
+#   5. clippy                 — workspace lint wall, warnings are errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo bench --no-run
+run cargo xtask analyze
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "ci.sh: all gates passed"

@@ -1,0 +1,321 @@
+//! Minimal lexical pass over Rust source.
+//!
+//! The analyzer deliberately does **not** parse Rust into an AST (that would
+//! require `syn`, which the hermetic CI image does not ship). Instead we run a
+//! byte-level state machine that produces a *masked* copy of the source —
+//! identical length, identical line structure, but with the contents of
+//! comments, string literals, char literals and raw strings blanked out.
+//! Every downstream lint then works on the masked text, which means a token
+//! match like `panic!` or `HashMap` can never be fooled by a comment or a
+//! string literal that merely mentions the token.
+//!
+//! The pass also collects the comments it strips (with their 1-based line
+//! numbers) so lints can look for structured annotations: `// SAFETY: ...`
+//! and `// xtask-allow(<lint-id>): <reason>`.
+
+/// A comment harvested during masking. `text` is the comment body with the
+/// leading `//`, `///`, `//!`, `/*`, `/**` delimiters removed and trimmed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment.
+    pub line: usize,
+    pub text: String,
+}
+
+/// Result of [`mask`].
+#[derive(Debug)]
+pub struct Masked {
+    /// Same byte length as the input; comments/strings/chars blanked with
+    /// spaces (newlines preserved so offsets and line numbers line up).
+    pub text: String,
+    pub comments: Vec<Comment>,
+}
+
+fn blank(out: &mut [u8], range: core::ops::Range<usize>) {
+    for b in &mut out[range] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn count_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
+}
+
+fn strip_comment_delims(s: &str) -> String {
+    let s = s
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim_start_matches('!');
+    s.trim().trim_end_matches("*/").trim().to_string()
+}
+
+/// True when `b` can be part of an identifier (used for word boundaries and
+/// for telling raw-string prefixes apart from identifiers ending in `r`/`b`).
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and literals out of `src`, preserving length and newlines.
+pub fn mask(src: &str) -> Masked {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < len {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < len && b[i + 1] == b'/' => {
+                let start = i;
+                while i < len && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: strip_comment_delims(&src[start..i]),
+                });
+                blank(&mut out, start..i);
+            }
+            b'/' if i + 1 < len && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < len && depth > 0 {
+                    if i + 1 < len && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < len && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: strip_comment_delims(&src[start..i]),
+                });
+                blank(&mut out, start..i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < len {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = i.min(len);
+                line += count_newlines(&b[start..end]);
+                blank(&mut out, start..end);
+            }
+            b'r' | b'b' if (i == 0 || !is_ident_byte(b[i - 1])) => {
+                // Possible raw string r"…", r#"…"#, byte string b"…", byte
+                // char b'…', or raw byte string br#"…"#.
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                    if j < len && b[j] == b'\'' {
+                        // byte char literal b'x'
+                        let start = i;
+                        i = j + 1;
+                        while i < len {
+                            match b[i] {
+                                b'\\' => i += 2,
+                                b'\'' => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                        blank(&mut out, start..i.min(len));
+                        continue;
+                    }
+                }
+                let is_raw = j < len && b[j] == b'r';
+                if is_raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while is_raw && j < len && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < len && b[j] == b'"' && (is_raw || b[i] == b'b') {
+                    let start = i;
+                    i = j + 1;
+                    if is_raw {
+                        // scan for `"` followed by `hashes` hash marks
+                        'scan: while i < len {
+                            if b[i] == b'"' {
+                                let mut k = i + 1;
+                                let mut seen = 0usize;
+                                while k < len && b[k] == b'#' && seen < hashes {
+                                    k += 1;
+                                    seen += 1;
+                                }
+                                if seen == hashes {
+                                    i = k;
+                                    break 'scan;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        // plain byte string with escapes
+                        while i < len {
+                            match b[i] {
+                                b'\\' => i += 2,
+                                b'"' => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                    }
+                    let end = i.min(len);
+                    line += count_newlines(&b[start..end]);
+                    blank(&mut out, start..end);
+                } else {
+                    i += 1; // ordinary identifier starting with r/b
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'\u{1F4}'`).
+                let next_is_escape = i + 1 < len && b[i + 1] == b'\\';
+                let simple_char = i + 2 < len && b[i + 2] == b'\'' && b[i + 1] != b'\\';
+                if next_is_escape || simple_char {
+                    let start = i;
+                    i += 1;
+                    while i < len {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    blank(&mut out, start..i.min(len));
+                } else {
+                    i += 1; // lifetime tick
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Masked {
+        text: String::from_utf8(out).unwrap_or_else(|e| {
+            // Blanking only writes ASCII spaces over whole comment/literal
+            // regions; any multi-byte UTF-8 in code position is left intact,
+            // but a literal that *ends* mid-escape at EOF could, in theory,
+            // leave a dangling continuation byte. Degrade to lossy rather
+            // than aborting the analysis run.
+            String::from_utf8_lossy(e.as_bytes()).into_owned()
+        }),
+        comments,
+    }
+}
+
+/// All offsets at which `word` occurs in `text` with identifier boundaries on
+/// both sides.
+pub fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut found = Vec::new();
+    for (off, _) in text.match_indices(word) {
+        let before_ok = off == 0 || !is_ident_byte(bytes[off - 1]);
+        let after = off + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            found.push(off);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_and_strings() {
+        let src = "let x = 1; // panic! in comment\nlet s = \"panic!(inside)\";\n";
+        let m = mask(src);
+        assert_eq!(m.text.len(), src.len());
+        assert!(!m.text.contains("panic"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(m.comments[0].text.contains("panic! in comment"));
+    }
+
+    #[test]
+    fn masks_block_comments_with_nesting_and_lines() {
+        let src = "a\n/* outer /* inner */ still */\nb // tail\n";
+        let m = mask(src);
+        assert!(m.text.contains('a'));
+        assert!(m.text.contains('b'));
+        assert!(!m.text.contains("outer"));
+        assert!(!m.text.contains("still"));
+        assert_eq!(m.comments[0].line, 2);
+        assert_eq!(m.comments[1].line, 3);
+        assert_eq!(m.comments[1].text, "tail");
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let m = mask(src);
+        assert!(m.text.contains("<'a>"), "lifetime must survive masking");
+        assert!(!m.text.contains("'x'"), "char literal must be blanked");
+    }
+
+    #[test]
+    fn masks_escaped_char_and_raw_strings() {
+        let src = r###"let a = '\n'; let b = r#"raw "panic!" body"#; let c = b"bytes";"###;
+        let m = mask(src);
+        assert!(!m.text.contains("panic"));
+        assert!(!m.text.contains("raw"));
+        assert!(!m.text.contains("bytes"));
+        assert!(m.text.contains("let a"));
+        assert!(m.text.contains("let c"));
+    }
+
+    #[test]
+    fn preserves_newlines_inside_literals() {
+        let src = "let s = \"line1\nline2\";\nlet t = 3;";
+        let m = mask(src);
+        assert_eq!(
+            m.text.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline structure must be preserved for line numbering"
+        );
+    }
+
+    #[test]
+    fn word_occurrences_respects_boundaries() {
+        let t = "unwrap unwrap_or x.unwrap() reunwrap";
+        let occ = word_occurrences(t, "unwrap");
+        assert_eq!(occ.len(), 2); // bare `unwrap` and `.unwrap()`
+    }
+}

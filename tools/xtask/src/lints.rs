@@ -1,0 +1,799 @@
+//! The six protocol-aware lints.
+//!
+//! Rule-ID map (see DESIGN.md "Static analysis & invariant enforcement"):
+//!
+//! | ID  | lint name              | invariant                                          |
+//! |-----|------------------------|----------------------------------------------------|
+//! | L1  | `no-panic`             | protocol paths never panic                          |
+//! | L1b | `no-untrusted-index`   | handler code never `[]`-indexes untrusted lengths   |
+//! | L2  | `determinism`          | simnet-driven crates are bit-for-bit deterministic  |
+//! | L3  | `unsafe-audit`         | `unsafe` confined to the erasure kernel + SAFETY    |
+//! | L4  | `timestamp-discipline` | timestamps compared only as whole values            |
+//! | L5  | `no-as-truncation`     | no `as` integer casts in quorum/timestamp math      |
+//! | L6  | `log-before-send`      | replies leave a persistence trace before sending    |
+//!
+//! Every lint honours `// xtask-allow(<name>): <reason>` on the flagged line
+//! or the line above, and skips `#[cfg(test)]` modules entirely.
+
+use crate::lexer::{is_ident_byte, word_occurrences};
+use crate::model::SourceFile;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.lint, self.msg)
+    }
+}
+
+pub struct Lint {
+    pub id: &'static str,
+    pub rule: &'static str,
+    pub desc: &'static str,
+    pub check: fn(&SourceFile, &mut Vec<Diagnostic>),
+}
+
+pub fn registry() -> Vec<Lint> {
+    vec![
+        Lint {
+            id: "no-panic",
+            rule: "L1",
+            desc: "no unwrap/expect/panic!/unreachable!/todo! in fab-core or fab-simnet protocol code",
+            check: no_panic,
+        },
+        Lint {
+            id: "no-untrusted-index",
+            rule: "L1b",
+            desc: "no non-literal [] indexing inside message/state-machine handler functions",
+            check: no_untrusted_index,
+        },
+        Lint {
+            id: "determinism",
+            rule: "L2",
+            desc: "no wall clocks, OS entropy, threads, or hash-order iteration in simnet-driven crates",
+            check: determinism,
+        },
+        Lint {
+            id: "unsafe-audit",
+            rule: "L3",
+            desc: "unsafe only in fab-erasure kernel modules, each block with a SAFETY: comment",
+            check: unsafe_audit,
+        },
+        Lint {
+            id: "timestamp-discipline",
+            rule: "L4",
+            desc: "no field-wise timestamp comparison outside fab-timestamp (whole-value Ord only)",
+            check: timestamp_discipline,
+        },
+        Lint {
+            id: "no-as-truncation",
+            rule: "L5",
+            desc: "no `as` integer casts in quorum/timestamp arithmetic (use From/TryFrom)",
+            check: no_as_truncation,
+        },
+        Lint {
+            id: "log-before-send",
+            rule: "L6",
+            desc: "fab-core sends must be preceded by a persistence/log call in the same function",
+            check: log_before_send,
+        },
+    ]
+}
+
+/// Run every lint (plus allow-directive hygiene) over one file.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for line in &file.malformed_allows {
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: *line,
+            lint: "malformed-allow",
+            msg: "xtask-allow directive must be `xtask-allow(<lint>): <reason>` with a non-empty reason".into(),
+        });
+    }
+    for lint in registry() {
+        (lint.check)(file, out);
+    }
+}
+
+// ---------------------------------------------------------------- scoping --
+
+fn in_core(p: &str) -> bool {
+    p.starts_with("crates/core/src/")
+}
+
+fn in_simnet(p: &str) -> bool {
+    p.starts_with("crates/simnet/src/")
+}
+
+/// Crates whose execution is driven by the deterministic simulator and must
+/// therefore replay bit-for-bit from a seed.
+fn simnet_driven(p: &str) -> bool {
+    in_core(p) || in_simnet(p) || p.starts_with("crates/quorum/src/")
+}
+
+fn kernel_file(p: &str) -> bool {
+    p == "crates/erasure/src/kernel.rs" || p.starts_with("crates/erasure/src/kernel/")
+}
+
+// ---------------------------------------------------------------- helpers --
+
+fn push(
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+    lint: &'static str,
+    off: usize,
+    msg: String,
+) {
+    let line = file.line_of(off);
+    if file.in_test(off) || file.allowed(lint, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        path: file.path.clone(),
+        line,
+        lint,
+        msg,
+    });
+}
+
+/// Occurrences of `.word` (method-call position) in the masked text.
+fn method_occurrences(file: &SourceFile, word: &str) -> Vec<usize> {
+    let b = file.masked.as_bytes();
+    word_occurrences(&file.masked, word)
+        .into_iter()
+        .filter(|&off| off > 0 && b[off - 1] == b'.')
+        .collect()
+}
+
+/// First non-whitespace byte at or after `off`, with its offset.
+fn next_token_byte(text: &str, mut off: usize) -> Option<(usize, u8)> {
+    let b = text.as_bytes();
+    while off < b.len() {
+        if !(b[off] as char).is_whitespace() {
+            return Some((off, b[off]));
+        }
+        off += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------- L1 -------
+
+fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !(in_core(&file.path) || in_simnet(&file.path)) {
+        return;
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for off in word_occurrences(&file.masked, mac) {
+            let b = file.masked.as_bytes();
+            let after = off + mac.len();
+            if after < b.len() && b[after] == b'!' {
+                push(
+                    file,
+                    out,
+                    "no-panic",
+                    off,
+                    format!("`{mac}!` in protocol code; return a typed error instead"),
+                );
+            }
+        }
+    }
+    for meth in ["unwrap", "expect"] {
+        for off in method_occurrences(file, meth) {
+            push(
+                file,
+                out,
+                "no-panic",
+                off,
+                format!("`.{meth}()` in protocol code; use `?`, `unwrap_or`, or a typed error"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L1b ------
+
+/// Handler functions: the message/state-machine entry points named by the
+/// protocol (`on_*`, `handle*`, `progress_*`, `invoke_*`) in fab-core's
+/// coordinator/replica/brick and fab-simnet's event loop.
+fn handler_fn(name: &str) -> bool {
+    name.starts_with("on_")
+        || name.starts_with("handle")
+        || name.starts_with("progress_")
+        || name.starts_with("invoke_")
+}
+
+fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let scoped = matches!(
+        file.path.as_str(),
+        "crates/core/src/coordinator.rs"
+            | "crates/core/src/replica.rs"
+            | "crates/core/src/brick.rs"
+            | "crates/simnet/src/sim.rs"
+    );
+    if !scoped {
+        return;
+    }
+    let b = file.masked.as_bytes();
+    for f in &file.fns {
+        if !handler_fn(&f.name) || f.body.is_empty() {
+            continue;
+        }
+        let body = &file.masked[f.body.clone()];
+        let base = f.body.start;
+        let bytes = body.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                let prev = base + i;
+                // Indexing requires an expression before `[`: ident, `)`, `]`.
+                let is_index = prev > 0
+                    && (is_ident_byte(b[prev - 1]) || b[prev - 1] == b')' || b[prev - 1] == b']');
+                if is_index {
+                    // Find matching `]` at depth 1.
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    while j < bytes.len() && depth > 0 {
+                        match bytes[j] {
+                            b'[' => depth += 1,
+                            b']' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let inner = body[i + 1..j.saturating_sub(1)].trim();
+                    let literal = !inner.is_empty() && inner.bytes().all(|c| c.is_ascii_digit());
+                    let range = inner.contains("..");
+                    if !literal && !range {
+                        push(
+                            file,
+                            out,
+                            "no-untrusted-index",
+                            prev,
+                            format!(
+                                "non-literal index `[{inner}]` in handler `{}`; use .get()/.get_mut() and refuse malformed input",
+                                f.name
+                            ),
+                        );
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L2 -------
+
+fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !simnet_driven(&file.path) {
+        return;
+    }
+    let cases: &[(&str, &str)] = &[
+        ("Instant", "wall-clock time; use Effects::now() / simulated time"),
+        ("SystemTime", "wall-clock time; use Effects::now() / simulated time"),
+        ("thread_rng", "OS entropy; use the seeded Effects::rand_u64()"),
+        ("HashMap", "hash-order iteration is nondeterministic; use BTreeMap"),
+        ("HashSet", "hash-order iteration is nondeterministic; use BTreeSet"),
+    ];
+    for (word, why) in cases {
+        for off in word_occurrences(&file.masked, word) {
+            push(
+                file,
+                out,
+                "determinism",
+                off,
+                format!("`{word}` in simnet-driven crate: {why}"),
+            );
+        }
+    }
+    // thread::spawn / std::thread
+    for off in word_occurrences(&file.masked, "spawn") {
+        let before = &file.masked[..off];
+        if before.ends_with("thread::") {
+            push(
+                file,
+                out,
+                "determinism",
+                off,
+                "OS threads in simnet-driven crate break deterministic replay".to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L3 -------
+
+fn unsafe_audit(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for off in word_occurrences(&file.masked, "unsafe") {
+        // `unsafe_code` / `unsafe_op_in_unsafe_fn` lint names are excluded by
+        // word boundaries already; attribute text like `deny(unsafe_code)`
+        // never contains the bare word.
+        let line = file.line_of(off);
+        if !kernel_file(&file.path) {
+            push(
+                file,
+                out,
+                "unsafe-audit",
+                off,
+                "`unsafe` outside crates/erasure kernel modules".to_string(),
+            );
+        } else {
+            // An `unsafe fn` declaration states its caller contract in a
+            // `# Safety` doc section, which may sit above the 3-line window
+            // that suffices for `unsafe { .. }` blocks.
+            let after = file.masked.get(off + 6..).unwrap_or("").trim_start();
+            let is_decl = after.starts_with("fn")
+                && !after.as_bytes().get(2).copied().is_some_and(is_ident_byte);
+            if is_decl && file.fn_has_safety_doc(line) {
+                continue;
+            }
+            if !file.has_safety_comment(line) {
+                push(
+                    file,
+                    out,
+                    "unsafe-audit",
+                    off,
+                    "`unsafe` without a `// SAFETY:` comment in the preceding 3 lines \
+                     (or a `# Safety` doc section for an `unsafe fn`)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L4 -------
+
+fn timestamp_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.starts_with("crates/timestamp/src/") {
+        return;
+    }
+    for meth in ["ticks", "pid"] {
+        for off in method_occurrences(file, meth) {
+            // Only flag when the component value flows straight into a
+            // comparison: `.ticks() <`, `.pid() ==`, `.ticks().cmp(`, etc.
+            let b = file.masked.as_bytes();
+            let mut call_end = off + meth.len();
+            // skip `()`
+            if let Some((p, b'(')) = next_token_byte(&file.masked, call_end) {
+                let mut depth = 0usize;
+                let mut j = p;
+                while j < b.len() {
+                    match b[j] {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                call_end = j + 1;
+            } else {
+                continue; // field access or different method — not ours
+            }
+            let tail = file.masked[call_end.min(file.masked.len())..].trim_start();
+            let compared = tail.starts_with("==")
+                || tail.starts_with("!=")
+                || tail.starts_with("<=")
+                || tail.starts_with(">=")
+                || (tail.starts_with('<') && !tail.starts_with("<<"))
+                || (tail.starts_with('>') && !tail.starts_with(">>"))
+                || tail.starts_with(".cmp(")
+                || tail.starts_with(".min(")
+                || tail.starts_with(".max(");
+            if compared {
+                push(
+                    file,
+                    out,
+                    "timestamp-discipline",
+                    off,
+                    format!(
+                        "comparison on `.{meth}()` component; compare whole `Timestamp` values (derived lexicographic Ord)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L5 -------
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+fn no_as_truncation(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let scoped = file.path.starts_with("crates/quorum/src/")
+        || file.path.starts_with("crates/timestamp/src/");
+    if !scoped {
+        return;
+    }
+    for off in word_occurrences(&file.masked, "as") {
+        let after = &file.masked[off + 2..];
+        let trimmed = after.trim_start();
+        let Some(ty) = INT_TYPES.iter().find(|t| {
+            trimmed.starts_with(**t)
+                && trimmed[t.len()..]
+                    .bytes()
+                    .next()
+                    .is_none_or(|b| !is_ident_byte(b))
+        }) else {
+            continue;
+        };
+        push(
+            file,
+            out,
+            "no-as-truncation",
+            off,
+            format!("`as {ty}` cast in quorum/timestamp arithmetic; use From/TryFrom (or justify with xtask-allow)"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- L6 -------
+
+/// Tokens that count as "a persistence/log action happened" before a send.
+/// This is intentionally a heuristic (documented in DESIGN.md): the protocol
+/// invariant is that a replica's reply must not leave the brick before the
+/// corresponding `PersistEvent` is durably recorded (paper §4, crash
+/// recovery), and the replica funnels every state change through
+/// `Replica::handle` / the log/persist APIs.
+const PERSIST_MARKERS: &[&str] = &["persist", "log", "store", "record", "handle"];
+
+fn log_before_send(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_core(&file.path) {
+        return;
+    }
+    for f in &file.fns {
+        if f.body.is_empty() {
+            continue;
+        }
+        let sends: Vec<usize> = method_occurrences(file, "send")
+            .into_iter()
+            .filter(|off| f.body.contains(off))
+            .filter(|off| file.enclosing_fn(*off).map(|e| e.start) == Some(f.start))
+            .collect();
+        let Some(&first_send) = sends.first() else {
+            continue;
+        };
+        let prefix = &file.masked[f.body.start..first_send];
+        let persisted = PERSIST_MARKERS
+            .iter()
+            .any(|m| !word_occurrences(prefix, m).is_empty());
+        if !persisted {
+            push(
+                file,
+                out,
+                "log-before-send",
+                first_send,
+                format!(
+                    "`send` in `{}` with no preceding persistence/log call in the same function",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tests ----
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_lint(id: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src);
+        let lint = registry()
+            .into_iter()
+            .find(|l| l.id == id)
+            .expect("known lint id");
+        let mut out = Vec::new();
+        (lint.check)(&file, &mut out);
+        out
+    }
+
+    const CORE: &str = "crates/core/src/coordinator.rs";
+
+    // ------------------------------------------------------------ L1 -------
+
+    #[test]
+    fn l1_fires_on_seeded_violations() {
+        let src = "\
+fn on_reply(&mut self) {
+    let op = self.ops.get(&id).expect(\"live op\");
+    let ts = op.ts.unwrap();
+    match phase {
+        Phase::Done => unreachable!(\"no progress after completion\"),
+        _ => panic!(\"bad phase\"),
+    }
+}
+";
+        let d = run_lint("no-panic", CORE, src);
+        assert_eq!(d.len(), 4, "expect/unwrap/unreachable!/panic! all fire: {d:?}");
+        assert!(d.iter().all(|x| x.lint == "no-panic"));
+        assert_eq!(d[0].path, CORE);
+    }
+
+    #[test]
+    fn l1_silent_on_clean_code_and_out_of_scope() {
+        let clean = "\
+fn on_reply(&mut self) -> Result<(), ProtocolError> {
+    let op = self.ops.get(&id).ok_or(ProtocolError::UnknownOp(id))?;
+    let ts = op.ts.unwrap_or_default();
+    Ok(())
+}
+";
+        assert!(run_lint("no-panic", CORE, clean).is_empty());
+        // Same panicky source in an unscoped crate: silent.
+        let src = "fn f() { x.unwrap(); panic!(\"boom\"); }";
+        assert!(run_lint("no-panic", "crates/erasure/src/gf256.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_skips_tests_and_honours_allow() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+fn on_timer() {
+    // xtask-allow(no-panic): timer ids are minted by this map two lines up
+    let t = self.timers.remove(&id).unwrap();
+}
+";
+        assert!(run_lint("no-panic", CORE, src).is_empty());
+    }
+
+    #[test]
+    fn l1_not_fooled_by_strings_or_comments() {
+        let src = "\
+fn on_read() {
+    // a comment that says panic!(\"nope\") and .unwrap()
+    let msg = \"do not panic!(this) or .unwrap() me\";
+    let ok = value.unwrap_or(0); // unwrap_or is fine
+}
+";
+        assert!(run_lint("no-panic", CORE, src).is_empty());
+    }
+
+    // ------------------------------------------------------------ L1b ------
+
+    #[test]
+    fn l1b_fires_on_untrusted_index_in_handler() {
+        let src = "\
+fn on_write(&mut self, idx: usize) {
+    let b = self.blocks[idx];
+}
+";
+        let d = run_lint("no-untrusted-index", CORE, src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("on_write"));
+    }
+
+    #[test]
+    fn l1b_allows_literals_ranges_and_non_handlers() {
+        let src = "\
+fn on_write(&mut self) {
+    let a = pair[0];
+    let s = &buf[start..end];
+    let arr: [u8; 4] = [0; 4];
+}
+fn helper(&mut self, idx: usize) {
+    let b = self.blocks[idx]; // non-handler fn: out of scope
+}
+";
+        assert!(run_lint("no-untrusted-index", CORE, src).is_empty());
+    }
+
+    // ------------------------------------------------------------ L2 -------
+
+    #[test]
+    fn l2_fires_on_nondeterminism_sources() {
+        let src = "\
+use std::collections::{HashMap, HashSet};
+fn f() {
+    let t = std::time::Instant::now();
+    let r = rand::thread_rng();
+    std::thread::spawn(|| {});
+}
+";
+        let d = run_lint("determinism", "crates/simnet/src/sim.rs", src);
+        // HashMap + HashSet (use) + Instant + thread_rng + spawn = 5
+        assert_eq!(d.len(), 5, "{d:?}");
+    }
+
+    #[test]
+    fn l2_silent_on_btree_and_unscoped_crates() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n";
+        assert!(run_lint("determinism", "crates/core/src/brick.rs", src).is_empty());
+        let src2 = "fn f() { let m = std::collections::HashMap::<u32, u32>::new(); }";
+        assert!(
+            run_lint("determinism", "crates/runtime/src/lib.rs", src2).is_empty(),
+            "runtime crate may use real clocks/maps"
+        );
+    }
+
+    // ------------------------------------------------------------ L3 -------
+
+    #[test]
+    fn l3_confines_unsafe_to_kernel() {
+        let src = "fn f(p: *const u8) { unsafe { p.read() }; }";
+        let d = run_lint("unsafe-audit", "crates/core/src/replica.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("outside"));
+    }
+
+    #[test]
+    fn l3_requires_safety_comment_in_kernel() {
+        let bare = "fn f(p: *const u8) { unsafe { p.read() }; }";
+        let d = run_lint("unsafe-audit", "crates/erasure/src/kernel.rs", bare);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("SAFETY"));
+
+        let documented = "\
+fn f(p: *const u8) {
+    // SAFETY: caller guarantees `p` is valid for one byte.
+    unsafe { p.read() };
+}
+";
+        assert!(run_lint("unsafe-audit", "crates/erasure/src/kernel.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn l3_accepts_safety_doc_section_on_unsafe_fn() {
+        // The `# Safety` header may sit well above the `fn` line when the
+        // contract text is long; the contiguous doc/attribute block counts.
+        let documented = "\
+/// Multiplies in place.
+///
+/// # Safety
+///
+/// Caller must ensure the feature is available, lengths match,
+/// and the length is a multiple of 16.
+#[target_feature(enable = \"ssse3\")]
+pub(super) unsafe fn mul(acc: &mut [u8]) { todo!() }
+";
+        assert!(
+            run_lint("unsafe-audit", "crates/erasure/src/kernel.rs", documented).is_empty()
+        );
+
+        // No `# Safety` section anywhere in the doc block: still flagged.
+        let undocumented = "\
+/// Multiplies in place, trust me.
+#[inline]
+pub(super) unsafe fn mul(acc: &mut [u8]) { todo!() }
+";
+        let d = run_lint("unsafe-audit", "crates/erasure/src/kernel.rs", undocumented);
+        assert_eq!(d.len(), 1, "{d:?}");
+
+        // The doc-block walk stops at the first code line: a `# Safety`
+        // belonging to a *previous* item does not leak downward.
+        let unrelated = "\
+/// # Safety
+/// For the other function.
+unsafe fn a() { todo!() }
+
+pub(super) unsafe fn b(acc: &mut [u8]) { todo!() }
+";
+        let d = run_lint("unsafe-audit", "crates/erasure/src/kernel.rs", unrelated);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    // ------------------------------------------------------------ L4 -------
+
+    #[test]
+    fn l4_fires_on_component_comparison() {
+        let src = "\
+fn newer(a: Timestamp, b: Timestamp) -> bool {
+    if a.ticks() > b.ticks() { return true; }
+    a.pid() == b.pid()
+}
+";
+        let d = run_lint("timestamp-discipline", CORE, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn l4_allows_serialization_and_whole_value_ord() {
+        let src = "\
+fn encode(ts: Timestamp) -> [u8; 12] {
+    let t = ts.ticks().to_le_bytes();
+    let p = ts.pid().to_le_bytes();
+    join(t, p)
+}
+fn newer(a: Timestamp, b: Timestamp) -> bool { a > b }
+";
+        assert!(run_lint("timestamp-discipline", "crates/store/src/lib.rs", src).is_empty());
+        // Inside fab-timestamp itself, component access is the crate's job.
+        let inside = "fn f(a: Timestamp, b: Timestamp) -> bool { a.ticks() > b.ticks() }";
+        assert!(run_lint("timestamp-discipline", "crates/timestamp/src/lib.rs", inside).is_empty());
+    }
+
+    // ------------------------------------------------------------ L5 -------
+
+    #[test]
+    fn l5_fires_on_integer_casts_only_in_scope() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        let d = run_lint("no-as-truncation", "crates/quorum/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("as u32"));
+        assert!(run_lint("no-as-truncation", "crates/erasure/src/gf256.rs", src).is_empty());
+        // `as` for trait casts / f64 is untouched.
+        let other = "fn g(x: u32) -> f64 { x as f64 }";
+        assert!(run_lint("no-as-truncation", "crates/quorum/src/lib.rs", other).is_empty());
+    }
+
+    // ------------------------------------------------------------ L6 -------
+
+    #[test]
+    fn l6_fires_on_send_without_persist() {
+        let src = "\
+fn on_message(&mut self, ctx: &mut Context) {
+    let reply = compute();
+    ctx.send(peer, reply);
+}
+";
+        let d = run_lint("log-before-send", "crates/core/src/brick.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("on_message"));
+    }
+
+    #[test]
+    fn l6_silent_when_persistence_precedes_send() {
+        let src = "\
+fn on_message(&mut self, ctx: &mut Context) {
+    let reply = self.replica.handle(&req);
+    ctx.send(peer, reply);
+}
+";
+        assert!(run_lint("log-before-send", "crates/core/src/brick.rs", src).is_empty());
+    }
+
+    // ------------------------------------------------------- suppression ---
+
+    #[test]
+    fn allow_suppresses_and_malformed_allow_reported() {
+        let src = "\
+fn on_message(&mut self, ctx: &mut Context) {
+    // xtask-allow(log-before-send): coordinator state is volatile by design
+    ctx.send(peer, env);
+}
+// xtask-allow(log-before-send)
+fn on_other(&mut self, ctx: &mut Context) {
+    let reply = self.replica.handle(&req);
+    ctx.send(peer, reply);
+}
+";
+        let file = SourceFile::parse("crates/core/src/brick.rs", src);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        let l6: Vec<_> = out.iter().filter(|d| d.lint == "log-before-send").collect();
+        assert!(l6.is_empty(), "allow must suppress: {l6:?}");
+        let malformed: Vec<_> = out.iter().filter(|d| d.lint == "malformed-allow").collect();
+        assert_eq!(malformed.len(), 1, "reason-less allow is itself flagged");
+    }
+
+    #[test]
+    fn diagnostics_carry_file_line_and_rule_id() {
+        let src = "fn on_reply(&mut self) {\n    let x = y.unwrap();\n}\n";
+        let d = run_lint("no-panic", CORE, src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(format!("{}", d[0]),
+            format!("{CORE}:2: [no-panic] `.unwrap()` in protocol code; use `?`, `unwrap_or`, or a typed error"));
+    }
+}

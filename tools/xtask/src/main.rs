@@ -1,0 +1,158 @@
+//! `cargo xtask` — workspace automation for the FAB reproduction.
+//!
+//! Subcommands:
+//!
+//! * `analyze [--list] [PATH ...]` — run the protocol-aware static-analysis
+//!   pass (lints L1–L6, see `lints.rs` and DESIGN.md) over the workspace
+//!   sources. Exits non-zero if any violation is found. With explicit PATHs,
+//!   analyzes only those files/directories.
+//!
+//! The binary is dependency-free on purpose: it must build in hermetic CI
+//! images with an empty cargo registry.
+
+mod lexer;
+mod lints;
+mod model;
+
+use lints::Diagnostic;
+use model::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // tools/xtask/ -> workspace root is two levels up from this manifest.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Collect `.rs` files under `dir`, recursively, in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Default analysis set: every crate's `src/` plus the facade `src/`.
+/// Integration tests, benches and examples are intentionally out of scope —
+/// the lints police protocol code, and test code is allowed to unwrap.
+fn default_targets(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            collect_rs(&d.join("src"), &mut files);
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    files
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+
+    if args.iter().any(|a| a == "--list") {
+        println!("{:<22} {:<5} description", "lint", "rule");
+        for l in lints::registry() {
+            println!("{:<22} {:<5} {}", l.id, l.rule, l.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let list_allows = args.iter().any(|a| a == "--allows");
+    let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let files: Vec<PathBuf> = if explicit.is_empty() {
+        default_targets(&root)
+    } else {
+        let mut files = Vec::new();
+        for arg in explicit {
+            let p = {
+                let direct = PathBuf::from(arg);
+                if direct.exists() {
+                    direct
+                } else {
+                    root.join(arg)
+                }
+            };
+            if p.is_dir() {
+                collect_rs(&p, &mut files);
+            } else {
+                files.push(p);
+            }
+        }
+        files
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut analyzed = 0usize;
+    for path in &files {
+        let Ok(raw) = std::fs::read_to_string(path) else {
+            eprintln!("xtask: warning: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = rel_path(&root, path);
+        let file = SourceFile::parse(&rel, &raw);
+        if list_allows {
+            for a in &file.allows {
+                println!("{rel}:{}: allow({}) — {}", a.line, a.lint, a.reason);
+            }
+        }
+        lints::check_file(&file, &mut diags);
+        analyzed += 1;
+    }
+    if list_allows {
+        return ExitCode::SUCCESS;
+    }
+
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("xtask analyze: {analyzed} files clean (lints L1-L6, 0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask analyze: {} violation(s) in {analyzed} files",
+            diags.len()
+        );
+        println!("suppress a finding with `// xtask-allow(<lint>): <reason>` on or above the line");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask analyze [--list] [--allows] [PATH ...]");
+            eprintln!();
+            eprintln!("  analyze   run the protocol-aware static-analysis pass (L1-L6)");
+            eprintln!("  --list    print the lint registry and exit");
+            eprintln!("  --allows  audit every xtask-allow suppression and its reason");
+            ExitCode::FAILURE
+        }
+    }
+}

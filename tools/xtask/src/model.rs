@@ -1,0 +1,386 @@
+//! Per-file source model shared by all lints.
+//!
+//! Builds on [`crate::lexer::mask`] and adds the structural facts lints need:
+//! line numbers, `#[cfg(test)]` module ranges (excluded from analysis), the
+//! span of every `fn` body (for function-scoped lints like `log-before-send`),
+//! and `xtask-allow` suppression directives.
+
+use crate::lexer::{is_ident_byte, mask, Comment};
+use std::ops::Range;
+
+/// A `fn` item found in the masked source.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte range of the body, including the outer braces. Empty for
+    /// bodiless trait-method declarations.
+    pub body: Range<usize>,
+}
+
+/// A parsed `// xtask-allow(<lint-id>): <reason>` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: usize,
+    pub lint: String,
+    pub reason: String,
+}
+
+/// Everything the lints need to know about one source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/core/src/replica.rs`). Lint scoping keys off this.
+    pub path: String,
+    pub masked: String,
+    pub comments: Vec<Comment>,
+    pub fns: Vec<FnSpan>,
+    pub allows: Vec<Allow>,
+    /// Allow directives missing the `: <reason>` part — reported as
+    /// violations so suppressions always carry a justification.
+    pub malformed_allows: Vec<usize>,
+    line_starts: Vec<usize>,
+    test_ranges: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, raw: &str) -> SourceFile {
+        let m = mask(raw);
+        let line_starts = std::iter::once(0)
+            .chain(raw.bytes().enumerate().filter_map(|(i, b)| (b == b'\n').then_some(i + 1)))
+            .collect();
+        let test_ranges = find_test_ranges(&m.text);
+        let fns = find_fns(&m.text);
+        let (allows, malformed_allows) = parse_allows(&m.comments);
+        SourceFile {
+            path: path.to_string(),
+            masked: m.text,
+            comments: m.comments,
+            fns,
+            allows,
+            malformed_allows,
+            line_starts,
+            test_ranges,
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Is `offset` inside a `#[cfg(test)]` module?
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&offset))
+    }
+
+    /// Is a diagnostic for `lint` at `line` suppressed by an
+    /// `xtask-allow` directive on the same line or the line above?
+    pub fn allowed(&self, lint: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.lint == lint && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Innermost function body containing `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&offset))
+            .min_by_key(|f| f.body.end - f.body.start)
+    }
+
+    /// Is there a `SAFETY:` comment on the given line or within the three
+    /// lines above it? (Doc `# Safety` sections also count, for `unsafe fn`
+    /// caller contracts.)
+    pub fn has_safety_comment(&self, line: usize) -> bool {
+        self.comments.iter().any(|c| {
+            c.line + 3 >= line
+                && c.line <= line
+                && (c.text.starts_with("SAFETY:") || c.text.starts_with("# Safety"))
+        })
+    }
+
+    /// Masked text of 1-based `line` (comments and strings blanked).
+    pub fn masked_line(&self, line: usize) -> &str {
+        let start = self.line_starts.get(line.wrapping_sub(1)).copied().unwrap_or(0);
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.masked.len());
+        self.masked.get(start..end).unwrap_or("")
+    }
+
+    /// Does the `unsafe fn` declared at `line` carry a `# Safety` doc
+    /// section (or `SAFETY:` comment) anywhere in the contiguous block of
+    /// doc comments and attributes directly above it? Declarations state
+    /// their caller contract in docs, which may exceed the 3-line window
+    /// that suffices for `unsafe { .. }` blocks.
+    pub fn fn_has_safety_doc(&self, line: usize) -> bool {
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if let Some(c) = self.comments.iter().find(|c| c.line == l) {
+                if c.text.starts_with("# Safety") || c.text.starts_with("SAFETY:") {
+                    return true;
+                }
+                continue; // keep walking up through the doc block
+            }
+            let t = self.masked_line(l).trim();
+            if t.starts_with("#[") || t.starts_with("#!") {
+                continue; // attributes sit between the docs and `fn`
+            }
+            return false;
+        }
+        false
+    }
+}
+
+fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<usize>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix("xtask-allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            malformed.push(c.line);
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        if lint.is_empty() || reason.is_empty() {
+            malformed.push(c.line);
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            lint,
+            reason: reason.to_string(),
+        });
+    }
+    (allows, malformed)
+}
+
+/// Given masked text and the offset of a `{`, return the offset one past its
+/// matching `}` (or `text.len()` if unbalanced).
+fn match_brace(text: &str, open: usize) -> usize {
+    let b = text.as_bytes();
+    debug_assert_eq!(b[open], b'{');
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    text.len()
+}
+
+/// Find byte ranges of modules annotated `#[cfg(test)]` (or any `#[cfg(...)]`
+/// whose predicate mentions `test`). Content inside these ranges is exempt
+/// from every lint: tests may unwrap, may use HashMap, may compare timestamp
+/// components — the lints police *protocol* code only.
+fn find_test_ranges(masked: &str) -> Vec<Range<usize>> {
+    let b = masked.as_bytes();
+    let mut ranges = Vec::new();
+    for (off, _) in masked.match_indices("#[cfg(") {
+        // Find the closing bracket of the attribute.
+        let mut i = off + 2; // at `cfg(`…
+        let mut depth = 0usize;
+        let mut pred_start = 0usize;
+        let mut pred = None;
+        while i < b.len() {
+            match b[i] {
+                b'(' => {
+                    if depth == 0 {
+                        pred_start = i + 1;
+                    }
+                    depth += 1;
+                }
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        pred = Some(&masked[pred_start..i]);
+                    }
+                }
+                b']' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(pred) = pred else { continue };
+        if crate::lexer::word_occurrences(pred, "test").is_empty() {
+            continue;
+        }
+        // Skip whitespace and further attributes, then expect `(pub )?mod`.
+        let mut j = i + 1;
+        loop {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j + 1 < b.len() && b[j] == b'#' && b[j + 1] == b'[' {
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let tail = &masked[j.min(masked.len())..];
+        let is_mod = tail.starts_with("mod ")
+            || tail.starts_with("pub mod ")
+            || tail.starts_with("pub(crate) mod ");
+        if !is_mod {
+            continue;
+        }
+        if let Some(open_rel) = tail.find('{') {
+            let semi_rel = tail.find(';').unwrap_or(usize::MAX);
+            if semi_rel < open_rel {
+                continue; // `mod foo;` declaration, nothing inline to skip
+            }
+            let open = j + open_rel;
+            ranges.push(off..match_brace(masked, open));
+        }
+    }
+    ranges
+}
+
+/// Find every `fn` item and its body range in the masked text.
+fn find_fns(masked: &str) -> Vec<FnSpan> {
+    let b = masked.as_bytes();
+    let mut fns = Vec::new();
+    for off in crate::lexer::word_occurrences(masked, "fn") {
+        // Name: next identifier after `fn`.
+        let mut i = off + 2;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `fn` in `impl Fn(..)` position or closure-like, skip
+        }
+        let name = masked[name_start..i].to_string();
+        // Body: first `{` at paren/bracket depth 0 before any depth-0 `;`.
+        let mut depth = 0isize;
+        let mut body = 0..0;
+        while i < b.len() {
+            match b[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b';' if depth == 0 => break,
+                b'{' if depth == 0 => {
+                    body = i..match_brace(masked, i);
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fns.push(FnSpan {
+            name,
+            start: off,
+            body,
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+fn alpha(x: usize) -> usize {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    fn beta() {
+        let v: Vec<u32> = vec![];
+        v[0];
+    }
+}
+
+fn gamma() {}
+";
+
+    #[test]
+    fn line_numbers_and_fn_spans() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", SAMPLE);
+        let names: Vec<_> = f.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        let alpha = &f.fns[0];
+        assert_eq!(f.line_of(alpha.start), 1);
+        assert!(f.masked[alpha.body.clone()].contains("x + 1"));
+    }
+
+    #[test]
+    fn cfg_test_module_ranges_cover_test_code() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", SAMPLE);
+        let beta = f.fns.iter().find(|x| x.name == "beta").expect("beta");
+        assert!(f.in_test(beta.start), "beta lives inside #[cfg(test)]");
+        let gamma = f.fns.iter().find(|x| x.name == "gamma").expect("gamma");
+        assert!(!f.in_test(gamma.start));
+    }
+
+    #[test]
+    fn allow_parsing_and_matching() {
+        let src = "\
+// xtask-allow(no-panic): harness code, not a protocol path
+let x = y.unwrap();
+let z = w.unwrap(); // xtask-allow(no-panic): sentinel always present
+// xtask-allow(determinism)
+let m = HashMap::new();
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allowed("no-panic", 2), "allow on previous line applies");
+        assert!(f.allowed("no-panic", 3), "same-line allow applies");
+        assert!(!f.allowed("no-panic", 5));
+        assert_eq!(
+            f.malformed_allows,
+            vec![4],
+            "allow without a reason is malformed"
+        );
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let src = "\
+// SAFETY: pointer is valid for len bytes
+// (checked by the caller)
+unsafe { ptr::read(p) };
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.has_safety_comment(3));
+        assert!(!f.has_safety_comment(30));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() { fn inner() { body(); } }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let off = src.find("body").expect("body offset");
+        assert_eq!(f.enclosing_fn(off).map(|s| s.name.as_str()), Some("inner"));
+    }
+}
