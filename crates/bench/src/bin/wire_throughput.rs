@@ -1,0 +1,189 @@
+//! Machine-readable wire-codec throughput baseline.
+//!
+//! Times `fab_wire::encode_message` and `fab_wire::decode_message` for the
+//! message shapes that dominate a running cluster — small control frames
+//! (Order / OrderR), block-carrying replies, and full-stripe client writes
+//! at several block sizes — and writes `BENCH_wire.json` so CI and later
+//! PRs can diff codec performance without parsing criterion output.
+//!
+//! Throughput is reported as MiB/s over the *frame* size (header + body),
+//! which is the number a socket writer actually cares about; `ops_per_s`
+//! is derived for the small control frames where per-message overhead,
+//! not bandwidth, is the budget.
+//!
+//! Run: `cargo run --release -p fab-bench --bin wire_throughput [out.json]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bytes::Bytes;
+use fab_core::{BlockValue, Envelope, OpResult, Payload, Reply, Request, StripeId};
+use fab_timestamp::{ProcessId, Timestamp};
+use fab_wire::{decode_message, encode_message, ClientOp, Message};
+
+/// Block sizes for the data-carrying shapes: cache-resident to streaming.
+const BLOCK_SIZES: [usize; 3] = [512, 4 << 10, 64 << 10];
+
+/// Stripe width for the full-stripe write shape (the paper's m at f=1).
+const STRIPE_M: usize = 3;
+
+/// Target wall time per measurement; iterations are calibrated to reach it.
+const TARGET_NANOS: u128 = 80_000_000;
+
+struct Sample {
+    shape: &'static str,
+    dir: &'static str,
+    frame_bytes: usize,
+    mib_per_s: f64,
+    ops_per_s: f64,
+}
+
+/// Times `body` (one pass over `bytes`) and returns (MiB/s, ops/s).
+fn throughput(bytes: usize, mut body: impl FnMut()) -> (f64, f64) {
+    let mut iters = 4u64;
+    let elapsed = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let nanos = start.elapsed().as_nanos().max(1);
+        if nanos >= TARGET_NANOS {
+            break nanos as f64 / iters as f64;
+        }
+        let scale = (TARGET_NANOS as f64 / nanos as f64).ceil() as u64;
+        iters = (iters * scale.max(2)).min(1 << 24);
+    };
+    let secs = elapsed / 1e9;
+    ((bytes as f64 / (1u64 << 20) as f64) / secs, 1.0 / secs)
+}
+
+fn data(len: usize, seed: usize) -> Bytes {
+    Bytes::from((0..len).map(|k| (k * 31 + seed) as u8).collect::<Vec<u8>>())
+}
+
+/// The message shapes worth tracking, name + constructor.
+fn shapes() -> Vec<(&'static str, Message)> {
+    let ts = Timestamp::from_parts(12_345, ProcessId::new(3));
+    let mut shapes: Vec<(&'static str, Message)> = vec![
+        (
+            "peer_order",
+            Message::Peer {
+                from: ProcessId::new(1),
+                env: Envelope {
+                    stripe: StripeId(42),
+                    round: 7,
+                    kind: Payload::Request(Request::Order { ts }),
+                },
+            },
+        ),
+        (
+            "peer_order_reply",
+            Message::Peer {
+                from: ProcessId::new(2),
+                env: Envelope {
+                    stripe: StripeId(42),
+                    round: 7,
+                    kind: Payload::Reply(Reply::OrderR { status: true, seen: ts }),
+                },
+            },
+        ),
+    ];
+    for &size in &BLOCK_SIZES {
+        let name: &'static str = match size {
+            512 => "peer_write_512B",
+            s if s == 4 << 10 => "peer_write_4KiB",
+            _ => "peer_write_64KiB",
+        };
+        shapes.push((
+            name,
+            Message::Peer {
+                from: ProcessId::new(1),
+                env: Envelope {
+                    stripe: StripeId(42),
+                    round: 9,
+                    kind: Payload::Request(Request::Write {
+                        block: fab_core::BlockValue::Data(data(size, 7)),
+                        ts,
+                    }),
+                },
+            },
+        ));
+        let stripe_name: &'static str = match size {
+            512 => "client_write_stripe_512B",
+            s if s == 4 << 10 => "client_write_stripe_4KiB",
+            _ => "client_write_stripe_64KiB",
+        };
+        shapes.push((
+            stripe_name,
+            Message::ClientRequest {
+                id: 99,
+                op: ClientOp::WriteStripe {
+                    stripe: StripeId(42),
+                    blocks: (0..STRIPE_M).map(|j| data(size, j)).collect(),
+                },
+            },
+        ));
+    }
+    shapes.push((
+        "client_read_reply_4KiB",
+        Message::ClientReply {
+            id: 99,
+            result: Ok(OpResult::Block(BlockValue::Data(data(4 << 10, 11)))),
+        },
+    ));
+    shapes
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_wire.json".to_string());
+
+    let mut samples = Vec::new();
+    for (name, msg) in shapes() {
+        let frame = encode_message(&msg);
+        let frame_bytes = frame.len();
+
+        let (mib, ops) = throughput(frame_bytes, || {
+            black_box(encode_message(black_box(&msg)));
+        });
+        samples.push(Sample {
+            shape: name,
+            dir: "encode",
+            frame_bytes,
+            mib_per_s: mib,
+            ops_per_s: ops,
+        });
+
+        let (mib, ops) = throughput(frame_bytes, || {
+            black_box(decode_message(black_box(&frame)).expect("own encoding decodes"));
+        });
+        samples.push(Sample {
+            shape: name,
+            dir: "decode",
+            frame_bytes,
+            mib_per_s: mib,
+            ops_per_s: ops,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(json, "  \"stripe_m\": {STRIPE_M},");
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{}\", \"dir\": \"{}\", \"frame_bytes\": {}, \"mib_per_s\": {:.1}, \"ops_per_s\": {:.0}}}{}",
+            s.shape, s.dir, s.frame_bytes, s.mib_per_s, s.ops_per_s, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

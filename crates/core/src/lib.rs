@@ -70,7 +70,9 @@ pub use coordinator::{AbortReason, Completion, Coordinator, InvokeError, OpId, O
 pub use effects::Effects;
 pub use error::ProtocolError;
 pub use log::Log;
-pub use messages::{BlockTarget, Envelope, ModifyPayload, Payload, Reply, Request, StripeId};
+pub use messages::{
+    BlockTarget, BlockUpdate, Envelope, ModifyPayload, Payload, Reply, Request, StripeId,
+};
 pub use replica::{DiskMetrics, PersistEvent, Replica};
 pub use trace::{OpTrace, TraceEvent};
 pub use value::{BlockValue, StripeValue};

@@ -1,0 +1,162 @@
+//! `fab-cli` — command-line client for a FAB brick cluster.
+//!
+//! ```text
+//! fab-cli --cluster HOST:PORT,... --m M --block-size BYTES COMMAND ...
+//!
+//! commands:
+//!   write-stripe STRIPE TEXT     write TEXT (zero-padded) across the stripe
+//!   read-stripe  STRIPE          read and print the whole stripe
+//!   write-block  STRIPE J TEXT   write TEXT (zero-padded) into block J
+//!   read-block   STRIPE J        read and print block J
+//!   scrub        STRIPE          recover + rewrite the stripe everywhere
+//! ```
+//!
+//! `--cluster`, `--m`, and `--block-size` must match the running `fabd`
+//! processes. Any brick can coordinate any operation; the client rotates
+//! and fails over automatically.
+
+use bytes::Bytes;
+use fab_core::{BlockValue, OpResult, RegisterConfig, StripeId, StripeValue};
+use fab_net::NetClient;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fab-cli --cluster HOST:PORT,... --m M --block-size BYTES COMMAND ...
+commands:
+  write-stripe STRIPE TEXT
+  read-stripe  STRIPE
+  write-block  STRIPE J TEXT
+  read-block   STRIPE J
+  scrub        STRIPE";
+
+fn pad(text: &str, len: usize) -> Bytes {
+    let mut buf = text.as_bytes().to_vec();
+    buf.resize(len, 0);
+    Bytes::from(buf)
+}
+
+fn print_block(j: usize, v: &BlockValue) {
+    match v {
+        BlockValue::Bottom => println!("block {j}: (bottom)"),
+        BlockValue::Nil => println!("block {j}: (nil)"),
+        BlockValue::Data(b) => {
+            let text = String::from_utf8_lossy(b);
+            println!("block {j}: {:?}", text.trim_end_matches('\0'));
+        }
+    }
+}
+
+fn print_result(result: &OpResult) {
+    match result {
+        OpResult::Written => println!("ok: written"),
+        OpResult::Stripe(StripeValue::Nil) => println!("stripe: (nil — never written)"),
+        OpResult::Stripe(StripeValue::Data(blocks)) => {
+            for (j, b) in blocks.iter().enumerate() {
+                print_block(j, &BlockValue::Data(b.clone()));
+            }
+        }
+        OpResult::Block(v) => print_block(0, v),
+        OpResult::Blocks(vs) => {
+            for (j, v) in vs.iter().enumerate() {
+                print_block(j, v);
+            }
+        }
+        other => println!("result: {other:?}"),
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut cluster: Option<Vec<SocketAddr>> = None;
+    let mut m = None;
+    let mut block_size = None;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cluster" => {
+                let addrs: Result<Vec<SocketAddr>, _> = it
+                    .next()
+                    .ok_or("--cluster needs an address list")?
+                    .split(',')
+                    .map(str::parse)
+                    .collect();
+                cluster = Some(addrs.map_err(|e| format!("--cluster: {e}"))?);
+            }
+            "--m" => {
+                m = Some(
+                    it.next()
+                        .ok_or("--m needs a stripe width")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--m: {e}"))?,
+                );
+            }
+            "--block-size" => {
+                block_size = Some(
+                    it.next()
+                        .ok_or("--block-size needs a byte count")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--block-size: {e}"))?,
+                );
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let cluster = cluster.ok_or("--cluster is required")?;
+    let m = m.ok_or("--m is required")?;
+    let block_size = block_size.ok_or("--block-size is required")?;
+    let cfg = RegisterConfig::new(m, cluster.len(), block_size)
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    let mut client = NetClient::connect(cluster, cfg);
+
+    let stripe_arg = |s: &String| -> Result<StripeId, String> {
+        s.parse::<u64>()
+            .map(StripeId)
+            .map_err(|e| format!("stripe id: {e}"))
+    };
+    let index_arg = |s: &String| -> Result<usize, String> {
+        s.parse::<usize>().map_err(|e| format!("block index: {e}"))
+    };
+
+    let result = match rest.as_slice() {
+        [cmd, stripe, text] if cmd.as_str() == "write-stripe" => {
+            let stripe = stripe_arg(stripe)?;
+            // Spread the text across the stripe's m·block_size bytes.
+            let full = pad(text, m * block_size);
+            let blocks = (0..m)
+                .map(|j| full.slice(j * block_size..(j + 1) * block_size))
+                .collect();
+            client.try_write_stripe(stripe, blocks)
+        }
+        [cmd, stripe] if cmd.as_str() == "read-stripe" => {
+            client.try_read_stripe(stripe_arg(stripe)?)
+        }
+        [cmd, stripe, j, text] if cmd.as_str() == "write-block" => client.try_write_block(
+            stripe_arg(stripe)?,
+            index_arg(j)?,
+            pad(text, block_size),
+        ),
+        [cmd, stripe, j] if cmd.as_str() == "read-block" => {
+            client.try_read_block(stripe_arg(stripe)?, index_arg(j)?)
+        }
+        [cmd, stripe] if cmd.as_str() == "scrub" => client.try_scrub(stripe_arg(stripe)?),
+        _ => return Err("unknown or malformed command".to_string()),
+    };
+    match result {
+        Ok(r) => {
+            print_result(&r);
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fab-cli: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

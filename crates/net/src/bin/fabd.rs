@@ -1,0 +1,145 @@
+//! `fabd` — one FAB brick per process.
+//!
+//! ```text
+//! fabd --node I --cluster HOST:PORT,HOST:PORT,... --m M --block-size BYTES
+//!      [--store DIR] [--drop-prob P]
+//! ```
+//!
+//! Binds the `I`-th cluster address, joins the cluster, and serves until
+//! killed. All bricks (and every `fab-cli`) must be started with the same
+//! `--cluster`, `--m`, and `--block-size`; there is no on-wire
+//! negotiation — config skew surfaces as `InvalidRequest` rejections, and
+//! version skew is rejected by the frame header.
+
+use fab_core::RegisterConfig;
+use fab_net::{BrickNode, NodeConfig};
+use fab_timestamp::ProcessId;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fabd --node I --cluster HOST:PORT,... --m M --block-size BYTES \
+[--store DIR] [--drop-prob P]";
+
+struct Args {
+    node: u32,
+    cluster: Vec<SocketAddr>,
+    m: usize,
+    block_size: usize,
+    store: Option<PathBuf>,
+    drop_prob: f64,
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+    what: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs {what}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut node = None;
+    let mut cluster = None;
+    let mut m = None;
+    let mut block_size = None;
+    let mut store = None;
+    let mut drop_prob = 0.0;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| next_value(&mut it, flag, what);
+        match flag.as_str() {
+            "--node" => {
+                node = Some(
+                    value("a brick index")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("--node: {e}"))?,
+                );
+            }
+            "--cluster" => {
+                let addrs: Result<Vec<SocketAddr>, _> = value("a comma-separated address list")?
+                    .split(',')
+                    .map(str::parse)
+                    .collect();
+                cluster = Some(addrs.map_err(|e| format!("--cluster: {e}"))?);
+            }
+            "--m" => {
+                m = Some(
+                    value("a stripe width")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--m: {e}"))?,
+                );
+            }
+            "--block-size" => {
+                block_size = Some(
+                    value("a byte count")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--block-size: {e}"))?,
+                );
+            }
+            "--store" => store = Some(PathBuf::from(value("a directory")?)),
+            "--drop-prob" => {
+                drop_prob = value("a probability")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--drop-prob: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        node: node.ok_or("--node is required")?,
+        cluster: cluster.ok_or("--cluster is required")?,
+        m: m.ok_or("--m is required")?,
+        block_size: block_size.ok_or("--block-size is required")?,
+        store,
+        drop_prob,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fabd: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let register = match RegisterConfig::new(args.m, args.cluster.len(), args.block_size) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("fabd: invalid configuration: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(&addr) = args.cluster.get(args.node as usize) else {
+        eprintln!(
+            "fabd: --node {} out of range for a {}-brick cluster",
+            args.node,
+            args.cluster.len()
+        );
+        return ExitCode::from(2);
+    };
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fabd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = NodeConfig::new(ProcessId::new(args.node), args.cluster, register);
+    cfg.store_dir = args.store;
+    let node = match BrickNode::spawn(cfg, listener) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("fabd: cannot start brick: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    node.set_drop_probability(args.drop_prob);
+    println!("fabd: brick {} serving on {addr}", args.node);
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,298 @@
+//! The client side: a blocking, fail-over TCP client for a FAB cluster.
+//!
+//! [`NetClient`] mirrors `fab_runtime::RuntimeClient`'s behavior over real
+//! sockets: requests rotate across bricks (any brick can coordinate any
+//! operation — Figure 1's decentralized access), and a brick that fails to
+//! answer within the per-attempt timeout is simply skipped. No failure
+//! detector is needed; a connection error *is* the signal to try the next
+//! brick (§1.3).
+//!
+//! The `try_*` methods surface transport failures as typed
+//! [`NetClientError`]s; the [`RegisterClient`] implementation panics on
+//! transport failure like `fab-volume`'s runtime client does, which is the
+//! contract the volume layer expects (an unreachable cluster is an
+//! environment bug in tests, not a recoverable state).
+
+use crate::transport::{read_frame, RecvError};
+use bytes::Bytes;
+use fab_core::{OpResult, RegisterConfig, StripeId};
+use fab_volume::RegisterClient;
+use fab_wire::{encode_client_request_body, encode_frame, ClientError, ClientOp, FrameKind, Message};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client operation failed at the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetClientError {
+    /// No brick produced an answer within the retry budget.
+    Unavailable,
+    /// A brick answered with a typed rejection (malformed request).
+    Rejected(ClientError),
+}
+
+impl std::fmt::Display for NetClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetClientError::Unavailable => {
+                write!(f, "no brick answered within the retry budget")
+            }
+            NetClientError::Rejected(e) => write!(f, "request rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetClientError {}
+
+/// A blocking client for a TCP brick cluster.
+///
+/// Connections are opened lazily, cached per brick, and discarded on any
+/// error; correlation ids pair replies with requests so a stale reply on a
+/// reused connection can never be mistaken for the current one.
+#[derive(Debug)]
+#[must_use]
+pub struct NetClient {
+    cluster: Vec<SocketAddr>,
+    cfg: RegisterConfig,
+    conns: Vec<Option<TcpStream>>,
+    next: usize,
+    next_id: u64,
+    /// Per-attempt budget: connect + write + read of one request.
+    pub attempt_timeout: Duration,
+    /// How many full passes over the cluster to make before giving up
+    /// (with a short pause between passes, so a restarting brick gets a
+    /// chance to come back).
+    pub max_rounds: u32,
+}
+
+impl NetClient {
+    /// Creates a client for `cluster` (no connections are opened yet).
+    ///
+    /// `cfg` must match the bricks' configuration; there is no negotiation
+    /// on the wire (version skew is caught by the frame header, config
+    /// skew by `InvalidRequest` rejections).
+    pub fn connect(cluster: Vec<SocketAddr>, cfg: RegisterConfig) -> Self {
+        let n = cluster.len();
+        NetClient {
+            cluster,
+            cfg,
+            conns: (0..n).map(|_| None).collect(),
+            next: 0,
+            next_id: 1,
+            attempt_timeout: Duration::from_secs(5),
+            max_rounds: 8,
+        }
+    }
+
+    /// One request/reply exchange against brick `target`. Any failure
+    /// invalidates the cached connection.
+    fn try_brick(
+        &mut self,
+        target: usize,
+        op: &ClientOp,
+    ) -> Result<Result<OpResult, ClientError>, ()> {
+        let addr = *self.cluster.get(target).ok_or(())?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = encode_client_request_body(id, op);
+        let frame = encode_frame(FrameKind::ClientRequest, &body);
+        let attempt_timeout = self.attempt_timeout;
+
+        let slot = self.conns.get_mut(target).ok_or(())?;
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                .map_err(|_| ())?;
+            let _ = stream.set_nodelay(true);
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().ok_or(())?;
+        let _ = stream.set_read_timeout(Some(attempt_timeout));
+        let _ = stream.set_write_timeout(Some(attempt_timeout));
+        let outcome = (|| {
+            stream.write_all(&frame).map_err(|_| ())?;
+            loop {
+                match read_frame(stream) {
+                    // Defensive: ignore replies to correlation ids we have
+                    // given up on (possible only if a timeout policy ever
+                    // keeps a connection — today every failure drops it).
+                    Ok((Message::ClientReply { id: got, result }, _)) if got == id => {
+                        return Ok(result);
+                    }
+                    Ok((Message::ClientReply { .. }, _)) => continue,
+                    Ok(_) => return Err(()), // peers never talk to clients
+                    Err(RecvError::Closed | RecvError::Io(_) | RecvError::Wire(_)) => {
+                        return Err(());
+                    }
+                }
+            }
+        })();
+        if outcome.is_err() {
+            *slot = None; // poisoned: mid-stream state is unknowable
+        }
+        outcome
+    }
+
+    /// Runs one register operation with rotation and fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`NetClientError::Rejected`] if a brick refuses the request as
+    /// malformed (retrying elsewhere cannot help);
+    /// [`NetClientError::Unavailable`] when the retry budget is exhausted.
+    pub fn try_invoke(&mut self, op: &ClientOp) -> Result<OpResult, NetClientError> {
+        let n = self.cluster.len().max(1);
+        for round in 0..self.max_rounds {
+            for _ in 0..n {
+                let target = self.next % n;
+                self.next = self.next.wrapping_add(1);
+                match self.try_brick(target, op) {
+                    Ok(Ok(result)) => return Ok(result),
+                    Ok(Err(ClientError::InvalidRequest)) => {
+                        return Err(NetClientError::Rejected(ClientError::InvalidRequest));
+                    }
+                    // `Unavailable` (brick shutting down) and transport
+                    // errors both mean: try the next brick.
+                    Ok(Err(_)) | Err(()) => continue,
+                }
+            }
+            if round + 1 < self.max_rounds {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        Err(NetClientError::Unavailable)
+    }
+
+    /// Reads a whole stripe.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_read_stripe(&mut self, stripe: StripeId) -> Result<OpResult, NetClientError> {
+        self.try_invoke(&ClientOp::ReadStripe { stripe })
+    }
+
+    /// Writes a whole stripe (exactly `m` blocks of `block_size` bytes).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_write_stripe(
+        &mut self,
+        stripe: StripeId,
+        blocks: Vec<Bytes>,
+    ) -> Result<OpResult, NetClientError> {
+        self.try_invoke(&ClientOp::WriteStripe { stripe, blocks })
+    }
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_read_block(
+        &mut self,
+        stripe: StripeId,
+        j: usize,
+    ) -> Result<OpResult, NetClientError> {
+        let j = u32::try_from(j).unwrap_or(u32::MAX);
+        self.try_invoke(&ClientOp::ReadBlock { stripe, j })
+    }
+
+    /// Writes one block.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_write_block(
+        &mut self,
+        stripe: StripeId,
+        j: usize,
+        block: Bytes,
+    ) -> Result<OpResult, NetClientError> {
+        let j = u32::try_from(j).unwrap_or(u32::MAX);
+        self.try_invoke(&ClientOp::WriteBlock { stripe, j, block })
+    }
+
+    /// Reads several blocks of one stripe in one operation.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_read_blocks(
+        &mut self,
+        stripe: StripeId,
+        js: Vec<usize>,
+    ) -> Result<OpResult, NetClientError> {
+        let js = js
+            .into_iter()
+            .map(|j| u32::try_from(j).unwrap_or(u32::MAX))
+            .collect();
+        self.try_invoke(&ClientOp::ReadBlocks { stripe, js })
+    }
+
+    /// Writes several blocks of one stripe in one operation.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_write_blocks(
+        &mut self,
+        stripe: StripeId,
+        updates: Vec<(usize, Bytes)>,
+    ) -> Result<OpResult, NetClientError> {
+        let updates = updates
+            .into_iter()
+            .map(|(j, b)| (u32::try_from(j).unwrap_or(u32::MAX), b))
+            .collect();
+        self.try_invoke(&ClientOp::WriteBlocks { stripe, updates })
+    }
+
+    /// Scrubs a stripe.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::try_invoke`].
+    pub fn try_scrub(&mut self, stripe: StripeId) -> Result<OpResult, NetClientError> {
+        self.try_invoke(&ClientOp::Scrub { stripe })
+    }
+}
+
+impl RegisterClient for NetClient {
+    fn config(&self) -> RegisterConfig {
+        self.cfg.clone()
+    }
+
+    fn read_stripe(&mut self, stripe: StripeId) -> OpResult {
+        self.try_read_stripe(stripe).expect("fab cluster reachable")
+    }
+
+    fn write_stripe(&mut self, stripe: StripeId, blocks: Vec<Bytes>) -> OpResult {
+        self.try_write_stripe(stripe, blocks)
+            .expect("fab cluster reachable")
+    }
+
+    fn read_block(&mut self, stripe: StripeId, j: usize) -> OpResult {
+        self.try_read_block(stripe, j)
+            .expect("fab cluster reachable")
+    }
+
+    fn write_block(&mut self, stripe: StripeId, j: usize, block: Bytes) -> OpResult {
+        self.try_write_block(stripe, j, block)
+            .expect("fab cluster reachable")
+    }
+
+    fn read_blocks(&mut self, stripe: StripeId, js: Vec<usize>) -> OpResult {
+        self.try_read_blocks(stripe, js)
+            .expect("fab cluster reachable")
+    }
+
+    fn write_blocks(&mut self, stripe: StripeId, updates: Vec<(usize, Bytes)>) -> OpResult {
+        self.try_write_blocks(stripe, updates)
+            .expect("fab cluster reachable")
+    }
+
+    fn scrub(&mut self, stripe: StripeId) -> OpResult {
+        self.try_scrub(stripe).expect("fab cluster reachable")
+    }
+}

@@ -1,0 +1,82 @@
+//! `fab-net` — real TCP transport and multi-process brick cluster for the
+//! FAB storage-register protocol.
+//!
+//! This is the third substrate for the *same* sans-io protocol state
+//! machines ([`fab_core::Coordinator`] / [`fab_core::Replica`]):
+//!
+//! | substrate     | network                | purpose                    |
+//! |---------------|------------------------|----------------------------|
+//! | `fab-simnet`  | deterministic schedule | asynchrony/fault hunting   |
+//! | `fab-runtime` | crossbeam channels     | threaded in-process runs   |
+//! | **`fab-net`** | TCP (`fab-wire` codec) | multi-process deployment   |
+//!
+//! A [`BrickNode`] is one brick: an event-loop thread running the
+//! coordinator and replica, an accept loop feeding per-connection reader
+//! threads, and one writer thread per peer with reconnect + capped
+//! exponential backoff ([`fab_simnet::Backoff`]). Links are **fair-loss**
+//! — exactly the model the protocol was proved against — so a down
+//! connection drops frames (counted, never buffered unboundedly) and the
+//! coordinator's retransmission timers carry the operation. Fault
+//! injection shares the simulator's [`fab_simnet::FaultPlan`] semantics.
+//!
+//! [`NetClient`] is the client half: rotate coordinators across bricks,
+//! fail over on connection errors, no failure detector. It implements
+//! [`fab_volume::RegisterClient`], so a virtual disk can run over a real
+//! cluster unchanged.
+//!
+//! The `fabd` binary serves one brick per process; `fab-cli` drives a
+//! cluster from the command line. See the repository README for the
+//! five-brick localhost quickstart.
+//!
+//! # Quick start (in-process loopback cluster)
+//!
+//! ```
+//! use fab_net::{BrickNode, NetClient, NodeConfig};
+//! use fab_core::{OpResult, RegisterConfig, StripeId, StripeValue};
+//! use fab_timestamp::ProcessId;
+//! use bytes::Bytes;
+//! use std::net::TcpListener;
+//!
+//! // Bind three ports first so every brick knows the full cluster map.
+//! let listeners: Vec<TcpListener> =
+//!     (0..3).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+//! let cluster: Vec<_> =
+//!     listeners.iter().map(|l| l.local_addr()).collect::<Result<_, _>>()?;
+//!
+//! let cfg = RegisterConfig::new(2, 3, 64)?; // 2-of-3, 64-byte blocks
+//! let nodes: Vec<BrickNode> = listeners
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, l)| {
+//!         BrickNode::spawn(
+//!             NodeConfig::new(ProcessId::new(i as u32), cluster.clone(), cfg.clone()),
+//!             l,
+//!         )
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//!
+//! let mut client = NetClient::connect(cluster, cfg);
+//! let stripe: Vec<Bytes> = vec![Bytes::from(vec![1u8; 64]), Bytes::from(vec![2u8; 64])];
+//! assert_eq!(client.try_write_stripe(StripeId(0), stripe.clone())?, OpResult::Written);
+//! assert_eq!(
+//!     client.try_read_stripe(StripeId(0))?,
+//!     OpResult::Stripe(StripeValue::Data(stripe))
+//! );
+//! for node in nodes {
+//!     node.shutdown();
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod client;
+pub mod server;
+pub mod transport;
+
+pub use client::{NetClient, NetClientError};
+pub use server::{BrickNode, NodeConfig, TransportMetrics, WRITE_TIMEOUT};
+pub use transport::{
+    read_frame, CounterSnapshot, PeerCounters, PeerSender, RecvError, CONNECT_TIMEOUT,
+};

@@ -1,0 +1,763 @@
+//! The brick server: one OS process (or one [`BrickNode`] in tests) = one
+//! brick of the FAB cluster, serving both peers and clients over TCP.
+//!
+//! The event loop is the same shape as `fab-runtime`'s threaded brick —
+//! the sans-io [`Coordinator`]/[`Replica`] state machines are reused
+//! byte-for-byte; only the [`Effects`] implementation differs. Here,
+//! `send` encodes the envelope with `fab-wire` and hands the frame to a
+//! [`PeerSender`] writer thread (fair-loss, reconnect with backoff), and
+//! incoming frames arrive from per-connection reader threads feeding one
+//! crossbeam channel.
+//!
+//! Failure philosophy: **network input never panics** (hostile frames are
+//! counted and the connection closed), and **disk failure fences the
+//! brick** — a brick whose store cannot append stops participating
+//! entirely rather than acknowledging writes it did not persist. A fenced
+//! or shut-down brick is indistinguishable from a crashed one, which is
+//! exactly the fault model the protocol tolerates.
+
+use crate::transport::{read_frame, PeerCounters, PeerSender, RecvError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fab_core::{
+    Completion, Coordinator, Effects, Envelope, OpResult, Payload, RegisterConfig, Replica,
+    StripeId,
+};
+use fab_simnet::{Backoff, FaultPlan};
+use fab_store::BrickStore;
+use fab_timestamp::ProcessId;
+use fab_wire::{
+    encode_client_reply_body, encode_frame, encode_peer_body, ClientError, ClientOp, FrameKind,
+    Message,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bound on a blocking socket write (a stalled peer or client must not
+/// wedge the server's event loop or a writer thread forever).
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Everything a brick process needs to join a cluster.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct NodeConfig {
+    /// This brick's identity; `node.index()` selects its address in
+    /// `cluster`.
+    pub node: ProcessId,
+    /// The addresses of all `n` bricks, in process-id order.
+    pub cluster: Vec<SocketAddr>,
+    /// The shared register configuration (must be identical on every
+    /// brick and client).
+    pub register: RegisterConfig,
+    /// Durable store directory (`brick-<i>.log` inside it); `None` keeps
+    /// replica state in memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Reconnect schedule for outbound peer connections.
+    pub backoff: Backoff,
+}
+
+impl NodeConfig {
+    /// A volatile (no durable store) configuration with default backoff.
+    pub fn new(node: ProcessId, cluster: Vec<SocketAddr>, register: RegisterConfig) -> Self {
+        NodeConfig {
+            node,
+            cluster,
+            register,
+            store_dir: None,
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Sets the durable store directory.
+    pub fn with_store_dir(mut self, dir: PathBuf) -> Self {
+        self.store_dir = Some(dir);
+        self
+    }
+}
+
+/// A reply channel back to one connected client: the write half of its
+/// connection, shared with the reader thread's registry.
+#[derive(Debug, Clone)]
+struct ClientWriter(Arc<Mutex<TcpStream>>);
+
+/// An event delivered to the brick's event loop.
+enum Event {
+    /// A protocol message from a peer brick (or from ourselves — self
+    /// sends loop back without touching a socket).
+    Net { from: ProcessId, env: Envelope },
+    /// A client request, with the connection to answer on.
+    Client {
+        id: u64,
+        op: ClientOp,
+        writer: ClientWriter,
+    },
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// Transport statistics for one brick: per-peer counters plus one bucket
+/// for all client connections.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct TransportMetrics {
+    /// One snapshot per peer, indexed by process id (this brick's own slot
+    /// counts nothing — self sends bypass the network).
+    pub peers: Vec<crate::transport::CounterSnapshot>,
+    /// Aggregate counters for client connections.
+    pub clients: crate::transport::CounterSnapshot,
+}
+
+// ----------------------------------------------------------- effects ------
+
+/// The I/O half of the brick: frame encoding + peer writer threads on the
+/// way out, deadline timers, clock, randomness. Implements [`Effects`].
+struct NodeIo {
+    pid: ProcessId,
+    peers: Vec<Option<PeerSender>>,
+    counters: Vec<Arc<PeerCounters>>,
+    self_tx: Sender<Event>,
+    faults: Arc<FaultPlan>,
+    epoch: Instant,
+    rng: SmallRng,
+    next_timer: u64,
+    timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    cancelled: HashSet<u64>,
+}
+
+impl NodeIo {
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timers.peek().map(|r| r.0 .0)
+    }
+
+    fn due_timers(&mut self) -> Vec<u64> {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while let Some(std::cmp::Reverse((at, id))) = self.timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            if !self.cancelled.remove(&id) {
+                due.push(id);
+            }
+        }
+        due
+    }
+}
+
+impl Effects for NodeIo {
+    fn send(&mut self, to: ProcessId, env: Envelope) {
+        if to == self.pid {
+            // Loop back without serialization: a brick always reaches its
+            // own replica.
+            let _ = self.self_tx.send(Event::Net {
+                from: self.pid,
+                env,
+            });
+            return;
+        }
+        if self.faults.should_drop(self.rng.gen_range(0..1_000_000)) {
+            if let Some(c) = self.counters.get(to.index()) {
+                c.record_drop();
+            }
+            return; // injected fair-loss drop
+        }
+        let body = encode_peer_body(self.pid, &env);
+        let frame = encode_frame(FrameKind::Peer, &body);
+        if let Some(Some(peer)) = self.peers.get(to.index()) {
+            peer.send(frame);
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64) -> u64 {
+        self.next_timer += 1;
+        let id = self.next_timer;
+        let at = Instant::now() + Duration::from_micros(delay);
+        self.timers.push(std::cmp::Reverse((at, id)));
+        id
+    }
+
+    fn cancel_timer(&mut self, id: u64) {
+        self.cancelled.insert(id);
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+// ------------------------------------------------------------ server ------
+
+/// Encodes and writes one client reply; errors are ignored (a vanished
+/// client needs no answer).
+fn send_reply(
+    writer: &ClientWriter,
+    client_counters: &PeerCounters,
+    id: u64,
+    result: &Result<OpResult, ClientError>,
+) {
+    let body = encode_client_reply_body(id, result);
+    let frame = encode_frame(FrameKind::ClientReply, &body);
+    if let Ok(mut stream) = writer.0.lock() {
+        if stream.write_all(&frame).is_ok() {
+            client_counters.record_sent(frame.len());
+        } else {
+            client_counters.record_drop();
+        }
+    }
+}
+
+/// The brick's event-loop state (runs on its own thread).
+struct NodeServer {
+    cfg: Arc<RegisterConfig>,
+    replicas: HashMap<StripeId, Replica>,
+    coordinator: Coordinator,
+    io: NodeIo,
+    inbox: Receiver<Event>,
+    /// Pending client replies, keyed by coordinator operation id.
+    waiting: HashMap<u64, (u64, ClientWriter)>,
+    client_counters: Arc<PeerCounters>,
+    store: Option<BrickStore>,
+    /// Set when the durable store fails: the brick stops participating
+    /// (indistinguishable from a crash, which the protocol tolerates).
+    failed: bool,
+}
+
+impl NodeServer {
+    fn run(mut self) {
+        loop {
+            let event = match self.io.next_deadline() {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(timeout) {
+                        Ok(ev) => Some(ev),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.inbox.recv() {
+                    Ok(ev) => Some(ev),
+                    Err(_) => return,
+                },
+            };
+            if let Some(event) = event {
+                match event {
+                    Event::Shutdown => {
+                        self.refuse_waiting();
+                        return;
+                    }
+                    Event::Net { .. } if self.failed => {} // fenced brick is silent
+                    Event::Client { id, writer, .. } if self.failed => {
+                        send_reply(
+                            &writer,
+                            &self.client_counters,
+                            id,
+                            &Err(ClientError::Unavailable),
+                        );
+                    }
+                    Event::Net { from, env } => self.on_net(from, &env),
+                    Event::Client { id, op, writer } => self.on_client(id, op, &writer),
+                }
+            }
+            if !self.failed {
+                for id in self.io.due_timers() {
+                    self.coordinator.on_timer(&mut self.io, id);
+                }
+            }
+            self.deliver_completions();
+        }
+    }
+
+    /// Answers every still-pending client with `Unavailable` (shutdown
+    /// path; a hung client is worse than a refused one).
+    fn refuse_waiting(&mut self) {
+        for (_, (id, writer)) in self.waiting.drain() {
+            send_reply(
+                &writer,
+                &self.client_counters,
+                id,
+                &Err(ClientError::Unavailable),
+            );
+        }
+    }
+
+    /// Fences the brick after a durable-store failure.
+    fn fence(&mut self, why: &str) {
+        eprintln!("fabd[{}]: {why}; fencing brick", self.io.pid.value());
+        self.failed = true;
+        self.refuse_waiting();
+    }
+
+    /// Rebuilds replica state from the durable log (startup/restart), and
+    /// advances the coordinator clock past every recovered timestamp.
+    fn load_from_store(&mut self) {
+        let Some(store) = &self.store else { return };
+        let pid = self.io.pid;
+        let cfg = self.cfg.clone();
+        let mut newest = fab_timestamp::Timestamp::LOW;
+        self.replicas = store
+            .stripes()
+            .map(|(stripe, st)| {
+                newest = newest.max(st.ord_ts).max(st.log.max_ts());
+                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log.clone());
+                r.enable_persistence();
+                (stripe, r)
+            })
+            .collect();
+        self.coordinator.observe_timestamp(newest);
+    }
+
+    fn on_net(&mut self, from: ProcessId, env: &Envelope) {
+        match &env.kind {
+            Payload::Request(req) => {
+                let stripe = env.stripe;
+                let round = env.round;
+                let pid = self.io.pid;
+                let cfg = self.cfg.clone();
+                let durable = self.store.is_some();
+                let replica = self.replicas.entry(stripe).or_insert_with(|| {
+                    let mut r = Replica::new(pid, cfg);
+                    if durable {
+                        r.enable_persistence();
+                    }
+                    r
+                });
+                let reply = replica.handle(req);
+                let persist = if durable {
+                    replica.take_persist_events()
+                } else {
+                    Vec::new()
+                };
+                // Persist *before* replying: the reply acknowledges state
+                // the paper requires to survive a crash.
+                if let Some(store) = &mut self.store {
+                    for event in &persist {
+                        if store.append(stripe, event).is_err() {
+                            self.fence("store append failed");
+                            return;
+                        }
+                    }
+                    if store.maybe_compact(50_000).is_err() {
+                        self.fence("store compaction failed");
+                        return;
+                    }
+                }
+                if let Some(reply) = reply {
+                    self.io.send(
+                        from,
+                        Envelope {
+                            stripe,
+                            round,
+                            kind: Payload::Reply(reply),
+                        },
+                    );
+                }
+            }
+            Payload::Reply(_) => {
+                self.coordinator.on_reply(&mut self.io, from, env);
+            }
+        }
+    }
+
+    fn on_client(&mut self, id: u64, op: ClientOp, writer: &ClientWriter) {
+        let invoked = match op {
+            ClientOp::ReadStripe { stripe } => {
+                Ok(self.coordinator.invoke_read_stripe(&mut self.io, stripe))
+            }
+            ClientOp::WriteStripe { stripe, blocks } => self
+                .coordinator
+                .invoke_write_stripe(&mut self.io, stripe, blocks),
+            ClientOp::ReadBlock { stripe, j } => {
+                self.coordinator
+                    .invoke_read_block(&mut self.io, stripe, j as usize)
+            }
+            ClientOp::WriteBlock { stripe, j, block } => {
+                self.coordinator
+                    .invoke_write_block(&mut self.io, stripe, j as usize, block)
+            }
+            ClientOp::ReadBlocks { stripe, js } => {
+                let js = js.into_iter().map(|j| j as usize).collect();
+                self.coordinator.invoke_read_blocks(&mut self.io, stripe, js)
+            }
+            ClientOp::WriteBlocks { stripe, updates } => {
+                let updates: Vec<(usize, Bytes)> = updates
+                    .into_iter()
+                    .map(|(j, b)| (j as usize, b))
+                    .collect();
+                self.coordinator
+                    .invoke_write_blocks(&mut self.io, stripe, updates)
+            }
+            ClientOp::Scrub { stripe } => Ok(self.coordinator.invoke_scrub(&mut self.io, stripe)),
+        };
+        match invoked {
+            Ok(op_id) => {
+                self.waiting.insert(op_id, (id, writer.clone()));
+            }
+            Err(_) => send_reply(
+                writer,
+                &self.client_counters,
+                id,
+                &Err(ClientError::InvalidRequest),
+            ),
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        for Completion { op, result, .. } in self.coordinator.drain_completions() {
+            if let Some((id, writer)) = self.waiting.remove(&op) {
+                send_reply(&writer, &self.client_counters, id, &Ok(result));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- accept/readers -----
+
+/// Accepted connections and their reader threads, for shutdown.
+#[derive(Default)]
+struct Registry {
+    streams: Vec<TcpStream>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// One connection's reader loop: decode frames, route them to the event
+/// loop, close on the first malformed frame (a peer that frames wrongly
+/// once cannot be resynchronized — the stream position is lost).
+fn handle_connection(
+    mut stream: TcpStream,
+    tx: &Sender<Event>,
+    counters: &[Arc<PeerCounters>],
+    client_counters: &Arc<PeerCounters>,
+) {
+    let writer = match stream.try_clone() {
+        Ok(clone) => {
+            let _ = clone.set_write_timeout(Some(WRITE_TIMEOUT));
+            ClientWriter(Arc::new(Mutex::new(clone)))
+        }
+        Err(_) => return,
+    };
+    loop {
+        match read_frame(&mut stream) {
+            Ok((Message::Peer { from, env }, len)) => {
+                if let Some(c) = counters.get(from.index()) {
+                    c.record_recv(len);
+                }
+                if tx.send(Event::Net { from, env }).is_err() {
+                    return;
+                }
+            }
+            Ok((Message::ClientRequest { id, op }, len)) => {
+                client_counters.record_recv(len);
+                let writer = writer.clone();
+                if tx.send(Event::Client { id, op, writer }).is_err() {
+                    return;
+                }
+            }
+            Ok((Message::ClientReply { .. }, _)) => {
+                // A server never receives replies: schema violation.
+                client_counters.record_decode_error();
+                return;
+            }
+            Err(RecvError::Wire(_)) => {
+                client_counters.record_decode_error();
+                return;
+            }
+            Err(RecvError::Closed | RecvError::Io(_)) => return,
+        }
+    }
+}
+
+/// The accept loop. Owns the listener and returns it on shutdown so a
+/// restarted brick can re-use the exact same bound socket (no
+/// `TIME_WAIT`/rebind races in tests).
+fn accept_loop(
+    listener: TcpListener,
+    tx: &Sender<Event>,
+    counters: &[Arc<PeerCounters>],
+    client_counters: &Arc<PeerCounters>,
+    registry: &Mutex<Registry>,
+    stop: &AtomicBool,
+) -> TcpListener {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return listener; // woken by the shutdown self-connect
+                }
+                let _ = stream.set_nodelay(true);
+                let clone = stream.try_clone();
+                let tx = tx.clone();
+                let counters = counters.to_vec();
+                let client_counters = client_counters.clone();
+                let handle = std::thread::Builder::new()
+                    .name("fab-conn".to_string())
+                    .spawn(move || handle_connection(stream, &tx, &counters, &client_counters));
+                if let Ok(mut reg) = registry.lock() {
+                    if let Ok(clone) = clone {
+                        reg.streams.push(clone);
+                    }
+                    if let Ok(handle) = handle {
+                        reg.handles.push(handle);
+                    }
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return listener;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // don't spin hot.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- brick node -----
+
+/// A running brick: event-loop thread + accept thread + per-connection
+/// reader threads + per-peer writer threads.
+///
+/// One `BrickNode` per process is the deployment model (`fabd`); tests
+/// boot several in one process to form a loopback cluster.
+#[must_use]
+pub struct BrickNode {
+    tx: Sender<Event>,
+    server: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<TcpListener>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    registry: Arc<Mutex<Registry>>,
+    faults: Arc<FaultPlan>,
+    counters: Vec<Arc<PeerCounters>>,
+    client_counters: Arc<PeerCounters>,
+    node: ProcessId,
+}
+
+impl std::fmt::Debug for BrickNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrickNode")
+            .field("node", &self.node)
+            .field("addr", &self.addr)
+            .field("running", &self.server.is_some())
+            .finish()
+    }
+}
+
+impl BrickNode {
+    /// Boots a brick on `listener` (already bound to
+    /// `cfg.cluster[cfg.node.index()]`'s port).
+    ///
+    /// Taking the bound listener — rather than an address — lets a test
+    /// kill a brick and restart it on the *same* socket without racing
+    /// `TIME_WAIT`; [`BrickNode::shutdown`] returns the listener for
+    /// exactly that purpose.
+    ///
+    /// Retransmission intervals below 5 ms are raised to 20 ms, as in
+    /// `fab-runtime`: the simulator's tick-scale default would thrash a
+    /// real network.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` if `cfg` is inconsistent (`cluster` length ≠ `n`,
+    /// `node` out of range), the store directory cannot be opened, or a
+    /// thread cannot be spawned.
+    pub fn spawn(cfg: NodeConfig, listener: TcpListener) -> std::io::Result<BrickNode> {
+        let NodeConfig {
+            node,
+            cluster,
+            mut register,
+            store_dir,
+            backoff,
+        } = cfg;
+        if cluster.len() != register.n() || node.index() >= cluster.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "cluster has {} addresses for n={} bricks (node {})",
+                    cluster.len(),
+                    register.n(),
+                    node.value()
+                ),
+            ));
+        }
+        if register.retransmit_interval < 5_000 {
+            register.retransmit_interval = 20_000;
+        }
+        let register = Arc::new(register);
+        let addr = listener.local_addr()?;
+
+        let store = match store_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(&dir)?;
+                let path = dir.join(format!("brick-{}.log", node.value()));
+                let store = BrickStore::open(path).map_err(std::io::Error::other)?;
+                Some(store)
+            }
+            None => None,
+        };
+
+        let (tx, inbox) = unbounded();
+        let faults = Arc::new(FaultPlan::new());
+        let counters: Vec<Arc<PeerCounters>> = (0..cluster.len())
+            .map(|_| Arc::new(PeerCounters::new()))
+            .collect();
+        let client_counters = Arc::new(PeerCounters::new());
+        let peers: Vec<Option<PeerSender>> = cluster
+            .iter()
+            .enumerate()
+            .map(|(i, peer_addr)| {
+                if i == node.index() {
+                    None
+                } else {
+                    Some(PeerSender::spawn(*peer_addr, backoff, counters[i].clone()))
+                }
+            })
+            .collect();
+
+        let mut server = NodeServer {
+            cfg: register.clone(),
+            replicas: HashMap::new(),
+            coordinator: Coordinator::new(node, register.clone()),
+            io: NodeIo {
+                pid: node,
+                peers,
+                counters: counters.clone(),
+                self_tx: tx.clone(),
+                faults: faults.clone(),
+                epoch: Instant::now(),
+                rng: SmallRng::seed_from_u64(0x0fab ^ u64::from(node.value())),
+                next_timer: 0,
+                timers: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+            },
+            inbox,
+            waiting: HashMap::new(),
+            client_counters: client_counters.clone(),
+            store,
+            failed: false,
+        };
+        server.load_from_store();
+        let server_handle = std::thread::Builder::new()
+            .name(format!("fabd-brick-{}", node.value()))
+            .spawn(move || server.run())?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Mutex::new(Registry::default()));
+        let accept_handle = {
+            let tx = tx.clone();
+            let counters = counters.clone();
+            let client_counters = client_counters.clone();
+            let registry = registry.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name(format!("fabd-accept-{}", node.value()))
+                .spawn(move || {
+                    accept_loop(listener, &tx, &counters, &client_counters, &registry, &stop)
+                })?
+        };
+
+        Ok(BrickNode {
+            tx,
+            server: Some(server_handle),
+            accept: Some(accept_handle),
+            addr,
+            stop,
+            registry,
+            faults,
+            counters,
+            client_counters,
+            node,
+        })
+    }
+
+    /// The address this brick is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This brick's process id.
+    #[must_use]
+    pub fn node(&self) -> ProcessId {
+        self.node
+    }
+
+    /// The brick's fault-injection plan (shared semantics with the
+    /// simulator and the threaded runtime).
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        self.faults.clone()
+    }
+
+    /// Sets the probability that any outbound peer transmission is dropped
+    /// (clamped into `[0, 1]`).
+    pub fn set_drop_probability(&self, p: f64) {
+        self.faults.set_drop_probability(p);
+    }
+
+    /// Point-in-time transport statistics.
+    pub fn metrics(&self) -> TransportMetrics {
+        TransportMetrics {
+            peers: self.counters.iter().map(|c| c.snapshot()).collect(),
+            clients: self.client_counters.snapshot(),
+        }
+    }
+
+    fn shutdown_inner(&mut self) -> Option<TcpListener> {
+        // 1. Stop the event loop (it refuses pending clients first).
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+        // 2. Stop the accept loop: raise the flag, then wake it with a
+        //    throwaway self-connection.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        let listener = self.accept.take().and_then(|h| h.join().ok());
+        // 3. Unblock and join every reader thread by shutting its socket.
+        let mut handles = Vec::new();
+        if let Ok(mut reg) = self.registry.lock() {
+            for s in reg.streams.drain(..) {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            handles = std::mem::take(&mut reg.handles);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        listener
+    }
+
+    /// Stops the brick — event loop, accept loop, reader threads — and
+    /// returns the still-bound listener so a restarted brick can take over
+    /// the same socket. Peer writer threads exit asynchronously when their
+    /// channels disconnect.
+    ///
+    /// To the rest of the cluster this is indistinguishable from a crash:
+    /// in-flight operations this brick coordinated either completed or
+    /// will be recovered by the next reader (strict linearizability).
+    pub fn shutdown(mut self) -> Option<TcpListener> {
+        self.shutdown_inner()
+    }
+}
+
+impl Drop for BrickNode {
+    fn drop(&mut self) {
+        if self.server.is_some() || self.accept.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}

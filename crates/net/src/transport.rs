@@ -1,0 +1,408 @@
+//! TCP transport primitives: outbound peer connections with reconnect and
+//! capped exponential backoff, blocking framed reads, and per-peer traffic
+//! counters.
+//!
+//! The transport offers exactly the guarantee the protocol was proved
+//! against: a **fair-loss link**. A frame handed to [`PeerSender::send`]
+//! is delivered at most once; if the connection is down (or fault
+//! injection drops it) the frame is simply lost and the loss is counted.
+//! Retransmission is the *coordinator's* job (`fab-core` timers), not the
+//! transport's — buffering unbounded backlog for a dead peer would turn a
+//! crashed brick into a memory leak on every live one.
+//!
+//! Reconnection uses the shared [`fab_simnet::Backoff`] schedule so the
+//! threaded runtime, the simulator harnesses, and this transport agree on
+//! fault-handling parameters.
+
+use crate::server::WRITE_TIMEOUT;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fab_wire::{decode_body, FrameHeader, Message, WireError, HEADER_LEN};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an outbound connection attempt may block the writer thread.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Monotonic per-peer traffic counters, shared between the transport
+/// threads and whoever wants to observe them ([`CounterSnapshot`]).
+#[derive(Debug, Default)]
+pub struct PeerCounters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    decode_errors: AtomicU64,
+    reconnects: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PeerCounters {
+    /// Fresh all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame of `bytes` handed to the socket.
+    pub fn record_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one frame of `bytes` received and decoded.
+    pub fn record_recv(&self, bytes: usize) {
+        self.frames_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a frame that failed to decode (hostile or corrupt input).
+    pub fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful re-establishment of a previously-working
+    /// connection.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame lost to a down link or to fault injection.
+    pub fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counter values (see [`PeerCounters::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
+pub struct CounterSnapshot {
+    /// Frames handed to the socket.
+    pub frames_sent: u64,
+    /// Bytes handed to the socket (headers included).
+    pub bytes_sent: u64,
+    /// Frames received and decoded.
+    pub frames_recv: u64,
+    /// Bytes received in decoded frames (headers included).
+    pub bytes_recv: u64,
+    /// Frames rejected by the wire decoder.
+    pub decode_errors: u64,
+    /// Connection re-establishments after the first success.
+    pub reconnects: u64,
+    /// Frames lost to a down link or to fault injection.
+    pub dropped: u64,
+}
+
+/// Why a framed read from a socket failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The socket failed mid-frame (reset, timeout, shutdown).
+    Io(ErrorKind),
+    /// The bytes were not a valid frame or message — hostile, corrupt, or
+    /// version-skewed input.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            RecvError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Reads one framed [`Message`] from `stream`, blocking.
+///
+/// The 16-byte header is read and validated first (magic, version, kind,
+/// bounded length), then exactly `body_len` bytes are read, checksummed,
+/// and decoded. A length-lying header is rejected before the body buffer
+/// is allocated. Returns the message and the total frame size in bytes.
+///
+/// # Errors
+///
+/// [`RecvError::Closed`] on clean EOF at a frame boundary, [`RecvError::Io`]
+/// on socket failure, [`RecvError::Wire`] on any malformed input.
+pub fn read_frame(stream: &mut TcpStream) -> Result<(Message, usize), RecvError> {
+    let mut head = [0u8; HEADER_LEN];
+    match stream.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Err(RecvError::Closed),
+        Err(e) => return Err(RecvError::Io(e.kind())),
+    }
+    let header = FrameHeader::decode(&head).map_err(RecvError::Wire)?;
+    // `body_len` was validated against MAX_BODY_LEN by `decode`, so this
+    // allocation is bounded no matter what the header claimed.
+    let mut body = vec![0u8; header.body_len];
+    if let Err(e) = stream.read_exact(&mut body) {
+        return Err(RecvError::Io(e.kind()));
+    }
+    header.verify_body(&body).map_err(RecvError::Wire)?;
+    let msg = decode_body(header.kind, &body).map_err(RecvError::Wire)?;
+    Ok((msg, HEADER_LEN + header.body_len))
+}
+
+/// A handle to one outbound peer connection, serviced by a writer thread.
+///
+/// Frames are queued on a channel; the writer thread owns the socket and
+/// (re)connects lazily with [`fab_simnet::Backoff`]-scheduled retries.
+/// Send semantics are fair-loss: if the link is down, the frame is dropped
+/// and counted, never buffered past the queue.
+#[derive(Debug)]
+#[must_use]
+pub struct PeerSender {
+    tx: Sender<Vec<u8>>,
+    handle: Option<JoinHandle<()>>,
+    counters: Arc<PeerCounters>,
+}
+
+impl PeerSender {
+    /// Spawns the writer thread for `peer`.
+    pub fn spawn(peer: SocketAddr, backoff: fab_simnet::Backoff, counters: Arc<PeerCounters>) -> Self {
+        let (tx, rx) = unbounded();
+        let thread_counters = counters.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("fab-peer-{peer}"))
+            .spawn(move || writer_loop(peer, &rx, backoff, &thread_counters))
+            .ok();
+        PeerSender {
+            tx,
+            handle,
+            counters,
+        }
+    }
+
+    /// Queues one encoded frame for transmission (fair-loss: the frame may
+    /// be dropped if the link is down).
+    pub fn send(&self, frame: Vec<u8>) {
+        if self.tx.send(frame).is_err() {
+            self.counters.record_drop();
+        }
+    }
+
+    /// This peer's traffic counters.
+    #[must_use]
+    pub fn counters(&self) -> &Arc<PeerCounters> {
+        &self.counters
+    }
+
+    /// Stops the writer thread and joins it. Queued frames not yet written
+    /// are discarded (fair-loss).
+    pub fn shutdown(mut self) {
+        // An empty frame can never be produced by the encoder (every frame
+        // starts with a 16-byte header), so it doubles as a stop sentinel.
+        let _ = self.tx.send(Vec::new());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeerSender {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the channel; the writer thread
+        // exits after its current frame. Joining here would risk blocking
+        // drops behind a slow socket, so detach instead.
+        let _ = self.tx.send(Vec::new());
+    }
+}
+
+/// The writer thread: owns the socket, reconnects with backoff, writes
+/// frames, drops what it cannot deliver.
+fn writer_loop(
+    peer: SocketAddr,
+    rx: &Receiver<Vec<u8>>,
+    backoff: fab_simnet::Backoff,
+    counters: &PeerCounters,
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut attempt: u32 = 0;
+    let mut next_retry = Instant::now();
+    let mut connected_before = false;
+    while let Ok(frame) = rx.recv() {
+        if frame.is_empty() {
+            return; // stop sentinel
+        }
+        if conn.is_none() && Instant::now() >= next_retry {
+            match TcpStream::connect_timeout(&peer, CONNECT_TIMEOUT) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
+                    if connected_before {
+                        counters.record_reconnect();
+                    }
+                    connected_before = true;
+                    attempt = 0;
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    next_retry =
+                        Instant::now() + Duration::from_micros(backoff.delay_micros(attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+        match conn.as_mut() {
+            Some(s) => {
+                if s.write_all(&frame).is_ok() {
+                    counters.record_sent(frame.len());
+                } else {
+                    // Write failed: the link is down. Drop the frame (the
+                    // coordinator's retransmission timer covers the loss)
+                    // and schedule a reconnect.
+                    conn = None;
+                    counters.record_drop();
+                    next_retry =
+                        Instant::now() + Duration::from_micros(backoff.delay_micros(attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+            None => counters.record_drop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_simnet::Backoff;
+    use fab_timestamp::{ProcessId, Timestamp};
+    use fab_wire::{encode_frame, encode_peer_body, FrameKind};
+    use std::net::TcpListener;
+
+    fn peer_frame(ticks: u64) -> Vec<u8> {
+        let env = fab_core::Envelope {
+            stripe: fab_core::StripeId(1),
+            round: ticks,
+            kind: fab_core::Payload::Request(fab_core::Request::Order {
+                ts: Timestamp::from_parts(ticks.max(1), ProcessId::new(0)),
+            }),
+        };
+        encode_frame(FrameKind::Peer, &encode_peer_body(ProcessId::new(0), &env))
+    }
+
+    #[test]
+    fn sender_delivers_frames_to_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = Arc::new(PeerCounters::new());
+        let sender = PeerSender::spawn(addr, Backoff::default(), counters.clone());
+        sender.send(peer_frame(7));
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let (msg, len) = read_frame(&mut conn).unwrap();
+        match msg {
+            Message::Peer { from, env } => {
+                assert_eq!(from, ProcessId::new(0));
+                assert_eq!(env.round, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(len > HEADER_LEN);
+        sender.shutdown();
+        let snap = counters.snapshot();
+        assert_eq!(snap.frames_sent, 1);
+        assert_eq!(snap.bytes_sent, len as u64);
+    }
+
+    #[test]
+    fn down_link_drops_and_counts_then_reconnects() {
+        // Bind a listener to learn a port, then close it: sends must drop.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        let counters = Arc::new(PeerCounters::new());
+        let sender = PeerSender::spawn(
+            addr,
+            Backoff {
+                base_micros: 1_000,
+                factor: 2,
+                max_micros: 10_000,
+            },
+            counters.clone(),
+        );
+        for t in 0..5 {
+            sender.send(peer_frame(t + 1));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Everything so far was dropped (link down).
+        assert!(counters.snapshot().dropped >= 1);
+        assert_eq!(counters.snapshot().frames_sent, 0);
+
+        // Revive the listener on the same port and keep sending: the
+        // backoff schedule must reconnect and deliver.
+        let listener = TcpListener::bind(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        let mut t = 100;
+        while Instant::now() < deadline {
+            sender.send(peer_frame(t));
+            t += 1;
+            std::thread::sleep(Duration::from_millis(10));
+            if counters.snapshot().frames_sent > 0 {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "sender never reconnected");
+        let (mut conn, _) = listener.accept().unwrap();
+        let (msg, _) = read_frame(&mut conn).unwrap();
+        assert!(matches!(msg, Message::Peer { .. }));
+        sender.shutdown();
+    }
+
+    #[test]
+    fn read_frame_rejects_garbage_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Clean close: Closed.
+        let c = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        drop(c);
+        assert_eq!(read_frame(&mut server_side).unwrap_err(), RecvError::Closed);
+
+        // Garbage bytes: a wire error, not a panic.
+        let mut c = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        c.write_all(b"this is not a FAB frame at all!!").unwrap();
+        drop(c);
+        assert!(matches!(
+            read_frame(&mut server_side).unwrap_err(),
+            RecvError::Wire(WireError::BadMagic { .. })
+        ));
+
+        // Truncated mid-body: an I/O error (EOF inside the frame).
+        let mut c = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let frame = peer_frame(3);
+        c.write_all(&frame[..frame.len() - 4]).unwrap();
+        drop(c);
+        assert!(matches!(
+            read_frame(&mut server_side).unwrap_err(),
+            RecvError::Io(_)
+        ));
+    }
+}

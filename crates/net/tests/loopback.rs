@@ -1,0 +1,321 @@
+//! Loopback multi-process-shaped integration tests: several [`BrickNode`]s
+//! on 127.0.0.1 form a real TCP cluster inside one test process.
+//!
+//! The big test (`five_brick_cluster_survives_kill_and_restart`) is
+//! `#[ignore]`d so plain `cargo test` stays fast; CI runs it explicitly as
+//! its own stage under a wall-clock timeout (`tools/ci.sh`). It boots the
+//! paper's f=1 configuration (n=5, m=3), drives concurrent client
+//! workloads, kills a brick mid-workload, restarts it from its durable
+//! store on the *same* listening socket, and finally feeds the observed
+//! per-stripe histories to `fab-checker`'s strict-linearizability checker.
+
+use bytes::Bytes;
+use fab_checker::{History, OpRecord, ValueId, NIL};
+use fab_core::{OpResult, RegisterConfig, StripeId, StripeValue};
+use fab_net::{BrickNode, NetClient, NodeConfig};
+use fab_timestamp::ProcessId;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn bind_cluster(n: usize) -> (Vec<TcpListener>, Vec<std::net::SocketAddr>) {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    (listeners, addrs)
+}
+
+/// Encodes a checker value id into a full stripe of `m` blocks.
+fn stripe_for(id: ValueId, m: usize, block_size: usize) -> Vec<Bytes> {
+    (0..m)
+        .map(|j| {
+            let mut b = vec![j as u8 + 1; block_size];
+            b[..8].copy_from_slice(&id.to_le_bytes());
+            Bytes::from(b)
+        })
+        .collect()
+}
+
+/// Extracts the value id a stripe read observed (`None` for aborts).
+fn value_of(result: &OpResult) -> Option<ValueId> {
+    match result {
+        OpResult::Stripe(StripeValue::Nil) => Some(NIL),
+        OpResult::Stripe(StripeValue::Data(blocks)) => {
+            let b = blocks.first()?;
+            let head: [u8; 8] = b.get(..8)?.try_into().ok()?;
+            Some(u64::from_le_bytes(head))
+        }
+        _ => None,
+    }
+}
+
+#[test]
+fn three_brick_loopback_smoke() {
+    let m = 2;
+    let block = 64;
+    let (listeners, addrs) = bind_cluster(3);
+    let cfg = RegisterConfig::new(m, 3, block).unwrap();
+    let nodes: Vec<BrickNode> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            BrickNode::spawn(
+                NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone()),
+                l,
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let mut client = NetClient::connect(addrs, cfg);
+    let data = stripe_for(7, m, block);
+    assert_eq!(
+        client.try_write_stripe(StripeId(0), data.clone()).unwrap(),
+        OpResult::Written
+    );
+    assert_eq!(
+        client.try_read_stripe(StripeId(0)).unwrap(),
+        OpResult::Stripe(StripeValue::Data(data))
+    );
+
+    // Block granularity over the wire.
+    let b = Bytes::from(vec![0x5A; block]);
+    assert_eq!(
+        client.try_write_block(StripeId(1), 1, b.clone()).unwrap(),
+        OpResult::Written
+    );
+    match client.try_read_block(StripeId(1), 1).unwrap() {
+        OpResult::Block(v) => assert_eq!(v.materialize(block), Some(b)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A malformed request is rejected, not retried forever.
+    let err = client
+        .try_write_stripe(StripeId(2), vec![Bytes::from(vec![0u8; block]); m + 1])
+        .unwrap_err();
+    assert!(matches!(err, fab_net::NetClientError::Rejected(_)));
+
+    // The transport actually moved frames, and clients were served.
+    let metrics = nodes[0].metrics();
+    let peer_frames: u64 = metrics.peers.iter().map(|c| c.frames_sent).sum();
+    assert!(peer_frames > 0, "no peer traffic recorded: {metrics:?}");
+    let client_frames: u64 = nodes
+        .iter()
+        .map(|n| n.metrics().clients.frames_recv)
+        .sum();
+    assert!(client_frames > 0, "no client traffic recorded");
+
+    for node in nodes {
+        assert!(node.shutdown().is_some());
+    }
+}
+
+struct SharedTrace {
+    epoch: Instant,
+    histories: Vec<Mutex<History>>,
+    next_value: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl SharedTrace {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+fn worker(trace: &SharedTrace, mut client: NetClient, seed: u64) -> (u64, u64) {
+    let cfg = client_cfg(&client);
+    let (m, block) = (cfg.m(), cfg.block_size());
+    let stripes = trace.histories.len() as u64;
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let (mut writes, mut reads) = (0u64, 0u64);
+    while !trace.stop.load(Ordering::Relaxed) {
+        let stripe = next() % stripes;
+        if next() % 2 == 0 {
+            // Write a fresh value; one logical interval spans all client
+            // retries (a wider interval only weakens the check — sound).
+            let id = trace.next_value.fetch_add(1, Ordering::Relaxed);
+            let start = trace.now();
+            let outcome = client.try_write_stripe(StripeId(stripe), stripe_for(id, m, block));
+            let end = trace.now();
+            let rec = match outcome {
+                Ok(OpResult::Written) => OpRecord::write(id, start, end).committed(),
+                // Aborted, or outcome unknown after transport failure:
+                // the write may or may not have taken effect before `end`.
+                _ => OpRecord::write(id, start, end),
+            };
+            trace.histories[stripe as usize].lock().unwrap().push(rec);
+            writes += 1;
+        } else {
+            let start = trace.now();
+            let outcome = client.try_read_stripe(StripeId(stripe));
+            let end = trace.now();
+            if let Ok(result) = outcome {
+                if let Some(id) = value_of(&result) {
+                    trace.histories[stripe as usize]
+                        .lock()
+                        .unwrap()
+                        .push(OpRecord::read(id, start, end));
+                    reads += 1;
+                }
+            }
+        }
+    }
+    (writes, reads)
+}
+
+fn client_cfg(client: &NetClient) -> RegisterConfig {
+    use fab_volume::RegisterClient;
+    client.config()
+}
+
+/// The tentpole scenario: n=5, m=3 (f=1) over real sockets, concurrent
+/// clients, one brick killed and restarted from its durable log
+/// mid-workload, and the whole observed history strictly linearizable.
+#[test]
+#[ignore = "multi-second wall clock; run explicitly (tools/ci.sh stage 6)"]
+fn five_brick_cluster_survives_kill_and_restart() {
+    let (n, m, block) = (5usize, 3usize, 64usize);
+    let stripes = 3usize;
+    let store_root = std::env::temp_dir().join(format!("fab-loopback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let (mut listeners, addrs) = bind_cluster(n);
+    let cfg = RegisterConfig::new(m, n, block).unwrap();
+    let spawn_node = |i: usize, listener: TcpListener| -> BrickNode {
+        let node_cfg = NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone())
+            .with_store_dir(store_root.join(format!("node-{i}")));
+        BrickNode::spawn(node_cfg, listener).unwrap()
+    };
+    let mut nodes: Vec<Option<BrickNode>> = listeners
+        .drain(..)
+        .enumerate()
+        .map(|(i, l)| Some(spawn_node(i, l)))
+        .collect();
+
+    let trace = Arc::new(SharedTrace {
+        epoch: Instant::now(),
+        histories: (0..stripes).map(|_| Mutex::new(History::new())).collect(),
+        next_value: AtomicU64::new(1),
+        stop: AtomicBool::new(false),
+    });
+
+    // A little background message loss makes the retransmission path real.
+    for node in nodes.iter().flatten() {
+        node.set_drop_probability(0.02);
+    }
+
+    let workers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let trace = trace.clone();
+            let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+            client.attempt_timeout = Duration::from_millis(500);
+            client.max_rounds = 12;
+            std::thread::spawn(move || worker(&trace, client, w + 1))
+        })
+        .collect();
+
+    // Let the workload run, then kill brick 2 mid-flight.
+    std::thread::sleep(Duration::from_millis(400));
+    let victim = 2usize;
+    let listener = nodes[victim]
+        .take()
+        .unwrap()
+        .shutdown()
+        .expect("shutdown returns the still-bound listener");
+
+    // The cluster (n-1 = 4 bricks ≥ quorum) keeps serving.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Restart the brick on the same socket, recovering from its log.
+    nodes[victim] = Some(spawn_node(victim, listener));
+    std::thread::sleep(Duration::from_millis(500));
+
+    trace.stop.store(true, Ordering::Relaxed);
+    let mut total_writes = 0;
+    let mut total_reads = 0;
+    for w in workers {
+        let (writes, reads) = w.join().unwrap();
+        total_writes += writes;
+        total_reads += reads;
+    }
+    assert!(
+        total_writes >= 10 && total_reads >= 10,
+        "workload made no progress: {total_writes} writes, {total_reads} reads"
+    );
+
+    // Quiesce: stop the injected loss and give coordinators a moment to
+    // finish operations whose clients already gave up (those keep running
+    // server-side and can briefly conflict with new operations).
+    for node in nodes.iter().flatten() {
+        node.set_drop_probability(0.0);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Final quiescent reads — including through the restarted brick — then
+    // a scrub, then the strict-linearizability verdict. Aborted attempts
+    // (lingering conflicts) are simply retried; a read that aborts has no
+    // effect and imposes no history record.
+    let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+    for s in 0..stripes {
+        let mut observed = None;
+        for _ in 0..40 {
+            let start = trace.now();
+            let result = client.try_read_stripe(StripeId(s as u64)).unwrap();
+            let end = trace.now();
+            if let Some(id) = value_of(&result) {
+                trace.histories[s].lock().unwrap().push(OpRecord::read(id, start, end));
+                observed = Some(id);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(observed.is_some(), "stripe {s}: final read never succeeded");
+        // A scrub completes by reporting the (recovered) current stripe.
+        let mut scrubbed = false;
+        for _ in 0..40 {
+            if matches!(
+                client.try_scrub(StripeId(s as u64)).unwrap(),
+                OpResult::Stripe(_)
+            ) {
+                scrubbed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(scrubbed, "stripe {s}: scrub never completed");
+    }
+
+    for (s, history) in trace.histories.iter().enumerate() {
+        let history = history.lock().unwrap();
+        assert!(!history.is_empty());
+        if let Err(v) = history.check() {
+            panic!("stripe {s}: history not strictly linearizable: {v:?}");
+        }
+    }
+
+    // The restart was visible to the transport: some peer reconnected to
+    // the victim's socket.
+    let reconnects: u64 = nodes
+        .iter()
+        .flatten()
+        .map(|node| node.metrics().peers.iter().map(|c| c.reconnects).sum::<u64>())
+        .sum();
+    assert!(reconnects > 0, "no reconnect was ever recorded");
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+}

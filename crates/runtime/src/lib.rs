@@ -27,13 +27,14 @@ use fab_core::{
     Completion, Coordinator, Effects, Envelope, OpResult, Payload, RegisterConfig, Replica,
     StripeId,
 };
+use fab_simnet::FaultPlan;
 use fab_store::BrickStore;
 use fab_timestamp::ProcessId;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -67,13 +68,6 @@ enum OpSpec {
     Scrub(StripeId),
 }
 
-/// Shared, mutation-safe fault switches for the channel "network".
-#[derive(Debug, Default)]
-struct Faults {
-    /// Probability (scaled by 1e6) that an inter-brick message is dropped.
-    drop_ppm: AtomicU64,
-}
-
 /// The I/O half of a brick thread: channel sends, deadline timers, clock,
 /// randomness. Implements [`Effects`] for the protocol state machines.
 struct NetIo {
@@ -84,7 +78,7 @@ struct NetIo {
     next_timer: u64,
     timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
     cancelled: HashSet<u64>,
-    faults: Arc<Faults>,
+    faults: Arc<FaultPlan>,
 }
 
 impl std::fmt::Debug for NetIo {
@@ -120,8 +114,7 @@ impl NetIo {
 
 impl Effects for NetIo {
     fn send(&mut self, to: ProcessId, env: Envelope) {
-        let drop_ppm = self.faults.drop_ppm.load(Ordering::Relaxed);
-        if to != self.pid && drop_ppm > 0 && self.rng.gen_range(0..1_000_000) < drop_ppm {
+        if to != self.pid && self.faults.should_drop(self.rng.gen_range(0..1_000_000)) {
             return; // fair-loss channel drops this transmission
         }
         if let Some(peer) = self.peers.get(to.index()) {
@@ -378,7 +371,7 @@ pub struct RuntimeCluster {
     senders: Vec<Sender<Event>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     cfg: Arc<RegisterConfig>,
-    faults: Arc<Faults>,
+    faults: Arc<FaultPlan>,
     next_coordinator: AtomicU32,
 }
 
@@ -413,7 +406,7 @@ impl RuntimeCluster {
         }
         let cfg = Arc::new(cfg);
         let n = cfg.n();
-        let faults = Arc::new(Faults::default());
+        let faults = Arc::new(FaultPlan::new());
         let epoch = Instant::now();
         let channels: Vec<(Sender<Event>, Receiver<Event>)> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Event>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -475,16 +468,17 @@ impl RuntimeCluster {
     }
 
     /// Sets the probability that any inter-brick message transmission is
-    /// dropped (fair-loss fault injection).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `p` is in `[0, 1)`.
+    /// dropped (fair-loss fault injection, shared [`FaultPlan`] semantics:
+    /// values are clamped into `[0, 1]`).
     pub fn set_drop_probability(&self, p: f64) {
-        assert!((0.0..1.0).contains(&p));
-        self.faults
-            .drop_ppm
-            .store((p * 1e6) as u64, Ordering::Relaxed);
+        self.faults.set_drop_probability(p);
+    }
+
+    /// The shared fault-injection plan, for harnesses that drive several
+    /// transports from one plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        self.faults.clone()
     }
 
     /// Emulates a crash of `pid`: coordinator state is lost, replica state

@@ -1,0 +1,200 @@
+//! Shared fault-injection and retry-pacing types for *real* transports.
+//!
+//! The simulator injects faults through [`SimConfig`](crate::SimConfig);
+//! the threaded runtime (`fab-runtime`, crossbeam channels) and the TCP
+//! transport (`fab-net`, sockets) need the same knobs but share them with
+//! concurrently running I/O threads. [`FaultPlan`] is that shared,
+//! atomically updatable plan: a probability that any single inter-brick
+//! transmission is silently dropped (the paper's fair-loss channel, §2).
+//! [`Backoff`] is the companion reconnect/retry pacing schedule — a pure
+//! capped-exponential calculator (no clocks, no sleeping) so it stays
+//! usable from deterministic code and real threads alike.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Probability scale: drop probabilities are stored in parts-per-million.
+const PPM: u64 = 1_000_000;
+
+/// A shared, thread-safe fault-injection plan for message transports.
+///
+/// Mirrors the simulator's fair-loss fault API for real transports: every
+/// transmission is independently dropped with the configured probability,
+/// so retransmission eventually succeeds. The plan is updated atomically
+/// and may be shared (`Arc<FaultPlan>`) between a cluster handle and its
+/// I/O threads.
+///
+/// # Examples
+///
+/// ```
+/// use fab_simnet::FaultPlan;
+///
+/// let plan = FaultPlan::default();
+/// assert_eq!(plan.drop_ppm(), 0);
+/// plan.set_drop_probability(0.25);
+/// assert_eq!(plan.drop_ppm(), 250_000);
+/// // A uniform roll in [0, 1e6) decides each transmission's fate.
+/// assert!(plan.should_drop(249_999));
+/// assert!(!plan.should_drop(250_000));
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Probability (parts per million) that a transmission is dropped.
+    drop_ppm: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates a plan with no injected faults.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the probability that any single inter-brick transmission is
+    /// dropped. Values are clamped into `[0, 1]` and quantized to parts
+    /// per million.
+    pub fn set_drop_probability(&self, p: f64) {
+        let clamped = p.clamp(0.0, 1.0);
+        // Quantize to ppm. The product is in [0, 1e6] so the cast is exact.
+        let ppm = (clamped * 1e6).round().min(1e6) as u64;
+        self.drop_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// The configured drop probability in parts per million.
+    #[must_use]
+    pub fn drop_ppm(&self) -> u64 {
+        self.drop_ppm.load(Ordering::Relaxed)
+    }
+
+    /// Decides one transmission's fate from a uniform roll in
+    /// `[0, 1_000_000)`: `true` means drop it.
+    ///
+    /// The caller supplies the roll so the decision source stays seedable
+    /// (the runtime uses its per-brick seeded RNG; tests can force either
+    /// outcome).
+    #[must_use]
+    pub fn should_drop(&self, roll: u64) -> bool {
+        let ppm = self.drop_ppm();
+        ppm > 0 && roll % PPM < ppm
+    }
+}
+
+/// A capped exponential backoff schedule, as a pure calculator.
+///
+/// `delay_micros(attempt)` returns `base * factor^attempt`, saturating at
+/// `max`. The type never sleeps and never reads a clock: callers own the
+/// waiting, which keeps the schedule usable both from real reconnect loops
+/// (`fab-net`) and from simulated or test code that just inspects it.
+///
+/// # Examples
+///
+/// ```
+/// use fab_simnet::Backoff;
+///
+/// let b = Backoff::default(); // 10 ms, ×2, capped at 2 s
+/// assert_eq!(b.delay_micros(0), 10_000);
+/// assert_eq!(b.delay_micros(1), 20_000);
+/// assert_eq!(b.delay_micros(31), 2_000_000); // capped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry, in microseconds.
+    pub base_micros: u64,
+    /// Multiplier applied per successive attempt.
+    pub factor: u32,
+    /// Upper bound on any single delay, in microseconds.
+    pub max_micros: u64,
+}
+
+impl Default for Backoff {
+    /// 10 ms base, doubling, capped at 2 s — a sane reconnect cadence for
+    /// LAN brick clusters.
+    fn default() -> Self {
+        Backoff {
+            base_micros: 10_000,
+            factor: 2,
+            max_micros: 2_000_000,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based), in microseconds.
+    #[must_use]
+    pub fn delay_micros(&self, attempt: u32) -> u64 {
+        let mut delay = self.base_micros.min(self.max_micros);
+        let mut i = 0;
+        while i < attempt {
+            match delay.checked_mul(u64::from(self.factor)) {
+                Some(next) if next < self.max_micros => delay = next,
+                _ => return self.max_micros,
+            }
+            i += 1;
+        }
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_probability_clamps_and_quantizes() {
+        let plan = FaultPlan::new();
+        plan.set_drop_probability(-1.0);
+        assert_eq!(plan.drop_ppm(), 0);
+        plan.set_drop_probability(2.0);
+        assert_eq!(plan.drop_ppm(), PPM);
+        plan.set_drop_probability(0.5);
+        assert_eq!(plan.drop_ppm(), 500_000);
+    }
+
+    #[test]
+    fn should_drop_thresholds() {
+        let plan = FaultPlan::new();
+        assert!(!plan.should_drop(0), "zero probability never drops");
+        plan.set_drop_probability(1.0);
+        assert!(plan.should_drop(999_999));
+        plan.set_drop_probability(0.001);
+        assert!(plan.should_drop(999));
+        assert!(!plan.should_drop(1_000));
+        // Rolls beyond the scale are reduced, not trusted.
+        assert!(plan.should_drop(PPM + 999));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff {
+            base_micros: 100,
+            factor: 3,
+            max_micros: 1_000,
+        };
+        assert_eq!(b.delay_micros(0), 100);
+        assert_eq!(b.delay_micros(1), 300);
+        assert_eq!(b.delay_micros(2), 900);
+        assert_eq!(b.delay_micros(3), 1_000);
+        assert_eq!(b.delay_micros(100), 1_000);
+    }
+
+    #[test]
+    fn backoff_survives_overflow_and_degenerate_factors() {
+        let b = Backoff {
+            base_micros: u64::MAX / 2,
+            factor: 2,
+            max_micros: u64::MAX,
+        };
+        assert_eq!(b.delay_micros(5), u64::MAX, "mul overflow saturates at max");
+        let frozen = Backoff {
+            base_micros: 50,
+            factor: 1,
+            max_micros: 1_000,
+        };
+        assert_eq!(frozen.delay_micros(9), 50, "factor 1 never grows");
+        let zero = Backoff {
+            base_micros: 0,
+            factor: 0,
+            max_micros: 7,
+        };
+        assert_eq!(zero.delay_micros(3), 0, "zero base stays zero (caller's choice)");
+    }
+}

@@ -27,9 +27,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 
 pub use config::SimConfig;
+pub use fault::{Backoff, FaultPlan};
 pub use metrics::{NetMetrics, WireSize};
 pub use sim::{Actor, Context, SimTime, Simulation, TimerId};

@@ -1,0 +1,1085 @@
+//! Body encodings: the kind-specific binary forms carried inside frames.
+//!
+//! Three message families cross FAB sockets (§7 of DESIGN.md carries the
+//! full byte-layout table):
+//!
+//! * **Peer** — brick↔brick protocol traffic: the sender's process id
+//!   followed by a [`fab_core::Envelope`] (the requests and replies of
+//!   Algorithms 2–3, exactly the types the sans-io state machines already
+//!   exchange in-process).
+//! * **ClientRequest** — a register operation ([`ClientOp`]) tagged with a
+//!   client-chosen correlation id.
+//! * **ClientReply** — the matching [`fab_core::OpResult`] (or a
+//!   [`ClientError`]) echoing the correlation id.
+//!
+//! All decode paths treat input as untrusted: every length and count is
+//! validated against the bytes actually present *before* any allocation is
+//! sized from it, every tag byte has an error arm, and no path panics
+//! (enforced by `cargo xtask analyze` L1/L1b over this file).
+
+use crate::error::WireError;
+use crate::frame::{encode_frame, split_frame, FrameKind};
+use bytes::Bytes;
+use fab_core::{
+    AbortReason, BlockTarget, BlockUpdate, BlockValue, Envelope, ModifyPayload, OpResult, Payload,
+    Reply, Request, StripeId, StripeValue,
+};
+use fab_timestamp::{ProcessId, Timestamp};
+
+// ------------------------------------------------------------- messages ---
+
+/// A decoded wire message: everything that can travel on a FAB socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Brick↔brick protocol traffic.
+    Peer {
+        /// The sending brick (replies are routed back to it).
+        from: ProcessId,
+        /// The routed protocol message.
+        env: Envelope,
+    },
+    /// Client→brick operation request.
+    ClientRequest {
+        /// Client-chosen correlation id, echoed by the reply.
+        id: u64,
+        /// The requested register operation.
+        op: ClientOp,
+    },
+    /// Brick→client operation reply.
+    ClientReply {
+        /// The request's correlation id.
+        id: u64,
+        /// Outcome: a register result, or a typed rejection.
+        result: Result<OpResult, ClientError>,
+    },
+}
+
+impl Message {
+    /// The frame kind this message travels under.
+    #[must_use]
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Message::Peer { .. } => FrameKind::Peer,
+            Message::ClientRequest { .. } => FrameKind::ClientRequest,
+            Message::ClientReply { .. } => FrameKind::ClientReply,
+        }
+    }
+}
+
+/// A client-requested register operation (the socket form of the volume
+/// layer's `RegisterClient` calls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Read a whole stripe.
+    ReadStripe {
+        /// Target stripe.
+        stripe: StripeId,
+    },
+    /// Write a whole stripe (exactly `m` blocks of `block_size` bytes).
+    WriteStripe {
+        /// Target stripe.
+        stripe: StripeId,
+        /// The `m` data blocks.
+        blocks: Vec<Bytes>,
+    },
+    /// Read one block.
+    ReadBlock {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Block index.
+        j: u32,
+    },
+    /// Write one block.
+    WriteBlock {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Block index.
+        j: u32,
+        /// The new block contents.
+        block: Bytes,
+    },
+    /// Read several blocks in one register operation.
+    ReadBlocks {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Block indices (ascending, distinct).
+        js: Vec<u32>,
+    },
+    /// Write several blocks in one register operation.
+    WriteBlocks {
+        /// Target stripe.
+        stripe: StripeId,
+        /// `(index, new contents)` pairs (ascending, distinct).
+        updates: Vec<(u32, Bytes)>,
+    },
+    /// Scrub a stripe (recover and rewrite to all reachable bricks).
+    Scrub {
+        /// Target stripe.
+        stripe: StripeId,
+    },
+}
+
+impl ClientOp {
+    /// Short operation name for logs and traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClientOp::ReadStripe { .. } => "read-stripe",
+            ClientOp::WriteStripe { .. } => "write-stripe",
+            ClientOp::ReadBlock { .. } => "read-block",
+            ClientOp::WriteBlock { .. } => "write-block",
+            ClientOp::ReadBlocks { .. } => "read-blocks",
+            ClientOp::WriteBlocks { .. } => "write-blocks",
+            ClientOp::Scrub { .. } => "scrub",
+        }
+    }
+}
+
+/// A brick's typed rejection of a client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The request was malformed for the cluster's configuration (wrong
+    /// stripe shape, out-of-range block index).
+    InvalidRequest,
+    /// The brick is shutting down and will not serve the request.
+    Unavailable,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::InvalidRequest => write!(f, "malformed request"),
+            ClientError::Unavailable => write!(f, "brick unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+// -------------------------------------------------------------- encoding --
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed byte string (u32 length + raw bytes).
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    // Bodies are capped far below u32::MAX; debug-check, saturate in release.
+    debug_assert!(b.len() <= u32::MAX as usize);
+    put_u32(out, u32::try_from(b.len()).unwrap_or(u32::MAX));
+    out.extend_from_slice(b);
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+
+fn put_ts(out: &mut Vec<u8>, ts: Timestamp) {
+    put_u64(out, ts.ticks());
+    put_u32(out, ts.pid().value());
+}
+
+fn put_pid(out: &mut Vec<u8>, pid: ProcessId) {
+    put_u32(out, pid.value());
+}
+
+fn put_pid_list(out: &mut Vec<u8>, pids: &[ProcessId]) {
+    debug_assert!(pids.len() <= u32::MAX as usize);
+    put_u32(out, u32::try_from(pids.len()).unwrap_or(u32::MAX));
+    for p in pids {
+        put_pid(out, *p);
+    }
+}
+
+fn put_block_value(out: &mut Vec<u8>, v: &BlockValue) {
+    match v {
+        BlockValue::Bottom => put_u8(out, 0),
+        BlockValue::Nil => put_u8(out, 1),
+        BlockValue::Data(b) => {
+            put_u8(out, 2);
+            put_bytes(out, b);
+        }
+    }
+}
+
+fn put_opt_block_value(out: &mut Vec<u8>, v: Option<&BlockValue>) {
+    match v {
+        None => put_u8(out, 0),
+        Some(b) => {
+            put_u8(out, 1);
+            put_block_value(out, b);
+        }
+    }
+}
+
+fn put_block_target(out: &mut Vec<u8>, t: &BlockTarget) {
+    match t {
+        BlockTarget::All => put_u8(out, 0),
+        BlockTarget::One(p) => {
+            put_u8(out, 1);
+            put_pid(out, *p);
+        }
+        BlockTarget::Many(ps) => {
+            put_u8(out, 2);
+            put_pid_list(out, ps);
+        }
+    }
+}
+
+fn put_modify_payload(out: &mut Vec<u8>, p: &ModifyPayload) {
+    match p {
+        ModifyPayload::Full { updates } => {
+            put_u8(out, 0);
+            debug_assert!(updates.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(updates.len()).unwrap_or(u32::MAX));
+            for BlockUpdate { old, new } in updates {
+                put_block_value(out, old);
+                put_bytes(out, new);
+            }
+        }
+        ModifyPayload::NewValue { new } => {
+            put_u8(out, 1);
+            put_bytes(out, new);
+        }
+        ModifyPayload::Delta { delta } => {
+            put_u8(out, 2);
+            put_bytes(out, delta);
+        }
+        ModifyPayload::Empty => put_u8(out, 3),
+    }
+}
+
+fn put_request(out: &mut Vec<u8>, r: &Request) {
+    match r {
+        Request::Read { targets } => {
+            put_u8(out, 0);
+            put_pid_list(out, targets);
+        }
+        Request::Order { ts } => {
+            put_u8(out, 1);
+            put_ts(out, *ts);
+        }
+        Request::OrderRead { target, below, ts } => {
+            put_u8(out, 2);
+            put_block_target(out, target);
+            put_ts(out, *below);
+            put_ts(out, *ts);
+        }
+        Request::Write { block, ts } => {
+            put_u8(out, 3);
+            put_block_value(out, block);
+            put_ts(out, *ts);
+        }
+        Request::Modify {
+            js,
+            ts_j,
+            ts,
+            payload,
+        } => {
+            put_u8(out, 4);
+            put_pid_list(out, js);
+            put_ts(out, *ts_j);
+            put_ts(out, *ts);
+            put_modify_payload(out, payload);
+        }
+        Request::Gc { up_to } => {
+            put_u8(out, 5);
+            put_ts(out, *up_to);
+        }
+    }
+}
+
+fn put_reply(out: &mut Vec<u8>, r: &Reply) {
+    match r {
+        Reply::ReadR {
+            status,
+            val_ts,
+            block,
+        } => {
+            put_u8(out, 0);
+            put_bool(out, *status);
+            put_ts(out, *val_ts);
+            put_opt_block_value(out, block.as_ref());
+        }
+        Reply::OrderR { status, seen } => {
+            put_u8(out, 1);
+            put_bool(out, *status);
+            put_ts(out, *seen);
+        }
+        Reply::OrderReadR {
+            status,
+            lts,
+            block,
+            seen,
+        } => {
+            put_u8(out, 2);
+            put_bool(out, *status);
+            put_ts(out, *lts);
+            put_opt_block_value(out, block.as_ref());
+            put_ts(out, *seen);
+        }
+        Reply::WriteR { status, seen } => {
+            put_u8(out, 3);
+            put_bool(out, *status);
+            put_ts(out, *seen);
+        }
+        Reply::ModifyR { status, seen } => {
+            put_u8(out, 4);
+            put_bool(out, *status);
+            put_ts(out, *seen);
+        }
+    }
+}
+
+/// Encodes an envelope (with its sender) into a Peer frame body.
+#[must_use]
+pub fn encode_peer_body(from: ProcessId, env: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_pid(&mut out, from);
+    put_u64(&mut out, env.stripe.0);
+    put_u64(&mut out, env.round);
+    match &env.kind {
+        Payload::Request(r) => {
+            put_u8(&mut out, 0);
+            put_request(&mut out, r);
+        }
+        Payload::Reply(r) => {
+            put_u8(&mut out, 1);
+            put_reply(&mut out, r);
+        }
+    }
+    out
+}
+
+fn put_client_op(out: &mut Vec<u8>, op: &ClientOp) {
+    match op {
+        ClientOp::ReadStripe { stripe } => {
+            put_u8(out, 0);
+            put_u64(out, stripe.0);
+        }
+        ClientOp::WriteStripe { stripe, blocks } => {
+            put_u8(out, 1);
+            put_u64(out, stripe.0);
+            debug_assert!(blocks.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(blocks.len()).unwrap_or(u32::MAX));
+            for b in blocks {
+                put_bytes(out, b);
+            }
+        }
+        ClientOp::ReadBlock { stripe, j } => {
+            put_u8(out, 2);
+            put_u64(out, stripe.0);
+            put_u32(out, *j);
+        }
+        ClientOp::WriteBlock { stripe, j, block } => {
+            put_u8(out, 3);
+            put_u64(out, stripe.0);
+            put_u32(out, *j);
+            put_bytes(out, block);
+        }
+        ClientOp::ReadBlocks { stripe, js } => {
+            put_u8(out, 4);
+            put_u64(out, stripe.0);
+            debug_assert!(js.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(js.len()).unwrap_or(u32::MAX));
+            for j in js {
+                put_u32(out, *j);
+            }
+        }
+        ClientOp::WriteBlocks { stripe, updates } => {
+            put_u8(out, 5);
+            put_u64(out, stripe.0);
+            debug_assert!(updates.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(updates.len()).unwrap_or(u32::MAX));
+            for (j, b) in updates {
+                put_u32(out, *j);
+                put_bytes(out, b);
+            }
+        }
+        ClientOp::Scrub { stripe } => {
+            put_u8(out, 6);
+            put_u64(out, stripe.0);
+        }
+    }
+}
+
+fn put_op_result(out: &mut Vec<u8>, r: &OpResult) {
+    match r {
+        OpResult::Stripe(StripeValue::Nil) => put_u8(out, 0),
+        OpResult::Stripe(StripeValue::Data(blocks)) => {
+            put_u8(out, 1);
+            debug_assert!(blocks.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(blocks.len()).unwrap_or(u32::MAX));
+            for b in blocks {
+                put_bytes(out, b);
+            }
+        }
+        OpResult::Block(v) => {
+            put_u8(out, 2);
+            put_block_value(out, v);
+        }
+        OpResult::Blocks(vs) => {
+            put_u8(out, 3);
+            debug_assert!(vs.len() <= u32::MAX as usize);
+            put_u32(out, u32::try_from(vs.len()).unwrap_or(u32::MAX));
+            for v in vs {
+                put_block_value(out, v);
+            }
+        }
+        OpResult::Written => put_u8(out, 4),
+        OpResult::Aborted(reason) => {
+            put_u8(out, 5);
+            put_u8(
+                out,
+                match reason {
+                    AbortReason::Conflict => 0,
+                    AbortReason::RecoveryExhausted => 1,
+                    AbortReason::Internal => 2,
+                    // `AbortReason` is non_exhaustive upstream-proof: map
+                    // unknown variants to Internal rather than panic.
+                    #[allow(unreachable_patterns)]
+                    _ => 2,
+                },
+            );
+        }
+    }
+}
+
+/// Encodes a client request into a ClientRequest frame body.
+#[must_use]
+pub fn encode_client_request_body(id: u64, op: &ClientOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, id);
+    put_client_op(&mut out, op);
+    out
+}
+
+/// Encodes a client reply into a ClientReply frame body.
+#[must_use]
+pub fn encode_client_reply_body(id: u64, result: &Result<OpResult, ClientError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, id);
+    match result {
+        Ok(r) => {
+            put_u8(&mut out, 0);
+            put_op_result(&mut out, r);
+        }
+        Err(e) => {
+            put_u8(&mut out, 1);
+            put_u8(
+                &mut out,
+                match e {
+                    ClientError::InvalidRequest => 0,
+                    ClientError::Unavailable => 1,
+                    #[allow(unreachable_patterns)]
+                    _ => 1,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Encodes a full frame (header + body) for any message.
+#[must_use]
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let body = match msg {
+        Message::Peer { from, env } => encode_peer_body(*from, env),
+        Message::ClientRequest { id, op } => encode_client_request_body(*id, op),
+        Message::ClientReply { id, result } => encode_client_reply_body(*id, result),
+    };
+    encode_frame(msg.kind(), &body)
+}
+
+// -------------------------------------------------------------- decoding --
+
+/// A bounds-checked reader over untrusted bytes. Every accessor validates
+/// the remaining length before touching (or allocating for) anything.
+#[derive(Debug)]
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.buf.len() {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag {
+                what,
+                tag: u32::from(tag),
+            }),
+        }
+    }
+
+    /// A length-prefixed byte string. The declared length is validated
+    /// against the remaining input before the copy allocates.
+    fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        Ok(Bytes::copy_from_slice(raw))
+    }
+
+    /// A count prefix for a collection whose elements occupy at least
+    /// `min_elem_bytes` each. A count the remaining body cannot possibly
+    /// hold is rejected before any `Vec` is sized from it.
+    fn count(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let declared = self.u32()? as usize;
+        let capacity = self.remaining() / min_elem_bytes.max(1);
+        if declared > capacity {
+            return Err(WireError::BadCount {
+                what,
+                declared: declared as u64,
+            });
+        }
+        Ok(declared)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.buf.len(),
+            })
+        }
+    }
+}
+
+fn get_ts(r: &mut Reader<'_>) -> Result<Timestamp, WireError> {
+    let ticks = r.u64()?;
+    let pid = r.u32()?;
+    // `from_parts` rejects the two sentinel encodings; reconstruct them
+    // explicitly so sentinels survive the wire unchanged.
+    if ticks == 0 && pid == 0 {
+        return Ok(Timestamp::LOW);
+    }
+    if ticks == u64::MAX && pid == u32::MAX {
+        return Ok(Timestamp::HIGH);
+    }
+    Ok(Timestamp::from_parts(ticks, ProcessId::new(pid)))
+}
+
+fn get_pid(r: &mut Reader<'_>) -> Result<ProcessId, WireError> {
+    Ok(ProcessId::new(r.u32()?))
+}
+
+fn get_pid_list(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<ProcessId>, WireError> {
+    let n = r.count(what, 4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_pid(r)?);
+    }
+    Ok(out)
+}
+
+fn get_block_value(r: &mut Reader<'_>) -> Result<BlockValue, WireError> {
+    match r.u8()? {
+        0 => Ok(BlockValue::Bottom),
+        1 => Ok(BlockValue::Nil),
+        2 => Ok(BlockValue::Data(r.bytes()?)),
+        tag => Err(WireError::BadTag {
+            what: "BlockValue",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_opt_block_value(r: &mut Reader<'_>) -> Result<Option<BlockValue>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_block_value(r)?)),
+        tag => Err(WireError::BadTag {
+            what: "Option<BlockValue>",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_block_target(r: &mut Reader<'_>) -> Result<BlockTarget, WireError> {
+    match r.u8()? {
+        0 => Ok(BlockTarget::All),
+        1 => Ok(BlockTarget::One(get_pid(r)?)),
+        2 => Ok(BlockTarget::Many(get_pid_list(r, "BlockTarget::Many")?)),
+        tag => Err(WireError::BadTag {
+            what: "BlockTarget",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_modify_payload(r: &mut Reader<'_>) -> Result<ModifyPayload, WireError> {
+    match r.u8()? {
+        0 => {
+            // A BlockUpdate is ≥ 5 bytes (1 tag + 4 length).
+            let n = r.count("ModifyPayload::Full", 5)?;
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let old = get_block_value(r)?;
+                let new = r.bytes()?;
+                updates.push(BlockUpdate { old, new });
+            }
+            Ok(ModifyPayload::Full { updates })
+        }
+        1 => Ok(ModifyPayload::NewValue { new: r.bytes()? }),
+        2 => Ok(ModifyPayload::Delta { delta: r.bytes()? }),
+        3 => Ok(ModifyPayload::Empty),
+        tag => Err(WireError::BadTag {
+            what: "ModifyPayload",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_request(r: &mut Reader<'_>) -> Result<Request, WireError> {
+    match r.u8()? {
+        0 => Ok(Request::Read {
+            targets: get_pid_list(r, "Read::targets")?,
+        }),
+        1 => Ok(Request::Order { ts: get_ts(r)? }),
+        2 => Ok(Request::OrderRead {
+            target: get_block_target(r)?,
+            below: get_ts(r)?,
+            ts: get_ts(r)?,
+        }),
+        3 => Ok(Request::Write {
+            block: get_block_value(r)?,
+            ts: get_ts(r)?,
+        }),
+        4 => Ok(Request::Modify {
+            js: get_pid_list(r, "Modify::js")?,
+            ts_j: get_ts(r)?,
+            ts: get_ts(r)?,
+            payload: get_modify_payload(r)?,
+        }),
+        5 => Ok(Request::Gc { up_to: get_ts(r)? }),
+        tag => Err(WireError::BadTag {
+            what: "Request",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_reply(r: &mut Reader<'_>) -> Result<Reply, WireError> {
+    match r.u8()? {
+        0 => Ok(Reply::ReadR {
+            status: r.bool("ReadR::status")?,
+            val_ts: get_ts(r)?,
+            block: get_opt_block_value(r)?,
+        }),
+        1 => Ok(Reply::OrderR {
+            status: r.bool("OrderR::status")?,
+            seen: get_ts(r)?,
+        }),
+        2 => Ok(Reply::OrderReadR {
+            status: r.bool("OrderReadR::status")?,
+            lts: get_ts(r)?,
+            block: get_opt_block_value(r)?,
+            seen: get_ts(r)?,
+        }),
+        3 => Ok(Reply::WriteR {
+            status: r.bool("WriteR::status")?,
+            seen: get_ts(r)?,
+        }),
+        4 => Ok(Reply::ModifyR {
+            status: r.bool("ModifyR::status")?,
+            seen: get_ts(r)?,
+        }),
+        tag => Err(WireError::BadTag {
+            what: "Reply",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_client_op(r: &mut Reader<'_>) -> Result<ClientOp, WireError> {
+    match r.u8()? {
+        0 => Ok(ClientOp::ReadStripe {
+            stripe: StripeId(r.u64()?),
+        }),
+        1 => {
+            let stripe = StripeId(r.u64()?);
+            let n = r.count("WriteStripe::blocks", 4)?;
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                blocks.push(r.bytes()?);
+            }
+            Ok(ClientOp::WriteStripe { stripe, blocks })
+        }
+        2 => Ok(ClientOp::ReadBlock {
+            stripe: StripeId(r.u64()?),
+            j: r.u32()?,
+        }),
+        3 => Ok(ClientOp::WriteBlock {
+            stripe: StripeId(r.u64()?),
+            j: r.u32()?,
+            block: r.bytes()?,
+        }),
+        4 => {
+            let stripe = StripeId(r.u64()?);
+            let n = r.count("ReadBlocks::js", 4)?;
+            let mut js = Vec::with_capacity(n);
+            for _ in 0..n {
+                js.push(r.u32()?);
+            }
+            Ok(ClientOp::ReadBlocks { stripe, js })
+        }
+        5 => {
+            let stripe = StripeId(r.u64()?);
+            let n = r.count("WriteBlocks::updates", 8)?;
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let j = r.u32()?;
+                let b = r.bytes()?;
+                updates.push((j, b));
+            }
+            Ok(ClientOp::WriteBlocks { stripe, updates })
+        }
+        6 => Ok(ClientOp::Scrub {
+            stripe: StripeId(r.u64()?),
+        }),
+        tag => Err(WireError::BadTag {
+            what: "ClientOp",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_op_result(r: &mut Reader<'_>) -> Result<OpResult, WireError> {
+    match r.u8()? {
+        0 => Ok(OpResult::Stripe(StripeValue::Nil)),
+        1 => {
+            let n = r.count("Stripe::blocks", 4)?;
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                blocks.push(r.bytes()?);
+            }
+            Ok(OpResult::Stripe(StripeValue::Data(blocks)))
+        }
+        2 => Ok(OpResult::Block(get_block_value(r)?)),
+        3 => {
+            let n = r.count("Blocks::values", 1)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(get_block_value(r)?);
+            }
+            Ok(OpResult::Blocks(vs))
+        }
+        4 => Ok(OpResult::Written),
+        5 => match r.u8()? {
+            0 => Ok(OpResult::Aborted(AbortReason::Conflict)),
+            1 => Ok(OpResult::Aborted(AbortReason::RecoveryExhausted)),
+            2 => Ok(OpResult::Aborted(AbortReason::Internal)),
+            tag => Err(WireError::BadTag {
+                what: "AbortReason",
+                tag: u32::from(tag),
+            }),
+        },
+        tag => Err(WireError::BadTag {
+            what: "OpResult",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+/// Decodes a Peer frame body into the sender and its envelope.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input; never panics, never allocates
+/// beyond the bytes present.
+pub fn decode_peer_body(body: &[u8]) -> Result<(ProcessId, Envelope), WireError> {
+    let mut r = Reader::new(body);
+    let from = get_pid(&mut r)?;
+    let stripe = StripeId(r.u64()?);
+    let round = r.u64()?;
+    let kind = match r.u8()? {
+        0 => Payload::Request(get_request(&mut r)?),
+        1 => Payload::Reply(get_reply(&mut r)?),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "Payload",
+                tag: u32::from(tag),
+            })
+        }
+    };
+    r.finish()?;
+    Ok((
+        from,
+        Envelope {
+            stripe,
+            round,
+            kind,
+        },
+    ))
+}
+
+/// Decodes a ClientRequest frame body.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input.
+pub fn decode_client_request_body(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let op = get_client_op(&mut r)?;
+    r.finish()?;
+    Ok((id, op))
+}
+
+/// Decodes a ClientReply frame body.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input.
+pub fn decode_client_reply_body(
+    body: &[u8],
+) -> Result<(u64, Result<OpResult, ClientError>), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let result = match r.u8()? {
+        0 => Ok(get_op_result(&mut r)?),
+        1 => Err(match r.u8()? {
+            0 => ClientError::InvalidRequest,
+            1 => ClientError::Unavailable,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ClientError",
+                    tag: u32::from(tag),
+                })
+            }
+        }),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "ClientReply::result",
+                tag: u32::from(tag),
+            })
+        }
+    };
+    r.finish()?;
+    Ok((id, result))
+}
+
+/// Decodes a frame body under its header kind.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input.
+pub fn decode_body(kind: FrameKind, body: &[u8]) -> Result<Message, WireError> {
+    match kind {
+        FrameKind::Peer => {
+            let (from, env) = decode_peer_body(body)?;
+            Ok(Message::Peer { from, env })
+        }
+        FrameKind::ClientRequest => {
+            let (id, op) = decode_client_request_body(body)?;
+            Ok(Message::ClientRequest { id, op })
+        }
+        FrameKind::ClientReply => {
+            let (id, result) = decode_client_reply_body(body)?;
+            Ok(Message::ClientReply { id, result })
+        }
+    }
+}
+
+/// Decodes one complete frame (header + body) from the front of `buf`,
+/// returning the message and the bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed, truncated, or corrupted frame.
+pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    let (header, body, used) = split_frame(buf)?;
+    let msg = decode_body(header.kind, body)?;
+    Ok((msg, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_parts(t, ProcessId::new(3))
+    }
+
+    fn round_trip(msg: &Message) {
+        let frame = encode_message(msg);
+        let (back, used) = decode_message(&frame).expect("round trip");
+        assert_eq!(&back, msg);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn peer_request_round_trips() {
+        round_trip(&Message::Peer {
+            from: ProcessId::new(7),
+            env: Envelope {
+                stripe: StripeId(42),
+                round: 9000,
+                kind: Payload::Request(Request::Modify {
+                    js: vec![ProcessId::new(0), ProcessId::new(2)],
+                    ts_j: Timestamp::LOW,
+                    ts: ts(88),
+                    payload: ModifyPayload::Full {
+                        updates: vec![
+                            BlockUpdate {
+                                old: BlockValue::Nil,
+                                new: Bytes::from_static(b"new-block"),
+                            },
+                            BlockUpdate {
+                                old: BlockValue::Data(Bytes::from_static(b"old")),
+                                new: Bytes::from_static(b""),
+                            },
+                        ],
+                    },
+                }),
+            },
+        });
+    }
+
+    #[test]
+    fn peer_reply_round_trips_with_sentinels() {
+        round_trip(&Message::Peer {
+            from: ProcessId::new(0),
+            env: Envelope {
+                stripe: StripeId(u64::MAX),
+                round: 0,
+                kind: Payload::Reply(Reply::OrderReadR {
+                    status: true,
+                    lts: Timestamp::LOW,
+                    block: Some(BlockValue::Bottom),
+                    seen: Timestamp::HIGH,
+                }),
+            },
+        });
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        round_trip(&Message::ClientRequest {
+            id: 77,
+            op: ClientOp::WriteBlocks {
+                stripe: StripeId(5),
+                updates: vec![(0, Bytes::from_static(b"aa")), (3, Bytes::from_static(b"b"))],
+            },
+        });
+        round_trip(&Message::ClientReply {
+            id: 77,
+            result: Ok(OpResult::Stripe(StripeValue::Data(vec![
+                Bytes::from_static(b"one"),
+                Bytes::from_static(b"two"),
+            ]))),
+        });
+        round_trip(&Message::ClientReply {
+            id: 1,
+            result: Err(ClientError::InvalidRequest),
+        });
+        round_trip(&Message::ClientReply {
+            id: 2,
+            result: Ok(OpResult::Aborted(AbortReason::Conflict)),
+        });
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        // A minimal client reply body with an undefined result arm.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        put_u8(&mut body, 9);
+        assert!(matches!(
+            decode_client_reply_body(&body),
+            Err(WireError::BadTag {
+                what: "ClientReply::result",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn lying_count_is_rejected_before_allocation() {
+        // Read request claiming 2^31 targets in an 8-byte body.
+        let mut body = Vec::new();
+        put_pid(&mut body, ProcessId::new(1)); // from
+        put_u64(&mut body, 0); // stripe
+        put_u64(&mut body, 0); // round
+        put_u8(&mut body, 0); // Payload::Request
+        put_u8(&mut body, 0); // Request::Read
+        put_u32(&mut body, 1 << 31); // declared target count
+        assert!(matches!(
+            decode_peer_body(&body),
+            Err(WireError::BadCount {
+                what: "Read::targets",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let msg = Message::ClientRequest {
+            id: 4,
+            op: ClientOp::Scrub { stripe: StripeId(1) },
+        };
+        let mut body = encode_client_request_body(4, &ClientOp::Scrub { stripe: StripeId(1) });
+        body.push(0xAB);
+        assert_eq!(
+            decode_client_request_body(&body),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+        round_trip(&msg);
+    }
+
+    #[test]
+    fn client_op_names() {
+        assert_eq!(ClientOp::ReadStripe { stripe: StripeId(0) }.name(), "read-stripe");
+        assert_eq!(ClientOp::Scrub { stripe: StripeId(0) }.name(), "scrub");
+    }
+}

@@ -1,0 +1,164 @@
+//! Typed decode errors.
+//!
+//! Every malformed, truncated, corrupted, or hostile input surfaces as a
+//! [`WireError`]; decode paths never panic and never allocate more than
+//! the bytes actually received (declared lengths are validated against the
+//! remaining input *before* any allocation).
+
+use std::fmt;
+
+/// Why a frame or message failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame does not start with the `FABW` magic.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The frame's protocol version is not one this decoder speaks.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        found: u16,
+    },
+    /// The frame header names a message kind this decoder does not know.
+    UnknownKind {
+        /// The kind tag found in the header.
+        found: u16,
+    },
+    /// The header declares a body longer than the protocol allows.
+    /// Raised *before* any allocation: a length-lying header cannot make
+    /// the decoder reserve memory.
+    BodyTooLarge {
+        /// The declared body length.
+        declared: u64,
+        /// The maximum the protocol permits.
+        max: u64,
+    },
+    /// The input ended before the declared structure did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The body's CRC32 does not match the header's checksum.
+    ChecksumMismatch {
+        /// The checksum carried in the header.
+        expected: u32,
+        /// The checksum computed over the received body.
+        actual: u32,
+    },
+    /// A tag byte (enum discriminant, boolean) held an undefined value.
+    BadTag {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u32,
+    },
+    /// A count or length field exceeds what the remaining body could
+    /// possibly contain (each element needs at least one byte), so it is
+    /// lying; raised before any allocation sized from it.
+    BadCount {
+        /// Which collection was being decoded.
+        what: &'static str,
+        /// The declared element count.
+        declared: u64,
+    },
+    /// Bytes remained after the message's declared structure ended — the
+    /// sender and receiver disagree about the schema.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (expected \"FABW\")")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            WireError::UnknownKind { found } => write!(f, "unknown message kind {found}"),
+            WireError::BodyTooLarge { declared, max } => {
+                write!(f, "declared body length {declared} exceeds maximum {max}")
+            }
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} more bytes, have {have}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "body checksum mismatch: header says {expected:#010x}, body hashes to {actual:#010x}"
+            ),
+            WireError::BadTag { what, tag } => write!(f, "undefined tag {tag} for {what}"),
+            WireError::BadCount { what, declared } => write!(
+                f,
+                "{what} declares {declared} elements, more than the body could hold"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_name_the_problem() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::BadMagic { found: *b"XXXX" }, "magic"),
+            (WireError::UnsupportedVersion { found: 9 }, "version 9"),
+            (WireError::UnknownKind { found: 77 }, "kind 77"),
+            (
+                WireError::BodyTooLarge {
+                    declared: 1 << 40,
+                    max: 1 << 26,
+                },
+                "exceeds maximum",
+            ),
+            (
+                WireError::Truncated {
+                    needed: 10,
+                    have: 3,
+                },
+                "truncated",
+            ),
+            (
+                WireError::ChecksumMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                "checksum",
+            ),
+            (
+                WireError::BadTag {
+                    what: "BlockValue",
+                    tag: 9,
+                },
+                "BlockValue",
+            ),
+            (
+                WireError::BadCount {
+                    what: "targets",
+                    declared: 1 << 33,
+                },
+                "targets",
+            ),
+            (WireError::TrailingBytes { remaining: 4 }, "trailing"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+}

@@ -22,6 +22,8 @@
 //! | [`reliability`] | `fab-reliability` | MTTDL / storage-overhead models (Figs. 2–3) |
 //! | [`checker`] | `fab-checker` | strict-linearizability history checker |
 //! | [`store`] | `fab-store` | durable append-only brick logs (WAL + compaction) |
+//! | [`wire`] | `fab-wire` | versioned, checksummed binary wire format |
+//! | [`net`] | `fab-net` | real TCP transport: brick nodes (`fabd`), network client (`fab-cli`) |
 //!
 //! # Quick start
 //!
@@ -47,6 +49,7 @@ pub use fab_baseline as baseline;
 pub use fab_checker as checker;
 pub use fab_core as register;
 pub use fab_erasure as erasure;
+pub use fab_net as net;
 pub use fab_quorum as quorum;
 pub use fab_reliability as reliability;
 pub use fab_runtime as runtime;
@@ -54,6 +57,7 @@ pub use fab_simnet as simnet;
 pub use fab_store as store;
 pub use fab_timestamp as timestamp;
 pub use fab_volume as volume;
+pub use fab_wire as wire;
 
 /// The commonly-used types in one import.
 pub mod prelude {
@@ -62,6 +66,7 @@ pub mod prelude {
         WriteStrategy,
     };
     pub use fab_erasure::{CodeParams, Codec, Share};
+    pub use fab_net::{BrickNode, NetClient, NodeConfig};
     pub use fab_quorum::MQuorumSystem;
     pub use fab_reliability::{BrickParams, InternalLayout, Scheme, SystemDesign};
     pub use fab_runtime::{RuntimeClient, RuntimeCluster};

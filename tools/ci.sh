@@ -13,6 +13,8 @@
 #   3. bench compile          — criterion benches must keep building
 #   4. protocol static lints  — `cargo xtask analyze` (L1–L6, zero tolerance)
 #   5. clippy                 — workspace lint wall, warnings are errors
+#   6. loopback cluster       — n=5 TCP bricks, kill/restart mid-workload,
+#                               strict-linearizability check (wall-clock capped)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +29,11 @@ run cargo test -q
 run cargo bench --no-run
 run cargo xtask analyze
 run cargo clippy --workspace --all-targets -- -D warnings
+
+# Stage 6: the multi-process-shaped integration test is `#[ignore]`d so plain
+# `cargo test` stays fast; run it here as its own stage under a hard timeout
+# (a deadlocked transport must fail CI, not hang it).
+run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored
 
 echo
 echo "ci.sh: all gates passed"

@@ -45,13 +45,14 @@ pub fn registry() -> Vec<Lint> {
         Lint {
             id: "no-panic",
             rule: "L1",
-            desc: "no unwrap/expect/panic!/unreachable!/todo! in fab-core or fab-simnet protocol code",
+            desc: "no unwrap/expect/panic!/unreachable!/todo! in fab-core/fab-simnet protocol code, \
+                   fab-wire decode paths, or fab-net reader/server threads",
             check: no_panic,
         },
         Lint {
             id: "no-untrusted-index",
             rule: "L1b",
-            desc: "no non-literal [] indexing inside message/state-machine handler functions",
+            desc: "no non-literal [] indexing inside message/state-machine handler or wire-decode functions",
             check: no_untrusted_index,
         },
         Lint {
@@ -122,6 +123,16 @@ fn kernel_file(p: &str) -> bool {
     p == "crates/erasure/src/kernel.rs" || p.starts_with("crates/erasure/src/kernel/")
 }
 
+/// Untrusted-input surfaces added by the TCP transport: the whole wire
+/// codec (every byte it reads came off a socket) and the fab-net threads
+/// that sit between sockets and the protocol (a panic there kills a brick,
+/// which the fault model only tolerates as a *counted* crash).
+fn untrusted_input(p: &str) -> bool {
+    p.starts_with("crates/wire/src/")
+        || p == "crates/net/src/transport.rs"
+        || p == "crates/net/src/server.rs"
+}
+
 // ---------------------------------------------------------------- helpers --
 
 fn push(
@@ -167,7 +178,7 @@ fn next_token_byte(text: &str, mut off: usize) -> Option<(usize, u8)> {
 // ---------------------------------------------------------------- L1 -------
 
 fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !(in_core(&file.path) || in_simnet(&file.path)) {
+    if !(in_core(&file.path) || in_simnet(&file.path) || untrusted_input(&file.path)) {
         return;
     }
     for mac in ["panic", "unreachable", "todo", "unimplemented"] {
@@ -202,12 +213,17 @@ fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 /// Handler functions: the message/state-machine entry points named by the
 /// protocol (`on_*`, `handle*`, `progress_*`, `invoke_*`) in fab-core's
-/// coordinator/replica/brick and fab-simnet's event loop.
+/// coordinator/replica/brick and fab-simnet's event loop, plus the
+/// wire-format decoders (`decode*`, `get_*`, `read_*`) whose every input
+/// byte is attacker-controlled.
 fn handler_fn(name: &str) -> bool {
     name.starts_with("on_")
         || name.starts_with("handle")
         || name.starts_with("progress_")
         || name.starts_with("invoke_")
+        || name.starts_with("decode")
+        || name.starts_with("get_")
+        || name.starts_with("read_")
 }
 
 fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -217,6 +233,10 @@ fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             | "crates/core/src/replica.rs"
             | "crates/core/src/brick.rs"
             | "crates/simnet/src/sim.rs"
+            | "crates/wire/src/codec.rs"
+            | "crates/wire/src/frame.rs"
+            | "crates/net/src/transport.rs"
+            | "crates/net/src/server.rs"
     );
     if !scoped {
         return;
@@ -570,6 +590,31 @@ fn on_read() {
         assert!(run_lint("no-panic", CORE, src).is_empty());
     }
 
+    #[test]
+    fn l1_covers_wire_decode_and_net_threads() {
+        // A decoder that panics on hostile bytes is a remote crash: the wire
+        // crate and the fab-net socket threads are in L1 scope.
+        let src = "\
+fn decode_frame(buf: &[u8]) -> Message {
+    let kind = FrameKind::decode(tag).unwrap();
+    if buf.len() < HEADER_LEN { panic!(\"short frame\"); }
+    parse(buf).expect(\"valid body\")
+}
+";
+        for path in [
+            "crates/wire/src/frame.rs",
+            "crates/net/src/transport.rs",
+            "crates/net/src/server.rs",
+        ] {
+            let d = run_lint("no-panic", path, src);
+            assert_eq!(d.len(), 3, "{path}: {d:?}");
+        }
+        // fab-net's client and binaries stay out of scope (operator-facing,
+        // allowed to abort on local misconfiguration).
+        assert!(run_lint("no-panic", "crates/net/src/client.rs", src).is_empty());
+        assert!(run_lint("no-panic", "crates/net/src/bin/fabd.rs", src).is_empty());
+    }
+
     // ------------------------------------------------------------ L1b ------
 
     #[test]
@@ -582,6 +627,35 @@ fn on_write(&mut self, idx: usize) {
         let d = run_lint("no-untrusted-index", CORE, src);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].msg.contains("on_write"));
+    }
+
+    #[test]
+    fn l1b_fires_on_untrusted_index_in_wire_decoder() {
+        // The classic decode bug: indexing the body with a length that came
+        // off the wire. Must be flagged in the codec, silent elsewhere.
+        let src = "\
+fn decode_peer_body(body: &[u8]) -> Result<Envelope, WireError> {
+    let n = read_u32(body)? as usize;
+    let tag = body[n];
+    Ok(parse(tag))
+}
+";
+        let d = run_lint("no-untrusted-index", "crates/wire/src/codec.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("decode_peer_body"));
+        assert!(run_lint("no-untrusted-index", "crates/wire/src/error.rs", src).is_empty());
+
+        // `read_*` socket paths in fab-net are decoders too.
+        let net = "\
+fn read_frame(stream: &mut TcpStream) -> Result<Message, RecvError> {
+    let len = header.body_len as usize;
+    let crc = buf[len];
+    Ok(decode(crc))
+}
+";
+        let d = run_lint("no-untrusted-index", "crates/net/src/transport.rs", net);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("read_frame"));
     }
 
     #[test]
