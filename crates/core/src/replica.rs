@@ -162,6 +162,15 @@ impl Replica {
     /// the method documents (and asserts) that invariant.
     pub fn on_crash(&mut self) {
         // ord_ts and log survive: they are store()d on every mutation.
+        //
+        // Mutation-smoke variant (`cargo xtask torture --mutation-smoke`):
+        // pretend ord-ts lived in volatile RAM and was lost on crash,
+        // falling back to the log's max timestamp. The torture suite must
+        // detect the resulting ord-ts regression / partial-write exposure.
+        #[cfg(fab_mutation = "skip_ord_persist")]
+        {
+            self.ord_ts = self.log.max_ts();
+        }
     }
 
     /// The replica's highest known timestamp (max of `ord-ts` and
@@ -198,7 +207,12 @@ impl Replica {
     /// Alg. 2 lines 38–44.
     fn on_read(&mut self, targets: &[ProcessId]) -> Reply {
         let val_ts = self.log.max_ts();
+        #[cfg(not(fab_mutation = "read_ignores_ord"))]
         let status = val_ts >= self.ord_ts;
+        // Mutation-smoke variant: serve reads without the partial-write
+        // guard, re-introducing the Figure-5 anomaly.
+        #[cfg(fab_mutation = "read_ignores_ord")]
+        let status = true;
         let mut block = None;
         if status && targets.contains(&self.pid) {
             let (_, b) = self.log.max_block();
@@ -214,7 +228,12 @@ impl Replica {
 
     /// Alg. 2 lines 45–48.
     fn on_order(&mut self, ts: Timestamp) -> Reply {
+        #[cfg(not(fab_mutation = "accept_stale_order"))]
         let status = ts > self.log.max_ts() && ts >= self.ord_ts;
+        // Mutation-smoke variant: drop the `ts >= ord-ts` half of the
+        // guard, letting a slow coordinator roll the order point backwards.
+        #[cfg(fab_mutation = "accept_stale_order")]
+        let status = ts > self.log.max_ts();
         if status {
             self.ord_ts = ts;
             self.store_nvram();
@@ -262,6 +281,9 @@ impl Replica {
         let status = ts > self.log.max_ts() && ts >= self.ord_ts;
         if status {
             self.metrics.writes += block.disk_write_cost();
+            // Mutation-smoke variant: acknowledge the write without
+            // appending it to the log (durability silently lost).
+            #[cfg(not(fab_mutation = "skip_write_append"))]
             self.log.insert(ts, block.clone());
             self.store_nvram();
             self.emit(PersistEvent::Entry(ts, block.clone()));

@@ -222,3 +222,112 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+/// A random replica-facing request (for the crash-recovery replay test).
+#[derive(Debug, Clone)]
+enum ReplicaOp {
+    Order(u64),
+    Write(u64, u8),
+    Gc(u64),
+}
+
+fn replica_ops() -> impl Strategy<Value = Vec<ReplicaOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(ReplicaOp::Order),
+            (1u64..200, any::<u8>()).prop_map(|(t, v)| ReplicaOp::Write(t, v)),
+            (1u64..200).prop_map(ReplicaOp::Gc),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// Crash-recovery replay of an arbitrary persist-event prefix: the
+    /// events a replica emits are themselves replayable — `ord-ts` only
+    /// ever advances along the stream, folding any *prefix* into
+    /// [`Replica::from_parts`] yields watermarks bounded by the
+    /// originals and inside the timestamp sentinels, and the recovered
+    /// replica still enforces the write-ordering guard (refuses stale
+    /// `Order`s, accepts fresh ones).
+    #[test]
+    fn replica_recovery_from_replayed_event_prefix(
+        ops in replica_ops(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        use fab_core::PersistEvent;
+
+        let cfg = Arc::new(RegisterConfig::new(2, 4, 8).expect("valid config"));
+        let pid = ProcessId::new(1);
+        let mut replica = Replica::new(pid, cfg.clone());
+        replica.enable_persistence();
+
+        let mut events: Vec<PersistEvent> = Vec::new();
+        for op in &ops {
+            let req = match op {
+                ReplicaOp::Order(t) => Request::Order { ts: ts(*t) },
+                ReplicaOp::Write(t, v) => Request::Write {
+                    block: BlockValue::Data(Bytes::from(vec![*v; 8])),
+                    ts: ts(*t),
+                },
+                ReplicaOp::Gc(t) => Request::Gc { up_to: ts(*t) },
+            };
+            let _ = replica.handle(&req);
+            events.extend(replica.take_persist_events());
+        }
+
+        // Fold an arbitrary prefix of the persisted stream, checking that
+        // ord-ts never rolls backwards along it.
+        let cut = cut.index(events.len() + 1);
+        let mut ord = Timestamp::LOW;
+        let mut log = Log::new();
+        for event in &events[..cut] {
+            match event {
+                PersistEvent::OrdTs(t) => {
+                    prop_assert!(*t >= ord, "persisted ord-ts regressed: {ord} -> {t}");
+                    ord = *t;
+                }
+                PersistEvent::Entry(t, v) => log.insert(*t, v.clone()),
+                PersistEvent::Gc(t) => {
+                    log.gc(*t);
+                }
+            }
+        }
+
+        let mut recovered = Replica::from_parts(pid, cfg, ord, log);
+
+        // Watermarks: bounded by the pre-crash replica and the sentinels.
+        prop_assert!(recovered.ord_ts() <= replica.ord_ts());
+        prop_assert!(recovered.log().max_ts() <= replica.log().max_ts());
+        prop_assert!(recovered.ord_ts() < Timestamp::HIGH);
+        prop_assert!(recovered.log().max_ts() < Timestamp::HIGH);
+        prop_assert_eq!(
+            recovered.log().entry_at(Timestamp::LOW),
+            Some(&BlockValue::Nil)
+        );
+
+        // Guard survives recovery: an Order at LowTS can never pass (the
+        // log's sentinel dominates it) ...
+        let reply = recovered.handle(&Request::Order { ts: Timestamp::LOW });
+        prop_assert!(
+            matches!(reply, Some(fab_core::Reply::OrderR { status: false, .. })),
+            "recovered replica accepted a LowTS order"
+        );
+        // ... and one strictly above both watermarks must pass and advance
+        // ord-ts (monotone across the crash).
+        let fresh_ticks = recovered
+            .ord_ts()
+            .ticks()
+            .max(recovered.log().max_ts().ticks())
+            + 1;
+        let fresh = ts(fresh_ticks);
+        let before = recovered.ord_ts();
+        let reply = recovered.handle(&Request::Order { ts: fresh });
+        prop_assert!(
+            matches!(reply, Some(fab_core::Reply::OrderR { status: true, .. })),
+            "recovered replica refused a fresh order"
+        );
+        prop_assert!(recovered.ord_ts() >= before);
+        prop_assert_eq!(recovered.ord_ts(), fresh);
+    }
+}

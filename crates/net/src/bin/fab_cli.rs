@@ -14,6 +14,9 @@
 //! `--cluster`, `--m`, and `--block-size` must match the running `fabd`
 //! processes. Any brick can coordinate any operation; the client rotates
 //! and fails over automatically.
+//!
+//! Argument parsing ([`parse_args`]) is a pure function, separated from
+//! execution so the error paths are unit-testable without sockets.
 
 use bytes::Bytes;
 use fab_core::{BlockValue, OpResult, RegisterConfig, StripeId, StripeValue};
@@ -28,6 +31,25 @@ commands:
   write-block  STRIPE J TEXT
   read-block   STRIPE J
   scrub        STRIPE";
+
+/// A parsed invocation: connection parameters plus one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    cluster: Vec<SocketAddr>,
+    m: usize,
+    block_size: usize,
+    command: Command,
+}
+
+/// The operation to run against the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    WriteStripe { stripe: StripeId, text: String },
+    ReadStripe { stripe: StripeId },
+    WriteBlock { stripe: StripeId, j: usize, text: String },
+    ReadBlock { stripe: StripeId, j: usize },
+    Scrub { stripe: StripeId },
+}
 
 fn pad(text: &str, len: usize) -> Bytes {
     let mut buf = text.as_bytes().to_vec();
@@ -65,7 +87,20 @@ fn print_result(result: &OpResult) {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn stripe_arg(s: &str) -> Result<StripeId, String> {
+    s.parse::<u64>()
+        .map(StripeId)
+        .map_err(|e| format!("stripe id: {e}"))
+}
+
+fn index_arg(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|e| format!("block index: {e}"))
+}
+
+/// Parses `argv` (program name already stripped) into a [`Cli`]. Pure:
+/// no sockets are touched and no I/O happens; errors are human-readable
+/// one-liners later paired with [`USAGE`].
+fn parse_args(argv: &[String]) -> Result<Cli, String> {
     let mut cluster: Option<Vec<SocketAddr>> = None;
     let mut m = None;
     let mut block_size = None;
@@ -104,42 +139,65 @@ fn run(argv: &[String]) -> Result<(), String> {
     let cluster = cluster.ok_or("--cluster is required")?;
     let m = m.ok_or("--m is required")?;
     let block_size = block_size.ok_or("--block-size is required")?;
+
+    let command = match rest.as_slice() {
+        [cmd, stripe, text] if cmd.as_str() == "write-stripe" => Command::WriteStripe {
+            stripe: stripe_arg(stripe)?,
+            text: (*text).clone(),
+        },
+        [cmd, stripe] if cmd.as_str() == "read-stripe" => Command::ReadStripe {
+            stripe: stripe_arg(stripe)?,
+        },
+        [cmd, stripe, j, text] if cmd.as_str() == "write-block" => Command::WriteBlock {
+            stripe: stripe_arg(stripe)?,
+            j: index_arg(j)?,
+            text: (*text).clone(),
+        },
+        [cmd, stripe, j] if cmd.as_str() == "read-block" => Command::ReadBlock {
+            stripe: stripe_arg(stripe)?,
+            j: index_arg(j)?,
+        },
+        [cmd, stripe] if cmd.as_str() == "scrub" => Command::Scrub {
+            stripe: stripe_arg(stripe)?,
+        },
+        [] => return Err("a command is required".to_string()),
+        _ => return Err("unknown or malformed command".to_string()),
+    };
+    Ok(Cli {
+        cluster,
+        m,
+        block_size,
+        command,
+    })
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let cli = parse_args(argv)?;
+    let Cli {
+        cluster,
+        m,
+        block_size,
+        command,
+    } = cli;
     let cfg = RegisterConfig::new(m, cluster.len(), block_size)
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let mut client = NetClient::connect(cluster, cfg);
 
-    let stripe_arg = |s: &String| -> Result<StripeId, String> {
-        s.parse::<u64>()
-            .map(StripeId)
-            .map_err(|e| format!("stripe id: {e}"))
-    };
-    let index_arg = |s: &String| -> Result<usize, String> {
-        s.parse::<usize>().map_err(|e| format!("block index: {e}"))
-    };
-
-    let result = match rest.as_slice() {
-        [cmd, stripe, text] if cmd.as_str() == "write-stripe" => {
-            let stripe = stripe_arg(stripe)?;
+    let result = match command {
+        Command::WriteStripe { stripe, text } => {
             // Spread the text across the stripe's m·block_size bytes.
-            let full = pad(text, m * block_size);
+            let full = pad(&text, m * block_size);
             let blocks = (0..m)
                 .map(|j| full.slice(j * block_size..(j + 1) * block_size))
                 .collect();
             client.try_write_stripe(stripe, blocks)
         }
-        [cmd, stripe] if cmd.as_str() == "read-stripe" => {
-            client.try_read_stripe(stripe_arg(stripe)?)
+        Command::ReadStripe { stripe } => client.try_read_stripe(stripe),
+        Command::WriteBlock { stripe, j, text } => {
+            client.try_write_block(stripe, j, pad(&text, block_size))
         }
-        [cmd, stripe, j, text] if cmd.as_str() == "write-block" => client.try_write_block(
-            stripe_arg(stripe)?,
-            index_arg(j)?,
-            pad(text, block_size),
-        ),
-        [cmd, stripe, j] if cmd.as_str() == "read-block" => {
-            client.try_read_block(stripe_arg(stripe)?, index_arg(j)?)
-        }
-        [cmd, stripe] if cmd.as_str() == "scrub" => client.try_scrub(stripe_arg(stripe)?),
-        _ => return Err("unknown or malformed command".to_string()),
+        Command::ReadBlock { stripe, j } => client.try_read_block(stripe, j),
+        Command::Scrub { stripe } => client.try_scrub(stripe),
     };
     match result {
         Ok(r) => {
@@ -158,5 +216,154 @@ fn main() -> ExitCode {
             eprintln!("fab-cli: {e}\n{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    const BASE: &[&str] = &[
+        "--cluster",
+        "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
+        "--m",
+        "2",
+        "--block-size",
+        "64",
+    ];
+
+    fn with_base(extra: &[&str]) -> Vec<String> {
+        let mut v = sv(BASE);
+        v.extend(sv(extra));
+        v
+    }
+
+    #[test]
+    fn parses_every_command() {
+        let cases: &[(&[&str], Command)] = &[
+            (
+                &["write-stripe", "3", "hello"],
+                Command::WriteStripe {
+                    stripe: StripeId(3),
+                    text: "hello".into(),
+                },
+            ),
+            (
+                &["read-stripe", "9"],
+                Command::ReadStripe { stripe: StripeId(9) },
+            ),
+            (
+                &["write-block", "1", "0", "x"],
+                Command::WriteBlock {
+                    stripe: StripeId(1),
+                    j: 0,
+                    text: "x".into(),
+                },
+            ),
+            (
+                &["read-block", "4", "1"],
+                Command::ReadBlock {
+                    stripe: StripeId(4),
+                    j: 1,
+                },
+            ),
+            (&["scrub", "0"], Command::Scrub { stripe: StripeId(0) }),
+        ];
+        for (args, want) in cases {
+            let cli = parse_args(&with_base(args)).expect("parse");
+            assert_eq!(&cli.command, want);
+            assert_eq!(cli.cluster.len(), 3);
+            assert_eq!(cli.m, 2);
+            assert_eq!(cli.block_size, 64);
+        }
+    }
+
+    #[test]
+    fn flags_may_follow_the_command() {
+        let cli = parse_args(&sv(&[
+            "read-stripe", "7", "--cluster", "10.0.0.1:9000", "--m", "1",
+            "--block-size", "16",
+        ]))
+        .expect("parse");
+        assert_eq!(cli.command, Command::ReadStripe { stripe: StripeId(7) });
+        assert_eq!(cli.cluster.len(), 1);
+    }
+
+    #[test]
+    fn missing_required_flags_are_reported_by_name() {
+        let err = parse_args(&sv(&["read-stripe", "1"])).unwrap_err();
+        assert!(err.contains("--cluster"), "{err}");
+        let err = parse_args(&sv(&[
+            "--cluster", "127.0.0.1:7001", "read-stripe", "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--m"), "{err}");
+        let err = parse_args(&sv(&[
+            "--cluster", "127.0.0.1:7001", "--m", "1", "read-stripe", "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--block-size"), "{err}");
+    }
+
+    #[test]
+    fn flag_values_must_parse() {
+        let err = parse_args(&with_base(&[])).unwrap_err(); // no command
+        assert!(err.contains("command"), "{err}");
+        let err = parse_args(&sv(&["--cluster", "not-an-addr"])).unwrap_err();
+        assert!(err.starts_with("--cluster"), "{err}");
+        let err = parse_args(&sv(&[
+            "--cluster", "127.0.0.1:7001,also-bad", "--m", "1", "--block-size", "8",
+            "scrub", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.starts_with("--cluster"), "{err}");
+        let err = parse_args(&sv(&["--m", "two"])).unwrap_err();
+        assert!(err.starts_with("--m"), "{err}");
+        let err = parse_args(&sv(&["--block-size", "-1"])).unwrap_err();
+        assert!(err.starts_with("--block-size"), "{err}");
+    }
+
+    #[test]
+    fn dangling_flags_need_values() {
+        for flag in ["--cluster", "--m", "--block-size"] {
+            let err = parse_args(&sv(&[flag])).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected() {
+        for bad in [
+            &["frobnicate", "1"][..],
+            &["write-stripe", "1"],          // missing TEXT
+            &["read-stripe"],                // missing STRIPE
+            &["read-block", "1"],            // missing J
+            &["write-block", "1", "0"],      // missing TEXT
+            &["scrub", "1", "extra"],        // trailing operand
+        ] {
+            let err = parse_args(&with_base(bad)).unwrap_err();
+            assert!(
+                err.contains("command"),
+                "args {bad:?} gave unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn operand_parse_errors_name_the_operand() {
+        let err = parse_args(&with_base(&["read-stripe", "xyz"])).unwrap_err();
+        assert!(err.contains("stripe id"), "{err}");
+        let err = parse_args(&with_base(&["read-block", "1", "q"])).unwrap_err();
+        assert!(err.contains("block index"), "{err}");
+    }
+
+    #[test]
+    fn padding_is_zero_filled_and_sized() {
+        let b = pad("hi", 8);
+        assert_eq!(&b[..], b"hi\0\0\0\0\0\0");
     }
 }

@@ -352,8 +352,22 @@ mod tests {
         assert_eq!(counters.snapshot().frames_sent, 0);
 
         // Revive the listener on the same port and keep sending: the
-        // backoff schedule must reconnect and deliver.
-        let listener = TcpListener::bind(addr).unwrap();
+        // backoff schedule must reconnect and deliver. The port was just
+        // released, so another parallel test's ephemeral bind can grab it
+        // for a moment — retry instead of flaking.
+        let listener = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match TcpListener::bind(addr) {
+                    Ok(l) => break l,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => panic!("could not rebind {addr}: {e}"),
+                }
+            }
+        };
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         let mut t = 100;

@@ -65,3 +65,40 @@ proptest! {
         prop_assert_eq!(a < b, (a_ticks, a_pid) < (b_ticks, b_pid));
     }
 }
+
+proptest! {
+    /// Crash-recovery replay: a generator that loses its volatile state and
+    /// is rebuilt by re-observing an arbitrary *prefix* of its previously
+    /// issued timestamps (what a replayed log prefix exposes) still issues
+    /// timestamps that (a) strictly dominate everything in that prefix,
+    /// (b) stay totally ordered among themselves, and (c) stay strictly
+    /// inside the `(LowTS, HighTS)` sentinels.
+    #[test]
+    fn recovery_from_replayed_prefix_preserves_order_and_bounds(
+        hints in proptest::collection::vec(any::<u64>(), 1..100),
+        skew in -50i64..50,
+        cut in any::<prop::sample::Index>(),
+        recovery_hints in proptest::collection::vec(0u64..1_000, 1..50),
+    ) {
+        let pid = ProcessId::new(3);
+        let mut gen = TimestampGenerator::with_skew(pid, skew);
+        let issued: Vec<Timestamp> = hints.iter().map(|h| gen.next(*h)).collect();
+
+        // Crash: volatile generator state is gone. Recovery replays a log
+        // prefix, observing each timestamp it contains.
+        let cut = cut.index(issued.len() + 1);
+        let mut recovered = TimestampGenerator::with_skew(pid, skew);
+        for ts in &issued[..cut] {
+            recovered.observe(*ts);
+        }
+
+        let mut prev = issued[..cut].iter().copied().max().unwrap_or(Timestamp::LOW);
+        for h in recovery_hints {
+            let ts = recovered.next(h);
+            prop_assert!(ts > prev, "recovered ts {ts} does not dominate {prev}");
+            prop_assert!(Timestamp::LOW < ts, "ts fell to LowTS");
+            prop_assert!(ts < Timestamp::HIGH, "ts reached HighTS");
+            prev = ts;
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The instrumented brick and its invariant probes.
+//!
+//! [`TortureBrick`] wraps the unchanged sans-io [`fab_core::Brick`] as a
+//! [`fab_simnet::Actor`], observing every replica request/reply pair and
+//! every crash to enforce protocol invariants *stronger* than what the
+//! end-to-end linearizability check sees:
+//!
+//! * **ord-ts / max-ts monotonicity** — a replica's persistent `ord-ts`
+//!   and `max-ts(log)` never move backwards, across any interleaving of
+//!   requests and crash/recovery (the paper's `store(var)` persistence
+//!   claim).
+//! * **read guard** — a replica never answers `Read` with `status = true`
+//!   while `max-ts(log) < ord-ts` (the Figure-5 partial-write guard).
+//! * **log-before-send** — a replica never acknowledges `Write`/`Modify`
+//!   before the entry at that timestamp is in its log (durability before
+//!   acknowledgement).
+//! * **quorum-intersection accounting** — every committed write's final
+//!   timestamp was acknowledged by at least an m-quorum of replicas
+//!   (checked at end of run from the ack ledger; see
+//!   [`crate::engine`]).
+//!
+//! All observations land in a shared [`Journal`]; the probes themselves
+//! never alter protocol behavior (the wrapped brick handles every event
+//! exactly as the plain simulation driver would).
+
+use crate::plan::OpKind;
+use fab_core::{
+    Brick, Completion, Envelope, OpTrace, Payload, ProtocolError, RegisterConfig, Reply, Request,
+    StripeId,
+};
+use fab_simnet::{Actor, Context, TimerId};
+use fab_timestamp::{ProcessId, Timestamp};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A recorded workload invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// Coordinating brick.
+    pub pid: u32,
+    /// Coordinator-assigned operation id (never reused, survives crashes).
+    pub op: u64,
+    /// Virtual invocation time.
+    pub at: u64,
+    /// Target stripe.
+    pub stripe: u64,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+/// Everything the torture engine needs to reconstruct and judge a run:
+/// invocations, completions, coordinator traces, the per-timestamp write
+/// acknowledgement ledger, and invariant violations found on the fly.
+#[derive(Debug, Default)]
+pub struct Journal {
+    /// Workload invocations, in invocation order.
+    pub invocations: Vec<Invocation>,
+    /// Drained coordinator completions, tagged with the coordinator pid.
+    pub completions: Vec<(u32, Completion)>,
+    /// Drained operation traces, tagged with the coordinator pid.
+    pub traces: Vec<(u32, OpTrace)>,
+    /// `(stripe, ts)` → replicas that acknowledged a `Write`/`Modify` at
+    /// `ts` (used for quorum-intersection accounting).
+    pub acks: BTreeMap<(u64, Timestamp), BTreeSet<u32>>,
+    /// Last observed `ord-ts` per `(pid, stripe)`.
+    last_ord: BTreeMap<(u32, u64), Timestamp>,
+    /// Last observed `max-ts(log)` per `(pid, stripe)`.
+    last_max: BTreeMap<(u32, u64), Timestamp>,
+    /// Invariant violations, as `"<rule>: <detail>"` strings.
+    pub violations: Vec<String>,
+    /// Requests handled by replicas (probe coverage counter).
+    pub requests_probed: u64,
+}
+
+impl Journal {
+    /// Creates an empty journal behind the shared handle the bricks use.
+    #[must_use]
+    pub fn shared() -> Rc<RefCell<Journal>> {
+        Rc::new(RefCell::new(Journal::default()))
+    }
+
+    fn violation(&mut self, rule: &str, detail: &str) {
+        self.violations.push(format!("{rule}: {detail}"));
+    }
+
+    /// Checks and updates the per-replica timestamp watermarks.
+    fn check_monotonic(&mut self, pid: u32, stripe: u64, ord: Timestamp, max: Timestamp) {
+        let key = (pid, stripe);
+        if let Some(prev) = self.last_ord.get(&key) {
+            if ord < *prev {
+                self.violation(
+                    "ord-ts-monotonic",
+                    &format!("p{pid} stripe{stripe}: ord-ts went {prev} -> {ord}"),
+                );
+            }
+        }
+        if let Some(prev) = self.last_max.get(&key) {
+            if max < *prev {
+                self.violation(
+                    "max-ts-monotonic",
+                    &format!("p{pid} stripe{stripe}: max-ts went {prev} -> {max}"),
+                );
+            }
+        }
+        self.last_ord.insert(key, ord);
+        self.last_max.insert(key, max);
+    }
+}
+
+/// One instrumented brick: the production [`Brick`] plus probe hooks.
+#[derive(Debug)]
+pub struct TortureBrick {
+    inner: Brick,
+    journal: Rc<RefCell<Journal>>,
+    /// Stripes this brick's replica side has served (for crash probing).
+    touched: BTreeSet<StripeId>,
+}
+
+impl TortureBrick {
+    /// Creates the instrumented brick for `pid` with the given coordinator
+    /// clock skew; tracing is enabled so committed writes expose their
+    /// final timestamp for quorum accounting.
+    #[must_use]
+    pub fn new(
+        pid: ProcessId,
+        cfg: Arc<RegisterConfig>,
+        skew: i64,
+        journal: Rc<RefCell<Journal>>,
+    ) -> Self {
+        let mut inner = if skew == 0 {
+            Brick::new(pid, cfg)
+        } else {
+            Brick::with_skew(pid, cfg, skew)
+        };
+        inner.coordinator.set_tracing(true);
+        TortureBrick {
+            inner,
+            journal,
+            touched: BTreeSet::new(),
+        }
+    }
+
+    /// The wrapped production brick.
+    pub fn inner_mut(&mut self) -> &mut Brick {
+        &mut self.inner
+    }
+
+    /// Drains invariant violations the coordinator survived internally.
+    pub fn take_protocol_errors(&mut self) -> Vec<ProtocolError> {
+        self.inner.coordinator.take_protocol_errors()
+    }
+
+    /// Invokes one planned operation through the wrapped coordinator and
+    /// records the invocation in the journal. `m` data blocks of
+    /// `block_size` bytes are derived from the value id.
+    pub fn invoke(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        stripe: StripeId,
+        kind: OpKind,
+        m: usize,
+        block_size: usize,
+    ) {
+        let at = ctx.now();
+        let pid = ctx.pid().value();
+        let op = match kind {
+            OpKind::ReadStripe => Some(self.inner.read_stripe(ctx, stripe)),
+            OpKind::Scrub => Some(self.inner.scrub(ctx, stripe)),
+            OpKind::ReadBlock0 => self.inner.read_block(ctx, stripe, 0).ok(),
+            OpKind::WriteStripe { id } => self
+                .inner
+                .write_stripe(ctx, stripe, crate::value::stripe_blocks(id, m, block_size))
+                .ok(),
+            OpKind::WriteBlock0 { id } => self
+                .inner
+                .write_block(ctx, stripe, 0, crate::value::tagged_block(id, block_size))
+                .ok(),
+        };
+        self.touched.insert(stripe);
+        if let Some(op) = op {
+            self.journal.borrow_mut().invocations.push(Invocation {
+                pid,
+                op,
+                at,
+                stripe: stripe.0,
+                kind,
+            });
+        }
+        self.drain();
+    }
+
+    /// Moves completions and finished traces from the wrapped brick into
+    /// the journal (completions drained from the brick's mailbox, traces
+    /// from the coordinator).
+    fn drain(&mut self) {
+        let pid = self.inner.pid().value();
+        let completions = std::mem::take(&mut self.inner.completions);
+        let traces = self.inner.coordinator.take_traces();
+        if completions.is_empty() && traces.is_empty() {
+            return;
+        }
+        let mut j = self.journal.borrow_mut();
+        j.completions.extend(completions.into_iter().map(|c| (pid, c)));
+        j.traces.extend(traces.into_iter().map(|t| (pid, t)));
+    }
+
+    /// Probes replica state right after it handled `req` (and before the
+    /// reply envelope is handed to the network).
+    fn probe_request(&mut self, stripe: StripeId, req: &Request, reply: Option<&Reply>) {
+        let pid = self.inner.pid().value();
+        let Some(replica) = self.inner.replica_ref(stripe) else {
+            return;
+        };
+        let (ord, max) = (replica.ord_ts(), replica.log().max_ts());
+        let mut j = self.journal.borrow_mut();
+        j.requests_probed += 1;
+        j.check_monotonic(pid, stripe.0, ord, max);
+        match (req, reply) {
+            (
+                Request::Read { .. },
+                Some(Reply::ReadR {
+                    status: true,
+                    val_ts,
+                    ..
+                }),
+            ) if *val_ts < ord => {
+                j.violation(
+                    "read-guard",
+                    &format!(
+                        "p{pid} stripe{s}: served read with val_ts {val_ts} < ord-ts {ord}",
+                        s = stripe.0
+                    ),
+                );
+            }
+            (Request::Write { ts, .. }, Some(Reply::WriteR { status: true, .. }))
+            | (Request::Modify { ts, .. }, Some(Reply::ModifyR { status: true, .. })) => {
+                if replica.log().entry_at(*ts).is_some() {
+                    j.acks.entry((stripe.0, *ts)).or_default().insert(pid);
+                } else {
+                    j.violation(
+                        "log-before-send",
+                        &format!(
+                            "p{pid} stripe{s}: acked ts {ts} with no log entry",
+                            s = stripe.0
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for TortureBrick {
+    type Msg = Envelope;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Envelope>, from: ProcessId, env: Envelope) {
+        match &env.kind {
+            // Replica side: handle the request ourselves (identically to
+            // `Brick::on_message`) so the probe sees the post-state before
+            // the reply leaves the brick.
+            Payload::Request(req) => {
+                let stripe = env.stripe;
+                let round = env.round;
+                self.touched.insert(stripe);
+                let reply = self.inner.replica(stripe).handle(req);
+                self.probe_request(stripe, req, reply.as_ref());
+                if let Some(reply) = reply {
+                    ctx.send(
+                        from,
+                        Envelope {
+                            stripe,
+                            round,
+                            kind: Payload::Reply(reply),
+                        },
+                    );
+                }
+            }
+            // Coordinator side: delegate unchanged, then harvest.
+            Payload::Reply(_) => {
+                self.inner.on_message(ctx, from, env);
+                self.drain();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Envelope>, timer: TimerId) {
+        self.inner.on_timer(ctx, timer);
+        self.drain();
+    }
+
+    fn on_crash(&mut self) {
+        self.inner.on_crash();
+        // Persistence probe: replica timestamps must survive the crash.
+        let pid = self.inner.pid().value();
+        let stripes: Vec<StripeId> = self.touched.iter().copied().collect();
+        for stripe in stripes {
+            if let Some(r) = self.inner.replica_ref(stripe) {
+                let (ord, max) = (r.ord_ts(), r.log().max_ts());
+                self.journal
+                    .borrow_mut()
+                    .check_monotonic(pid, stripe.0, ord, max);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_core::BlockValue;
+    use bytes::Bytes;
+
+    fn cfg() -> Arc<RegisterConfig> {
+        Arc::new(RegisterConfig::new(2, 4, 16).expect("valid config"))
+    }
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_parts(t, ProcessId::new(0))
+    }
+
+    fn env(req: Request) -> Envelope {
+        Envelope {
+            stripe: StripeId(0),
+            round: 1,
+            kind: Payload::Request(req),
+        }
+    }
+
+    /// Drives a request through the actor interface inside a one-actor
+    /// simulation (the probe needs a real `Context`).
+    fn drive(requests: Vec<Request>) -> Rc<RefCell<Journal>> {
+        let journal = Journal::shared();
+        let brick = TortureBrick::new(ProcessId::new(0), cfg(), 0, journal.clone());
+        let mut sim =
+            fab_simnet::Simulation::new(fab_simnet::SimConfig::ideal(1), vec![brick]);
+        for (i, req) in requests.into_iter().enumerate() {
+            sim.schedule_call(i as u64, ProcessId::new(0), move |b: &mut TortureBrick, ctx| {
+                // Deliver as if from a remote coordinator.
+                b.on_message(ctx, ProcessId::new(1), env(req));
+            });
+        }
+        sim.run_until_idle();
+        journal
+    }
+
+    #[test]
+    fn clean_requests_produce_no_violations_and_fill_ledger() {
+        let j = drive(vec![
+            Request::Order { ts: ts(5) },
+            Request::Write {
+                block: BlockValue::Data(Bytes::from(vec![1u8; 16])),
+                ts: ts(5),
+            },
+            Request::Read { targets: vec![] },
+        ]);
+        let j = j.borrow();
+        assert!(j.violations.is_empty(), "{:?}", j.violations);
+        assert_eq!(j.requests_probed, 3);
+        assert_eq!(j.acks.get(&(0, ts(5))).map(BTreeSet::len), Some(1));
+    }
+
+    #[test]
+    fn monotonicity_probe_detects_regression() {
+        let mut journal = Journal::default();
+        journal.check_monotonic(0, 0, ts(5), ts(3));
+        journal.check_monotonic(0, 0, ts(4), ts(3));
+        assert_eq!(journal.violations.len(), 1);
+        assert!(journal.violations[0].starts_with("ord-ts-monotonic"));
+        // Distinct (pid, stripe) keys are independent.
+        journal.check_monotonic(1, 0, ts(1), ts(1));
+        journal.check_monotonic(0, 1, ts(1), ts(1));
+        assert_eq!(journal.violations.len(), 1);
+    }
+
+    #[test]
+    fn max_ts_regression_detected() {
+        let mut journal = Journal::default();
+        journal.check_monotonic(2, 7, ts(5), ts(5));
+        journal.check_monotonic(2, 7, ts(5), ts(2));
+        assert_eq!(journal.violations.len(), 1);
+        assert!(journal.violations[0].starts_with("max-ts-monotonic"));
+    }
+
+    #[test]
+    fn crash_keeps_watermarks_clean_on_faithful_replica() {
+        let journal = Journal::shared();
+        let mut brick = TortureBrick::new(ProcessId::new(0), cfg(), 0, journal.clone());
+        let mut sim = fab_simnet::Simulation::new(
+            fab_simnet::SimConfig::ideal(1),
+            vec![TortureBrick::new(ProcessId::new(9), cfg(), 0, Journal::shared())],
+        );
+        // Use the brick outside the sim: feed requests through a scheduled
+        // call on the placeholder actor to borrow a Context.
+        sim.schedule_call(0, ProcessId::new(0), move |_b, ctx| {
+            brick.on_message(ctx, ProcessId::new(1), env(Request::Order { ts: ts(9) }));
+            brick.on_crash();
+        });
+        sim.run_until_idle();
+        assert!(journal.borrow().violations.is_empty());
+    }
+}

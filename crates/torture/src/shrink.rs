@@ -1,0 +1,142 @@
+//! Greedy schedule shrinking for failing campaigns.
+//!
+//! Given a plan whose run violates an invariant, the shrinker tries to
+//! remove fault events and workload operations one at a time, keeping a
+//! removal whenever the (deterministic) violation still reproduces, and
+//! iterating to a fixpoint under a run budget. The stabilization epilogue
+//! is not part of the plan, so it can never be shrunk away — every
+//! candidate still terminates.
+
+use crate::engine::run_plan;
+use crate::plan::CampaignPlan;
+
+/// What the shrinker did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate runs executed.
+    pub runs: u32,
+    /// Fault events removed.
+    pub removed_faults: usize,
+    /// Workload operations removed.
+    pub removed_ops: usize,
+    /// Fixpoint passes over the plan.
+    pub passes: u32,
+}
+
+/// Shrinks `plan` with an arbitrary reproduction oracle; `judge` returns
+/// `true` while the candidate still exhibits the failure. Runs at most
+/// `budget` candidates.
+pub fn shrink_with<F>(plan: &CampaignPlan, budget: u32, mut judge: F) -> (CampaignPlan, ShrinkStats)
+where
+    F: FnMut(&CampaignPlan) -> bool,
+{
+    let mut current = plan.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        stats.passes += 1;
+        let mut progress = false;
+
+        // Faults first: they are usually what makes a schedule hostile,
+        // and removing one often unlocks removing the ops it targeted.
+        let mut i = 0;
+        while i < current.faults.len() {
+            if stats.runs >= budget {
+                return (current, stats);
+            }
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            stats.runs += 1;
+            if judge(&candidate) {
+                current = candidate;
+                stats.removed_faults += 1;
+                progress = true;
+                // Same index now holds the next event.
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut i = 0;
+        while i < current.ops.len() {
+            if stats.runs >= budget {
+                return (current, stats);
+            }
+            let mut candidate = current.clone();
+            candidate.ops.remove(i);
+            stats.runs += 1;
+            if judge(&candidate) {
+                current = candidate;
+                stats.removed_ops += 1;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if !progress {
+            return (current, stats);
+        }
+    }
+}
+
+/// Shrinks a violating plan using the real engine as the oracle: a
+/// candidate reproduces when its run has *any* violation (the engine is
+/// deterministic, so this is stable).
+pub fn shrink(plan: &CampaignPlan, budget: u32) -> (CampaignPlan, ShrinkStats) {
+    shrink_with(plan, budget, |candidate| !run_plan(candidate).is_clean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{generate, FaultKind};
+
+    /// Oracle: "fails" while the plan still contains a crash of p0. The
+    /// shrinker must strip everything else and keep exactly that event.
+    #[test]
+    fn shrinks_to_the_single_relevant_fault() {
+        let mut plan = generate(0);
+        plan.faults.push(crate::plan::FaultEvent {
+            at: 100,
+            kind: FaultKind::Crash(0),
+        });
+        let (small, stats) = shrink_with(&plan, 10_000, |p| {
+            p.faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::Crash(0)))
+        });
+        assert!(small
+            .faults
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::Crash(0))));
+        assert_eq!(small.faults.len(), 1);
+        assert!(small.ops.is_empty());
+        assert!(stats.runs > 0);
+        assert_eq!(
+            stats.removed_faults + stats.removed_ops,
+            plan.faults.len() - 1 + plan.ops.len()
+        );
+    }
+
+    /// A judge that never reproduces leaves the plan untouched.
+    #[test]
+    fn non_reproducing_failure_keeps_plan() {
+        let plan = generate(1);
+        let (same, stats) = shrink_with(&plan, 1_000, |_| false);
+        assert_eq!(same, plan);
+        assert_eq!(stats.removed_faults + stats.removed_ops, 0);
+    }
+
+    /// The budget bounds the number of candidate runs.
+    #[test]
+    fn budget_is_respected() {
+        let plan = generate(2);
+        let mut runs = 0u32;
+        let (_, stats) = shrink_with(&plan, 3, |_| {
+            runs += 1;
+            true
+        });
+        assert!(stats.runs <= 3);
+        assert_eq!(runs, stats.runs);
+    }
+}

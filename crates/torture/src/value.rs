@@ -1,0 +1,114 @@
+//! Value-identity tagging.
+//!
+//! The strict-linearizability checker reasons about abstract value ids.
+//! Torture workloads embed the id in the first 8 bytes (little-endian) of
+//! block 0 of every written stripe; block 0 therefore behaves as a
+//! multi-reader multi-writer register over ids, and any strict-
+//! linearizability violation in the id projection is a violation of the
+//! stripe register itself. The zero id is [`fab_checker::NIL`] — exactly
+//! what a never-written block materializes to.
+
+use bytes::Bytes;
+use fab_checker::ValueId;
+use fab_core::{OpResult, StripeValue};
+
+/// Block 0 for value `id`: the id tag followed by a deterministic fill.
+#[must_use]
+pub fn tagged_block(id: u64, block_size: usize) -> Bytes {
+    let mut b = vec![0u8; block_size];
+    b[..8].copy_from_slice(&id.to_le_bytes());
+    for (i, byte) in b.iter_mut().enumerate().skip(8) {
+        *byte = (id as u8).wrapping_mul(31).wrapping_add(i as u8);
+    }
+    Bytes::from(b)
+}
+
+/// A full m-block stripe for value `id` (block 0 carries the tag).
+#[must_use]
+pub fn stripe_blocks(id: u64, m: usize, block_size: usize) -> Vec<Bytes> {
+    (0..m)
+        .map(|j| {
+            if j == 0 {
+                tagged_block(id, block_size)
+            } else {
+                Bytes::from(vec![(id ^ j as u64) as u8; block_size])
+            }
+        })
+        .collect()
+}
+
+/// The value id carried by a block's first 8 bytes (0 = nil).
+#[must_use]
+pub fn tag_of(bytes: &[u8]) -> ValueId {
+    let mut raw = [0u8; 8];
+    let take = bytes.len().min(8);
+    raw[..take].copy_from_slice(&bytes[..take]);
+    u64::from_le_bytes(raw)
+}
+
+/// Extracts the observed value id from a successful read-style result.
+/// Returns `None` for aborted results and write acknowledgements (which
+/// observe no value).
+#[must_use]
+pub fn value_of(result: &OpResult, m: usize, block_size: usize) -> Option<ValueId> {
+    match result {
+        OpResult::Stripe(sv) => match sv {
+            StripeValue::Nil => Some(fab_checker::NIL),
+            _ => {
+                let blocks = sv.materialize(m, block_size);
+                blocks.first().map(|b| tag_of(b))
+            }
+        },
+        OpResult::Block(bv) => Some(
+            bv.materialize(block_size)
+                .map_or(fab_checker::NIL, |b| tag_of(&b)),
+        ),
+        OpResult::Blocks(vs) => vs
+            .first()
+            .map(|bv| bv.materialize(block_size).map_or(fab_checker::NIL, |b| tag_of(&b))),
+        OpResult::Written | OpResult::Aborted(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_core::BlockValue;
+
+    #[test]
+    fn tag_round_trips() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(tag_of(&tagged_block(id, 16)), id);
+        }
+    }
+
+    #[test]
+    fn stripe_blocks_have_tag_in_block0_only() {
+        let blocks = stripe_blocks(7, 3, 16);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(tag_of(&blocks[0]), 7);
+        for b in &blocks {
+            assert_eq!(b.len(), 16);
+        }
+    }
+
+    #[test]
+    fn value_extraction() {
+        assert_eq!(value_of(&OpResult::Stripe(StripeValue::Nil), 2, 16), Some(0));
+        let blocks = stripe_blocks(9, 2, 16);
+        assert_eq!(
+            value_of(&OpResult::Stripe(StripeValue::Data(blocks)), 2, 16),
+            Some(9)
+        );
+        assert_eq!(value_of(&OpResult::Block(BlockValue::Nil), 2, 16), Some(0));
+        assert_eq!(
+            value_of(
+                &OpResult::Block(BlockValue::Data(tagged_block(5, 16))),
+                2,
+                16
+            ),
+            Some(5)
+        );
+        assert_eq!(value_of(&OpResult::Written, 2, 16), None);
+    }
+}

@@ -15,6 +15,14 @@
 #   5. clippy                 — workspace lint wall, warnings are errors
 #   6. loopback cluster       — n=5 TCP bricks, kill/restart mid-workload,
 #                               strict-linearizability check (wall-clock capped)
+#   7. torture campaigns      — 500 deterministic fault campaigns from a fixed
+#                               seed base, each seed run twice (determinism
+#                               gate), plus the sim-vs-sockets differential
+#                               test (the 50k sweep and mutation smoke live in
+#                               tools/nightly.sh; see TESTING.md)
+#
+# Optional: when `cargo-llvm-cov` is installed, COVERAGE=1 ./tools/ci.sh
+# appends a line-coverage summary after the gates (informational, non-gating).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +42,26 @@ run cargo clippy --workspace --all-targets -- -D warnings
 # `cargo test` stays fast; run it here as its own stage under a hard timeout
 # (a deadlocked transport must fail CI, not hang it).
 run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored
+
+# Stage 7: bounded torture campaigns. A fixed seed base keeps the gate
+# reproducible; --check-determinism runs every seed twice and compares
+# stats + violation kinds. The socket differential test is also `#[ignore]`d
+# (it binds TCP listeners), so it runs here under its own timeout.
+run cargo xtask torture --runs 500 --seed-base fixed --check-determinism \
+    --bench-out target/BENCH_torture_ci.json
+run timeout 300 cargo test -q -p fab-torture --lib differential -- --ignored
+
+# Informational line-coverage summary (requires `cargo llvm-cov`; opt-in so
+# the default gate stays fast and works in toolchains without the component).
+if [[ "${COVERAGE:-0}" = "1" ]]; then
+    if command -v cargo-llvm-cov > /dev/null 2>&1; then
+        run cargo llvm-cov --workspace --summary-only
+    else
+        echo
+        echo "==> coverage skipped: cargo-llvm-cov not installed" \
+             "(cargo install cargo-llvm-cov)"
+    fi
+fi
 
 echo
 echo "ci.sh: all gates passed"

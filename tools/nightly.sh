@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Extended torture campaign for the FAB reproduction — the slow, thorough
+# sweep that is too expensive for the per-merge gate (tools/ci.sh stage 7).
+#
+#   ./tools/nightly.sh            # fixed seed base (reproducible)
+#   SEED_BASE=time ./tools/nightly.sh   # fresh seeds every night
+#   RUNS=100000 ./tools/nightly.sh      # widen the sweep
+#
+# Phases:
+#   1. 50k-campaign sweep     — deterministic fault campaigns over fab-simnet,
+#                               strict-linearizability + invariant probes,
+#                               every seed run twice (determinism gate)
+#   2. socket differential    — the first DIFF_RUNS plans replayed on a real
+#                               fab-net loopback TCP cluster
+#   3. mutation smoke         — rebuild with each `fab_mutation` variant and
+#                               prove the suite catches the planted bug
+#                               within 500 seeds
+#   4. coverage (optional)    — line-coverage summary when cargo-llvm-cov
+#                               is installed
+#
+# Failing seeds are auto-minimized and written to target/torture/*.seed;
+# replay one with `cargo xtask torture --replay <file>` (see TESTING.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-50000}"
+SEED_BASE="${SEED_BASE:-fixed}"
+DIFF_RUNS="${DIFF_RUNS:-20}"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# Phase 1+2: the big sweep, with the socket differential piggybacked on the
+# first DIFF_RUNS plans.
+run cargo xtask torture \
+    --runs "$RUNS" \
+    --seed-base "$SEED_BASE" \
+    --check-determinism \
+    --differential "$DIFF_RUNS" \
+    --bench-out BENCH_torture.json
+
+# Phase 3: planted-bug detection. Builds in target/mutation so the pristine
+# cache from phase 1 survives.
+run cargo xtask torture --mutation-smoke
+
+# Phase 4: coverage summary (informational).
+if command -v cargo-llvm-cov > /dev/null 2>&1; then
+    run cargo llvm-cov --workspace --summary-only
+else
+    echo
+    echo "==> coverage skipped: cargo-llvm-cov not installed"
+fi
+
+echo
+echo "nightly.sh: extended torture campaign passed (${RUNS} runs, seed base ${SEED_BASE})"
