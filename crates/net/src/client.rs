@@ -17,7 +17,7 @@ use crate::transport::{read_frame, RecvError};
 use bytes::Bytes;
 use fab_core::{OpResult, RegisterConfig, StripeId};
 use fab_volume::RegisterClient;
-use fab_wire::{encode_client_request_body, encode_frame, ClientError, ClientOp, FrameKind, Message};
+use fab_wire::{encode_client_request_into, ClientError, ClientOp, Message};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -58,6 +58,9 @@ pub struct NetClient {
     conns: Vec<Option<TcpStream>>,
     next: usize,
     next_id: u64,
+    /// Reused request-encoding buffer: the steady-state request path
+    /// allocates nothing per operation.
+    encode_buf: Vec<u8>,
     /// Per-attempt budget: connect + write + read of one request.
     pub attempt_timeout: Duration,
     /// How many full passes over the cluster to make before giving up
@@ -80,6 +83,7 @@ impl NetClient {
             conns: (0..n).map(|_| None).collect(),
             next: 0,
             next_id: 1,
+            encode_buf: Vec::new(),
             attempt_timeout: Duration::from_secs(5),
             max_rounds: 8,
         }
@@ -95,8 +99,9 @@ impl NetClient {
         let addr = *self.cluster.get(target).ok_or(())?;
         let id = self.next_id;
         self.next_id += 1;
-        let body = encode_client_request_body(id, op);
-        let frame = encode_frame(FrameKind::ClientRequest, &body);
+        self.encode_buf.clear();
+        encode_client_request_into(id, op, &mut self.encode_buf);
+        let frame = std::mem::take(&mut self.encode_buf);
         let attempt_timeout = self.attempt_timeout;
 
         let slot = self.conns.get_mut(target).ok_or(())?;
@@ -130,6 +135,7 @@ impl NetClient {
         if outcome.is_err() {
             *slot = None; // poisoned: mid-stream state is unknowable
         }
+        self.encode_buf = frame; // keep the capacity for the next request
         outcome
     }
 

@@ -76,7 +76,8 @@ pub mod server;
 pub mod transport;
 
 pub use client::{NetClient, NetClientError};
-pub use server::{BrickNode, NodeConfig, TransportMetrics, WRITE_TIMEOUT};
+pub use server::{BrickNode, CommitMode, NodeConfig, TransportMetrics, WRITE_TIMEOUT};
 pub use transport::{
-    read_frame, CounterSnapshot, PeerCounters, PeerSender, RecvError, CONNECT_TIMEOUT,
+    read_frame, BufferPool, CounterSnapshot, PeerCounters, PeerSender, RecvError,
+    CONNECT_TIMEOUT, MAX_COALESCED_BYTES, MAX_COALESCED_FRAMES,
 };

@@ -16,7 +16,7 @@
 //! or shut-down brick is indistinguishable from a crashed one, which is
 //! exactly the fault model the protocol tolerates.
 
-use crate::transport::{read_frame, PeerCounters, PeerSender, RecvError};
+use crate::transport::{read_frame, BufferPool, PeerCounters, PeerSender, RecvError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fab_core::{
@@ -24,11 +24,10 @@ use fab_core::{
     StripeId,
 };
 use fab_simnet::{Backoff, FaultPlan};
-use fab_store::BrickStore;
+use fab_store::{BrickStore, CommitPipeline, StripeState};
 use fab_timestamp::ProcessId;
 use fab_wire::{
-    encode_client_reply_body, encode_frame, encode_peer_body, ClientError, ClientOp, FrameKind,
-    Message,
+    encode_client_reply_into, encode_peer_message_into, ClientError, ClientOp, Message,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +43,27 @@ use std::time::{Duration, Instant};
 /// Bound on a blocking socket write (a stalled peer or client must not
 /// wedge the server's event loop or a writer thread forever).
 pub const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Compact the durable log once this many records have accumulated.
+const COMPACT_THRESHOLD: u64 = 50_000;
+
+/// How many idle encode buffers a brick retains for reuse.
+const POOL_CAPACITY: usize = 256;
+
+/// How a durable brick schedules its fsyncs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// One write + fsync per persist event, inline on the event loop.
+    /// Simple, strictly ordered, and slow: every replica ack pays a full
+    /// device flush.
+    PerRecord,
+    /// Group commit: persist events from concurrent requests are handed to
+    /// a committer thread that coalesces them into one write + one fsync,
+    /// and replica replies are released only after the covering sync
+    /// (log-before-send, unchanged — just batched).
+    #[default]
+    Group,
+}
 
 /// Everything a brick process needs to join a cluster.
 #[derive(Debug, Clone)]
@@ -62,6 +82,9 @@ pub struct NodeConfig {
     pub store_dir: Option<PathBuf>,
     /// Reconnect schedule for outbound peer connections.
     pub backoff: Backoff,
+    /// Fsync scheduling for the durable store (ignored without a
+    /// `store_dir`). Defaults to [`CommitMode::Group`].
+    pub commit_mode: CommitMode,
 }
 
 impl NodeConfig {
@@ -73,12 +96,19 @@ impl NodeConfig {
             register,
             store_dir: None,
             backoff: Backoff::default(),
+            commit_mode: CommitMode::default(),
         }
     }
 
     /// Sets the durable store directory.
     pub fn with_store_dir(mut self, dir: PathBuf) -> Self {
         self.store_dir = Some(dir);
+        self
+    }
+
+    /// Sets the fsync scheduling mode for the durable store.
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_mode = mode;
         self
     }
 }
@@ -113,16 +143,81 @@ pub struct TransportMetrics {
     pub peers: Vec<crate::transport::CounterSnapshot>,
     /// Aggregate counters for client connections.
     pub clients: crate::transport::CounterSnapshot,
+    /// Group-commit counters (`None` unless the brick runs a durable store
+    /// in [`CommitMode::Group`]).
+    pub commit: Option<fab_store::CommitStats>,
+    /// Encode-buffer pool `(hits, misses)`; misses stop growing once the
+    /// steady-state send path is allocation-free.
+    pub pool: (u64, u64),
 }
 
 // ----------------------------------------------------------- effects ------
+
+/// The outbound half of the peer fabric: writer threads, their counters,
+/// and the shared encode-buffer pool. `Arc`-shared between the event loop
+/// ([`NodeIo`]) and the commit pipeline's deferred-send callbacks, which
+/// run on the committer thread.
+#[derive(Debug)]
+struct PeerLinks {
+    peers: Vec<Option<PeerSender>>,
+    counters: Vec<Arc<PeerCounters>>,
+    pool: Arc<BufferPool>,
+}
+
+impl PeerLinks {
+    /// Hands one encoded frame to `to`'s writer thread (fair-loss).
+    fn send_frame(&self, to: ProcessId, frame: Vec<u8>) {
+        if let Some(Some(peer)) = self.peers.get(to.index()) {
+            peer.send(frame);
+        } else {
+            self.pool.put(frame);
+        }
+    }
+}
+
+/// A peer send whose transmission is deferred until the records backing it
+/// are durable (group commit's log-before-send). The drop decision and the
+/// frame encoding both happen up front on the event loop — the committer
+/// thread only fires pre-built sends, so fault-injection randomness stays
+/// single-threaded and deterministic per brick.
+enum DeferredSend {
+    /// A self-send: loops back into the event loop unserialized.
+    Loopback(Sender<Event>, ProcessId, Envelope),
+    /// An already-encoded frame for a remote peer.
+    Frame(Arc<PeerLinks>, ProcessId, Vec<u8>),
+    /// Fault injection chose to drop this send (already counted).
+    Dropped,
+}
+
+impl DeferredSend {
+    fn fire(self) {
+        match self {
+            DeferredSend::Loopback(tx, from, env) => {
+                let _ = tx.send(Event::Net { from, env });
+            }
+            DeferredSend::Frame(links, to, frame) => links.send_frame(to, frame),
+            DeferredSend::Dropped => {}
+        }
+    }
+}
+
+/// The brick's durable half: how persist events reach disk.
+enum Durable {
+    /// No store: replica state is memory-only.
+    None,
+    /// [`CommitMode::PerRecord`] — the store lives on the event loop and
+    /// every record is synced inline.
+    PerRecord(BrickStore),
+    /// [`CommitMode::Group`] — the store lives on a committer thread that
+    /// batches records and releases replies after the covering sync.
+    Group(CommitPipeline),
+}
 
 /// The I/O half of the brick: frame encoding + peer writer threads on the
 /// way out, deadline timers, clock, randomness. Implements [`Effects`].
 struct NodeIo {
     pid: ProcessId,
-    peers: Vec<Option<PeerSender>>,
-    counters: Vec<Arc<PeerCounters>>,
+    links: Arc<PeerLinks>,
     self_tx: Sender<Event>,
     faults: Arc<FaultPlan>,
     epoch: Instant,
@@ -153,28 +248,29 @@ impl NodeIo {
     }
 }
 
-impl Effects for NodeIo {
-    fn send(&mut self, to: ProcessId, env: Envelope) {
+impl NodeIo {
+    /// Builds the deferred form of `send`: decides fault injection and
+    /// encodes the frame *now* (event-loop side), returning a value the
+    /// committer thread can fire after the covering sync.
+    fn defer_send(&mut self, to: ProcessId, env: Envelope) -> DeferredSend {
         if to == self.pid {
-            // Loop back without serialization: a brick always reaches its
-            // own replica.
-            let _ = self.self_tx.send(Event::Net {
-                from: self.pid,
-                env,
-            });
-            return;
+            return DeferredSend::Loopback(self.self_tx.clone(), self.pid, env);
         }
         if self.faults.should_drop(self.rng.gen_range(0..1_000_000)) {
-            if let Some(c) = self.counters.get(to.index()) {
+            if let Some(c) = self.links.counters.get(to.index()) {
                 c.record_drop();
             }
-            return; // injected fair-loss drop
+            return DeferredSend::Dropped;
         }
-        let body = encode_peer_body(self.pid, &env);
-        let frame = encode_frame(FrameKind::Peer, &body);
-        if let Some(Some(peer)) = self.peers.get(to.index()) {
-            peer.send(frame);
-        }
+        let mut frame = self.links.pool.take();
+        encode_peer_message_into(self.pid, &env, &mut frame);
+        DeferredSend::Frame(self.links.clone(), to, frame)
+    }
+}
+
+impl Effects for NodeIo {
+    fn send(&mut self, to: ProcessId, env: Envelope) {
+        self.defer_send(to, env).fire();
     }
 
     fn set_timer(&mut self, delay: u64) -> u64 {
@@ -201,15 +297,17 @@ impl Effects for NodeIo {
 // ------------------------------------------------------------ server ------
 
 /// Encodes and writes one client reply; errors are ignored (a vanished
-/// client needs no answer).
+/// client needs no answer). The frame is encoded into a pooled buffer so
+/// the steady-state reply path allocates nothing.
 fn send_reply(
     writer: &ClientWriter,
     client_counters: &PeerCounters,
+    pool: &BufferPool,
     id: u64,
     result: &Result<OpResult, ClientError>,
 ) {
-    let body = encode_client_reply_body(id, result);
-    let frame = encode_frame(FrameKind::ClientReply, &body);
+    let mut frame = pool.take();
+    encode_client_reply_into(id, result, &mut frame);
     if let Ok(mut stream) = writer.0.lock() {
         if stream.write_all(&frame).is_ok() {
             client_counters.record_sent(frame.len());
@@ -217,6 +315,7 @@ fn send_reply(
             client_counters.record_drop();
         }
     }
+    pool.put(frame);
 }
 
 /// The brick's event-loop state (runs on its own thread).
@@ -229,7 +328,7 @@ struct NodeServer {
     /// Pending client replies, keyed by coordinator operation id.
     waiting: HashMap<u64, (u64, ClientWriter)>,
     client_counters: Arc<PeerCounters>,
-    store: Option<BrickStore>,
+    durable: Durable,
     /// Set when the durable store fails: the brick stops participating
     /// (indistinguishable from a crash, which the protocol tolerates).
     failed: bool,
@@ -252,6 +351,15 @@ impl NodeServer {
                     Err(_) => return,
                 },
             };
+            // A fenced commit pipeline means some batch failed to reach
+            // disk: stop participating before touching another event.
+            if !self.failed {
+                if let Durable::Group(pipeline) = &self.durable {
+                    if pipeline.is_fenced() {
+                        self.fence("commit pipeline fenced");
+                    }
+                }
+            }
             if let Some(event) = event {
                 match event {
                     Event::Shutdown => {
@@ -263,6 +371,7 @@ impl NodeServer {
                         send_reply(
                             &writer,
                             &self.client_counters,
+                            &self.io.links.pool,
                             id,
                             &Err(ClientError::Unavailable),
                         );
@@ -287,6 +396,7 @@ impl NodeServer {
             send_reply(
                 &writer,
                 &self.client_counters,
+                &self.io.links.pool,
                 id,
                 &Err(ClientError::Unavailable),
             );
@@ -303,15 +413,23 @@ impl NodeServer {
     /// Rebuilds replica state from the durable log (startup/restart), and
     /// advances the coordinator clock past every recovered timestamp.
     fn load_from_store(&mut self) {
-        let Some(store) = &self.store else { return };
+        let states: Vec<(StripeId, StripeState)> = match &self.durable {
+            Durable::None => return,
+            Durable::PerRecord(store) => store
+                .stripes()
+                .map(|(stripe, st)| (stripe, st.clone()))
+                .collect(),
+            // FIFO barrier: the snapshot reflects every prior submission.
+            Durable::Group(pipeline) => pipeline.states(),
+        };
         let pid = self.io.pid;
         let cfg = self.cfg.clone();
         let mut newest = fab_timestamp::Timestamp::LOW;
-        self.replicas = store
-            .stripes()
+        self.replicas = states
+            .into_iter()
             .map(|(stripe, st)| {
                 newest = newest.max(st.ord_ts).max(st.log.max_ts());
-                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log.clone());
+                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log);
                 r.enable_persistence();
                 (stripe, r)
             })
@@ -326,7 +444,7 @@ impl NodeServer {
                 let round = env.round;
                 let pid = self.io.pid;
                 let cfg = self.cfg.clone();
-                let durable = self.store.is_some();
+                let durable = !matches!(self.durable, Durable::None);
                 let replica = self.replicas.entry(stripe).or_insert_with(|| {
                     let mut r = Replica::new(pid, cfg);
                     if durable {
@@ -340,29 +458,53 @@ impl NodeServer {
                 } else {
                     Vec::new()
                 };
+                let reply_env = reply.map(|reply| Envelope {
+                    stripe,
+                    round,
+                    kind: Payload::Reply(reply),
+                });
                 // Persist *before* replying: the reply acknowledges state
                 // the paper requires to survive a crash.
-                if let Some(store) = &mut self.store {
+                if matches!(self.durable, Durable::Group(_)) {
+                    // Group commit: hand the records to the committer and
+                    // defer the reply until its covering sync. Replies to
+                    // requests with *no* persist events still ride the
+                    // pipeline as empty barriers — they may reference state
+                    // whose backing records are queued but not yet synced.
+                    let records: Vec<_> =
+                        persist.into_iter().map(|event| (stripe, event)).collect();
+                    let send = reply_env.map(|env| self.io.defer_send(from, env));
+                    if records.is_empty() && send.is_none() {
+                        return; // nothing to persist, nothing to ack
+                    }
+                    if let Durable::Group(pipeline) = &self.durable {
+                        pipeline.submit(records, move |durable| {
+                            if durable {
+                                if let Some(send) = send {
+                                    send.fire();
+                                }
+                            }
+                            // !durable: the pipeline fenced. Never ack
+                            // state that did not reach disk; the event
+                            // loop notices and fences the whole brick.
+                        });
+                    }
+                    return;
+                }
+                if let Durable::PerRecord(store) = &mut self.durable {
                     for event in &persist {
                         if store.append(stripe, event).is_err() {
                             self.fence("store append failed");
                             return;
                         }
                     }
-                    if store.maybe_compact(50_000).is_err() {
+                    if store.maybe_compact(COMPACT_THRESHOLD).is_err() {
                         self.fence("store compaction failed");
                         return;
                     }
                 }
-                if let Some(reply) = reply {
-                    self.io.send(
-                        from,
-                        Envelope {
-                            stripe,
-                            round,
-                            kind: Payload::Reply(reply),
-                        },
-                    );
+                if let Some(env) = reply_env {
+                    self.io.send(from, env);
                 }
             }
             Payload::Reply(_) => {
@@ -408,6 +550,7 @@ impl NodeServer {
             Err(_) => send_reply(
                 writer,
                 &self.client_counters,
+                &self.io.links.pool,
                 id,
                 &Err(ClientError::InvalidRequest),
             ),
@@ -417,7 +560,13 @@ impl NodeServer {
     fn deliver_completions(&mut self) {
         for Completion { op, result, .. } in self.coordinator.drain_completions() {
             if let Some((id, writer)) = self.waiting.remove(&op) {
-                send_reply(&writer, &self.client_counters, id, &Ok(result));
+                send_reply(
+                    &writer,
+                    &self.client_counters,
+                    &self.io.links.pool,
+                    id,
+                    &Ok(result),
+                );
             }
         }
     }
@@ -543,6 +692,8 @@ pub struct BrickNode {
     faults: Arc<FaultPlan>,
     counters: Vec<Arc<PeerCounters>>,
     client_counters: Arc<PeerCounters>,
+    pool: Arc<BufferPool>,
+    commit_stats: Option<fab_store::CommitStatsHandle>,
     node: ProcessId,
 }
 
@@ -581,6 +732,7 @@ impl BrickNode {
             mut register,
             store_dir,
             backoff,
+            commit_mode,
         } = cfg;
         if cluster.len() != register.n() || node.index() >= cluster.len() {
             return Err(std::io::Error::new(
@@ -599,14 +751,23 @@ impl BrickNode {
         let register = Arc::new(register);
         let addr = listener.local_addr()?;
 
-        let store = match store_dir {
+        let durable = match store_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir)?;
                 let path = dir.join(format!("brick-{}.log", node.value()));
                 let store = BrickStore::open(path).map_err(std::io::Error::other)?;
-                Some(store)
+                match commit_mode {
+                    CommitMode::PerRecord => Durable::PerRecord(store),
+                    CommitMode::Group => {
+                        Durable::Group(CommitPipeline::spawn(store, COMPACT_THRESHOLD))
+                    }
+                }
             }
-            None => None,
+            None => Durable::None,
+        };
+        let commit_stats = match &durable {
+            Durable::Group(pipeline) => Some(pipeline.stats_handle()),
+            _ => None,
         };
 
         let (tx, inbox) = unbounded();
@@ -615,6 +776,8 @@ impl BrickNode {
             .map(|_| Arc::new(PeerCounters::new()))
             .collect();
         let client_counters = Arc::new(PeerCounters::new());
+        let pool = BufferPool::new(POOL_CAPACITY);
+        let pool_handle = pool.clone();
         let peers: Vec<Option<PeerSender>> = cluster
             .iter()
             .enumerate()
@@ -622,10 +785,20 @@ impl BrickNode {
                 if i == node.index() {
                     None
                 } else {
-                    Some(PeerSender::spawn(*peer_addr, backoff, counters[i].clone()))
+                    Some(PeerSender::spawn(
+                        *peer_addr,
+                        backoff,
+                        counters[i].clone(),
+                        pool.clone(),
+                    ))
                 }
             })
             .collect();
+        let links = Arc::new(PeerLinks {
+            peers,
+            counters: counters.clone(),
+            pool,
+        });
 
         let mut server = NodeServer {
             cfg: register.clone(),
@@ -633,8 +806,7 @@ impl BrickNode {
             coordinator: Coordinator::new(node, register.clone()),
             io: NodeIo {
                 pid: node,
-                peers,
-                counters: counters.clone(),
+                links,
                 self_tx: tx.clone(),
                 faults: faults.clone(),
                 epoch: Instant::now(),
@@ -646,7 +818,7 @@ impl BrickNode {
             inbox,
             waiting: HashMap::new(),
             client_counters: client_counters.clone(),
-            store,
+            durable,
             failed: false,
         };
         server.load_from_store();
@@ -679,6 +851,8 @@ impl BrickNode {
             faults,
             counters,
             client_counters,
+            pool: pool_handle,
+            commit_stats,
             node,
         })
     }
@@ -713,6 +887,8 @@ impl BrickNode {
         TransportMetrics {
             peers: self.counters.iter().map(|c| c.snapshot()).collect(),
             clients: self.client_counters.snapshot(),
+            commit: self.commit_stats.as_ref().map(fab_store::CommitStatsHandle::stats),
+            pool: self.pool.stats(),
         }
     }
 

@@ -27,6 +27,82 @@ use std::time::{Duration, Instant};
 /// How long an outbound connection attempt may block the writer thread.
 pub const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// Most frames a writer coalesces into one `write` syscall.
+pub const MAX_COALESCED_FRAMES: usize = 64;
+
+/// Most staged bytes a writer coalesces into one `write` syscall. A batch
+/// closes as soon as it crosses this line (one oversized frame still goes
+/// out alone).
+pub const MAX_COALESCED_BYTES: usize = 1 << 20;
+
+/// A bounded free-list of encoding buffers, shared between the threads
+/// that encode frames and the writer threads that retire them.
+///
+/// The hot send path takes a buffer, encodes a frame into it with the
+/// `fab-wire` `_into` encoders, and queues it; the writer copies it into
+/// its staging buffer and puts it straight back. After warm-up every
+/// `take` is a hit and the steady-state path allocates nothing per frame.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: std::sync::Mutex<Vec<Vec<u8>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool retaining at most `capacity` idle buffers.
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(BufferPool {
+            free: std::sync::Mutex::new(Vec::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// An empty buffer: recycled if one is idle (hit), freshly allocated
+    /// otherwise (miss).
+    #[must_use]
+    pub fn take(&self) -> Vec<u8> {
+        // A poisoned lock (impossible: no panics while held) degrades to
+        // allocating — never to panicking on the hot path.
+        let recycled = match self.free.lock() {
+            Ok(mut free) => free.pop(),
+            Err(_) => None,
+        };
+        if let Some(buf) = recycled {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            buf
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+    }
+
+    /// Returns `buf` to the free list (cleared, capacity kept). Dropped on
+    /// the floor if the pool is already full.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        if let Ok(mut free) = self.free.lock() {
+            if free.len() < self.capacity {
+                free.push(buf);
+            }
+        }
+    }
+
+    /// `(hits, misses)` so far. A steady-state sender stops accumulating
+    /// misses once the pool is warm.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Monotonic per-peer traffic counters, shared between the transport
 /// threads and whoever wants to observe them ([`CounterSnapshot`]).
 #[derive(Debug, Default)]
@@ -38,6 +114,9 @@ pub struct PeerCounters {
     decode_errors: AtomicU64,
     reconnects: AtomicU64,
     dropped: AtomicU64,
+    writes: AtomicU64,
+    batched_writes: AtomicU64,
+    max_frames_per_write: AtomicU64,
 }
 
 impl PeerCounters {
@@ -49,8 +128,20 @@ impl PeerCounters {
 
     /// Records one frame of `bytes` handed to the socket.
     pub fn record_sent(&self, bytes: usize) {
-        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.record_write(1, bytes);
+    }
+
+    /// Records one `write` syscall carrying `frames` coalesced frames of
+    /// `bytes` total.
+    pub fn record_write(&self, frames: usize, bytes: usize) {
+        self.frames_sent.fetch_add(frames as u64, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if frames > 1 {
+            self.batched_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_frames_per_write
+            .fetch_max(frames as u64, Ordering::Relaxed);
     }
 
     /// Records one frame of `bytes` received and decoded.
@@ -75,6 +166,11 @@ impl PeerCounters {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `frames` lost at once (a failed coalesced write).
+    pub fn record_drops(&self, frames: usize) {
+        self.dropped.fetch_add(frames as u64, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of the counters.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -85,6 +181,9 @@ impl PeerCounters {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            batched_writes: self.batched_writes.load(Ordering::Relaxed),
+            max_frames_per_write: self.max_frames_per_write.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,6 +206,12 @@ pub struct CounterSnapshot {
     pub reconnects: u64,
     /// Frames lost to a down link or to fault injection.
     pub dropped: u64,
+    /// `write` syscalls issued (each may carry many frames).
+    pub writes: u64,
+    /// Writes that carried more than one coalesced frame.
+    pub batched_writes: u64,
+    /// Most frames ever coalesced into a single write.
+    pub max_frames_per_write: u64,
 }
 
 /// Why a framed read from a socket failed.
@@ -178,13 +283,20 @@ pub struct PeerSender {
 }
 
 impl PeerSender {
-    /// Spawns the writer thread for `peer`.
-    pub fn spawn(peer: SocketAddr, backoff: fab_simnet::Backoff, counters: Arc<PeerCounters>) -> Self {
+    /// Spawns the writer thread for `peer`. Frame buffers handed to
+    /// [`PeerSender::send`] are retired into `pool` once their bytes are
+    /// staged, so encode-side callers can take them back and reuse them.
+    pub fn spawn(
+        peer: SocketAddr,
+        backoff: fab_simnet::Backoff,
+        counters: Arc<PeerCounters>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
         let (tx, rx) = unbounded();
         let thread_counters = counters.clone();
         let handle = std::thread::Builder::new()
             .name(format!("fab-peer-{peer}"))
-            .spawn(move || writer_loop(peer, &rx, backoff, &thread_counters))
+            .spawn(move || writer_loop(peer, &rx, backoff, &thread_counters, &pool))
             .ok();
         PeerSender {
             tx,
@@ -228,21 +340,49 @@ impl Drop for PeerSender {
     }
 }
 
-/// The writer thread: owns the socket, reconnects with backoff, writes
-/// frames, drops what it cannot deliver.
+/// The writer thread: owns the socket, reconnects with backoff, coalesces
+/// queued frames into single writes, drops what it cannot deliver.
+///
+/// After blocking for the first frame it greedily drains whatever else is
+/// already queued (up to [`MAX_COALESCED_FRAMES`] / [`MAX_COALESCED_BYTES`])
+/// into one reused staging buffer and issues a single `write_all`. Under
+/// load this collapses dozens of per-frame syscalls into one; when idle the
+/// first frame still goes out immediately — coalescing never waits.
 fn writer_loop(
     peer: SocketAddr,
     rx: &Receiver<Vec<u8>>,
     backoff: fab_simnet::Backoff,
     counters: &PeerCounters,
+    pool: &BufferPool,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut attempt: u32 = 0;
     let mut next_retry = Instant::now();
     let mut connected_before = false;
-    while let Ok(frame) = rx.recv() {
-        if frame.is_empty() {
+    let mut staging: Vec<u8> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        if first.is_empty() {
             return; // stop sentinel
+        }
+        // Stage the first frame, then drain everything already queued.
+        staging.clear();
+        staging.extend_from_slice(&first);
+        pool.put(first);
+        let mut frames = 1usize;
+        let mut stop_after_flush = false;
+        while frames < MAX_COALESCED_FRAMES && staging.len() < MAX_COALESCED_BYTES {
+            match rx.try_recv() {
+                Ok(f) if f.is_empty() => {
+                    stop_after_flush = true;
+                    break;
+                }
+                Ok(f) => {
+                    staging.extend_from_slice(&f);
+                    pool.put(f);
+                    frames += 1;
+                }
+                Err(_) => break, // queue momentarily empty: flush now
+            }
         }
         if conn.is_none() && Instant::now() >= next_retry {
             match TcpStream::connect_timeout(&peer, CONNECT_TIMEOUT) {
@@ -265,20 +405,23 @@ fn writer_loop(
         }
         match conn.as_mut() {
             Some(s) => {
-                if s.write_all(&frame).is_ok() {
-                    counters.record_sent(frame.len());
+                if s.write_all(&staging).is_ok() {
+                    counters.record_write(frames, staging.len());
                 } else {
-                    // Write failed: the link is down. Drop the frame (the
-                    // coordinator's retransmission timer covers the loss)
-                    // and schedule a reconnect.
+                    // Write failed: the link is down. Drop the whole batch
+                    // (the coordinator's retransmission timer covers the
+                    // loss) and schedule a reconnect.
                     conn = None;
-                    counters.record_drop();
+                    counters.record_drops(frames);
                     next_retry =
                         Instant::now() + Duration::from_micros(backoff.delay_micros(attempt));
                     attempt = attempt.saturating_add(1);
                 }
             }
-            None => counters.record_drop(),
+            None => counters.record_drops(frames),
+        }
+        if stop_after_flush {
+            return;
         }
     }
 }
@@ -307,7 +450,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let counters = Arc::new(PeerCounters::new());
-        let sender = PeerSender::spawn(addr, Backoff::default(), counters.clone());
+        let sender = PeerSender::spawn(addr, Backoff::default(), counters.clone(), BufferPool::new(8));
         sender.send(peer_frame(7));
 
         let (mut conn, _) = listener.accept().unwrap();
@@ -342,6 +485,7 @@ mod tests {
                 max_micros: 10_000,
             },
             counters.clone(),
+            BufferPool::new(8),
         );
         for t in 0..5 {
             sender.send(peer_frame(t + 1));
@@ -385,6 +529,113 @@ mod tests {
         let (msg, _) = read_frame(&mut conn).unwrap();
         assert!(matches!(msg, Message::Peer { .. }));
         sender.shutdown();
+    }
+
+    #[test]
+    fn writer_coalesces_queued_frames_into_batched_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = Arc::new(PeerCounters::new());
+        let sender = PeerSender::spawn(addr, Backoff::default(), counters.clone(), BufferPool::new(64));
+
+        // Queue a burst before the writer can connect: once the connection
+        // is up, the backlog must go out in far fewer writes than frames.
+        const BURST: u64 = 48;
+        for t in 0..BURST {
+            sender.send(peer_frame(t + 1));
+        }
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut seen = Vec::new();
+        while seen.len() < BURST as usize {
+            let (msg, _) = read_frame(&mut conn).unwrap();
+            match msg {
+                Message::Peer { env, .. } => seen.push(env.round),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // FIFO, nothing lost, nothing reordered by coalescing.
+        assert_eq!(seen, (1..=BURST).collect::<Vec<_>>());
+        // The writer records a batch *after* its write_all returns, so the
+        // reader can observe all frames a beat before the counters move.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while counters.snapshot().frames_sent < BURST && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.frames_sent, BURST);
+        assert!(
+            snap.writes < snap.frames_sent,
+            "coalescing must shrink syscall count: {} writes for {} frames",
+            snap.writes,
+            snap.frames_sent
+        );
+        assert!(snap.batched_writes >= 1, "at least one multi-frame write");
+        assert!(snap.max_frames_per_write > 1);
+        sender.shutdown();
+    }
+
+    #[test]
+    fn steady_state_send_path_reuses_pooled_buffers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = Arc::new(PeerCounters::new());
+        let pool = BufferPool::new(8);
+        let sender = PeerSender::spawn(addr, Backoff::default(), counters.clone(), pool.clone());
+
+        // The writer only connects once the first frame is queued, so the
+        // accept must not block the sending thread.
+        let reader = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut n = 0u64;
+            while read_frame(&mut conn).is_ok() {
+                n += 1;
+            }
+            n
+        });
+        const ROUNDS: u64 = 100;
+        for t in 0..ROUNDS {
+            let mut buf = pool.take();
+            let env = fab_core::Envelope {
+                stripe: fab_core::StripeId(1),
+                round: t,
+                kind: fab_core::Payload::Request(fab_core::Request::Order {
+                    ts: Timestamp::from_parts(t + 1, ProcessId::new(0)),
+                }),
+            };
+            fab_wire::encode_peer_message_into(ProcessId::new(0), &env, &mut buf);
+            sender.send(buf);
+            // Wait until this frame is staged (and its buffer pooled).
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while counters.snapshot().frames_sent <= t {
+                assert!(Instant::now() < deadline, "frame {t} never sent");
+                std::thread::yield_now();
+            }
+        }
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits + misses, ROUNDS);
+        // Steady state allocates nothing per frame: after the first take
+        // warms the pool, every subsequent take is a hit.
+        assert_eq!(misses, 1, "{misses} allocations for {ROUNDS} frames");
+        sender.shutdown();
+        assert_eq!(reader.join().unwrap(), ROUNDS);
+    }
+
+    #[test]
+    fn buffer_pool_is_bounded_and_clears_returned_buffers() {
+        let pool = BufferPool::new(2);
+        let a = pool.take();
+        assert!(a.is_empty());
+        pool.put(vec![1, 2, 3]);
+        pool.put(vec![4]);
+        pool.put(vec![5]); // beyond capacity: dropped
+        let b = pool.take();
+        let c = pool.take();
+        assert!(b.is_empty() && c.is_empty(), "returned buffers are cleared");
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (2, 1));
+        // Pool drained again: next take allocates.
+        let _ = pool.take();
+        assert_eq!(pool.stats(), (2, 2));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use fab_core::{
     StripeId,
 };
 use fab_simnet::FaultPlan;
-use fab_store::BrickStore;
+use fab_store::{BrickStore, CommitPipeline, CommitStats, CommitStatsHandle};
 use fab_timestamp::ProcessId;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -38,6 +38,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Compact a brick's log once it accumulates this many records (matches
+/// `fab-net`'s threshold, so both runtimes exhibit the same I/O pattern).
+const COMPACT_THRESHOLD: u64 = 50_000;
 
 /// An event delivered to a brick thread.
 enum Event {
@@ -90,9 +94,32 @@ impl std::fmt::Debug for NetIo {
     }
 }
 
+/// A send whose drop decision and channel capture happened on the event
+/// loop (keeping the fault-injection RNG single-threaded) but whose actual
+/// delivery is deferred — e.g. until the commit pipeline reports the
+/// covering fsync. `None` means the fair-loss channel dropped it.
+type DeferredSend = Option<(Sender<Event>, ProcessId, Envelope)>;
+
+fn fire(send: DeferredSend) {
+    if let Some((tx, from, env)) = send {
+        let _ = tx.send(Event::Net { from, env });
+    }
+}
+
 impl NetIo {
     fn next_deadline(&self) -> Option<Instant> {
         self.timers.peek().map(|r| r.0 .0)
+    }
+
+    /// Decides the fate of a send now (fault injection consumes RNG on the
+    /// event loop) and captures everything needed to deliver it later.
+    fn defer_send(&mut self, to: ProcessId, env: Envelope) -> DeferredSend {
+        if to != self.pid && self.faults.should_drop(self.rng.gen_range(0..1_000_000)) {
+            return None; // fair-loss channel drops this transmission
+        }
+        self.peers
+            .get(to.index())
+            .map(|tx| (tx.clone(), self.pid, env))
     }
 
     /// Pops timers whose deadlines have passed, skipping cancelled ones.
@@ -114,15 +141,7 @@ impl NetIo {
 
 impl Effects for NetIo {
     fn send(&mut self, to: ProcessId, env: Envelope) {
-        if to != self.pid && self.faults.should_drop(self.rng.gen_range(0..1_000_000)) {
-            return; // fair-loss channel drops this transmission
-        }
-        if let Some(peer) = self.peers.get(to.index()) {
-            let _ = peer.send(Event::Net {
-                from: self.pid,
-                env,
-            });
-        }
+        fire(self.defer_send(to, env));
     }
 
     fn set_timer(&mut self, delay: u64) -> u64 {
@@ -158,7 +177,10 @@ struct BrickServer {
     crashed: bool,
     /// Durable backing (the paper's `store(var)`); `None` = volatile-only
     /// bricks whose replica state survives emulated crashes in memory.
-    store: Option<BrickStore>,
+    /// When present, the pipeline group-commits appends off the event loop
+    /// and replica replies are withheld until the covering fsync lands
+    /// (log-before-send).
+    pipeline: Option<CommitPipeline>,
 }
 
 impl BrickServer {
@@ -178,6 +200,11 @@ impl BrickServer {
                     Err(_) => return,
                 },
             };
+            // A failed commit fences the pipeline: nothing later will ever
+            // be durable, so the brick fail-stops (clients fail over).
+            if self.pipeline.as_ref().is_some_and(CommitPipeline::is_fenced) {
+                return;
+            }
             if let Some(event) = event {
                 match event {
                     Event::Shutdown => return,
@@ -185,7 +212,7 @@ impl BrickServer {
                         self.crashed = true;
                         self.coordinator.on_crash();
                         self.waiting.clear();
-                        if self.store.is_some() {
+                        if self.pipeline.is_some() {
                             // A durable brick loses its memory entirely;
                             // recovery reloads from the on-disk log.
                             self.replicas.clear();
@@ -197,7 +224,7 @@ impl BrickServer {
                     }
                     Event::Recover => {
                         self.crashed = false;
-                        if self.store.is_some() {
+                        if self.pipeline.is_some() {
                             self.load_from_store();
                         }
                     }
@@ -220,15 +247,18 @@ impl BrickServer {
     /// timestamp so post-restart operations order after pre-crash ones
     /// without conflict storms.
     fn load_from_store(&mut self) {
-        let Some(store) = &self.store else { return };
+        let Some(pipeline) = &self.pipeline else { return };
         let pid = self.io.pid;
         let cfg = self.cfg.clone();
         let mut newest = fab_timestamp::Timestamp::LOW;
-        self.replicas = store
-            .stripes()
+        // `states()` is a FIFO barrier on the committer: every append
+        // submitted before this call is reflected in the snapshot.
+        self.replicas = pipeline
+            .states()
+            .into_iter()
             .map(|(stripe, st)| {
                 newest = newest.max(st.ord_ts).max(st.log.max_ts());
-                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log.clone());
+                let mut r = Replica::from_parts(pid, cfg.clone(), st.ord_ts, st.log);
                 r.enable_persistence();
                 (stripe, r)
             })
@@ -243,7 +273,7 @@ impl BrickServer {
                 let round = env.round;
                 let pid = ProcessId::new(self.io.pid.value());
                 let cfg = self.cfg.clone();
-                let durable = self.store.is_some();
+                let durable = self.pipeline.is_some();
                 let replica = self.replicas.entry(stripe).or_insert_with(|| {
                     let mut r = Replica::new(pid, cfg);
                     if durable {
@@ -252,30 +282,38 @@ impl BrickServer {
                     r
                 });
                 let reply = replica.handle(req);
-                if let Some(store) = &mut self.store {
-                    for event in self
+                let reply_env = reply.map(|reply| Envelope {
+                    stripe,
+                    round,
+                    kind: Payload::Reply(reply),
+                });
+                if let Some(pipeline) = &self.pipeline {
+                    // Log-before-send: the reply (even one with no new
+                    // persist events — it still acknowledges durable state)
+                    // leaves only after the fsync covering this request's
+                    // records. Group commit coalesces concurrent requests
+                    // into one write + one sync on the committer thread.
+                    let records: Vec<_> = self
                         .replicas
                         .get_mut(&stripe)
-                        .expect("just used")
+                        .expect("just inserted")
                         .take_persist_events()
-                    {
-                        store
-                            .append(stripe, &event)
-                            .expect("brick store append failed: disk error");
+                        .into_iter()
+                        .map(|event| (stripe, event))
+                        .collect();
+                    let send = reply_env.map(|env| self.io.defer_send(from, env));
+                    if records.is_empty() && send.is_none() {
+                        return;
                     }
-                    store
-                        .maybe_compact(50_000)
-                        .expect("brick store compaction failed");
-                }
-                if let Some(reply) = reply {
-                    self.io.send(
-                        from,
-                        Envelope {
-                            stripe,
-                            round,
-                            kind: Payload::Reply(reply),
-                        },
-                    );
+                    pipeline.submit(records, move |is_durable| {
+                        if is_durable {
+                            if let Some(send) = send {
+                                fire(send);
+                            }
+                        }
+                    });
+                } else if let Some(env) = reply_env {
+                    fire(self.io.defer_send(from, env));
                 }
             }
             Payload::Reply(_) => {
@@ -373,6 +411,9 @@ pub struct RuntimeCluster {
     cfg: Arc<RegisterConfig>,
     faults: Arc<FaultPlan>,
     next_coordinator: AtomicU32,
+    /// Per-brick commit-pipeline observers (empty slots for volatile
+    /// clusters).
+    commit_stats: Vec<Option<CommitStatsHandle>>,
 }
 
 impl RuntimeCluster {
@@ -411,11 +452,15 @@ impl RuntimeCluster {
         let channels: Vec<(Sender<Event>, Receiver<Event>)> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Event>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let mut handles = Vec::with_capacity(n);
+        let mut commit_stats = Vec::with_capacity(n);
         for (i, (_, inbox)) in channels.into_iter().enumerate() {
             let pid = ProcessId::new(i as u32);
-            let store = store_dir.map(|dir| {
-                BrickStore::open(dir.join(format!("brick-{i}.log"))).expect("open brick store")
+            let pipeline = store_dir.map(|dir| {
+                let store = BrickStore::open(dir.join(format!("brick-{i}.log")))
+                    .expect("open brick store");
+                CommitPipeline::spawn(store, COMPACT_THRESHOLD)
             });
+            commit_stats.push(pipeline.as_ref().map(CommitPipeline::stats_handle));
             let mut server = BrickServer {
                 cfg: cfg.clone(),
                 replicas: HashMap::new(),
@@ -433,7 +478,7 @@ impl RuntimeCluster {
                 inbox,
                 waiting: HashMap::new(),
                 crashed: false,
-                store,
+                pipeline,
             };
             server.load_from_store();
             handles.push(
@@ -449,7 +494,19 @@ impl RuntimeCluster {
             cfg,
             faults,
             next_coordinator: AtomicU32::new(0),
+            commit_stats,
         }
+    }
+
+    /// A snapshot of brick `pid`'s group-commit counters, or `None` for
+    /// volatile clusters. `committed / syncs` is the achieved group-commit
+    /// factor.
+    #[must_use]
+    pub fn commit_stats(&self, pid: ProcessId) -> Option<CommitStats> {
+        self.commit_stats
+            .get(pid.index())?
+            .as_ref()
+            .map(CommitStatsHandle::stats)
     }
 
     /// The shared register configuration.
@@ -769,6 +826,115 @@ mod tests {
         assert_eq!(err, RuntimeError::InvalidRequest);
         let err = client.read_block(StripeId(0), 9).unwrap_err();
         assert_eq!(err, RuntimeError::InvalidRequest);
+        cluster.shutdown();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fab-runtime-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistent_cluster_recovers_across_restart() {
+        let dir = scratch_dir("restart");
+        let data = blocks(2, 5, 16);
+        {
+            let cluster =
+                RuntimeCluster::with_persistence(RegisterConfig::new(2, 4, 16).unwrap(), &dir);
+            let mut client = cluster.client();
+            assert_eq!(
+                client.write_stripe(StripeId(0), data.clone()).unwrap(),
+                OpResult::Written
+            );
+            cluster.shutdown();
+        }
+        // A brand-new cluster over the same logs serves the old value.
+        let cluster =
+            RuntimeCluster::with_persistence(RegisterConfig::new(2, 4, 16).unwrap(), &dir);
+        let mut client = cluster.client();
+        assert_eq!(
+            client.read_stripe(StripeId(0)).unwrap(),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_brick_survives_crash_with_memory_loss() {
+        let dir = scratch_dir("crash");
+        let cluster =
+            RuntimeCluster::with_persistence(RegisterConfig::new(2, 4, 16).unwrap(), &dir);
+        let mut client = cluster.client();
+        client.timeout = Duration::from_millis(500);
+        let data = blocks(2, 11, 16);
+        client.write_stripe(StripeId(0), data.clone()).unwrap();
+
+        // A durable brick loses *all* in-memory state on crash and must
+        // replay its log on recovery.
+        cluster.crash(ProcessId::new(1));
+        cluster.recover(ProcessId::new(1));
+        assert_eq!(
+            client.read_stripe(StripeId(0)).unwrap(),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+        let data2 = blocks(2, 13, 16);
+        assert_eq!(
+            client.write_stripe(StripeId(0), data2.clone()).unwrap(),
+            OpResult::Written
+        );
+        assert_eq!(
+            client.read_stripe(StripeId(0)).unwrap(),
+            OpResult::Stripe(StripeValue::Data(data2))
+        );
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_counters_are_coherent_under_concurrency() {
+        let dir = scratch_dir("group");
+        let cluster = std::sync::Arc::new(RuntimeCluster::with_persistence(
+            RegisterConfig::new(2, 4, 16).unwrap(),
+            &dir,
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let mut client = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                let stripe = StripeId(u64::from(t));
+                for i in 0..8u8 {
+                    let data = blocks(2, t.wrapping_mul(17).wrapping_add(i), 16);
+                    assert_eq!(
+                        client.write_stripe(stripe, data).unwrap(),
+                        OpResult::Written
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every acked write was preceded by a covering fsync; the pipeline
+        // never synced more often than it committed records.
+        let mut total_committed = 0;
+        for i in 0..4 {
+            let stats = cluster.commit_stats(ProcessId::new(i)).unwrap();
+            assert_eq!(stats.failed, 0);
+            assert!(stats.syncs <= stats.committed.max(1));
+            total_committed += stats.committed;
+        }
+        assert!(total_committed > 0);
+        assert!(cluster.commit_stats(ProcessId::new(99)).is_none());
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volatile_cluster_reports_no_commit_stats() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        assert!(cluster.commit_stats(ProcessId::new(0)).is_none());
         cluster.shutdown();
     }
 

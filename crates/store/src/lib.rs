@@ -21,9 +21,22 @@
 //! ```text
 //! record  := len: u32le | crc32(body) | body
 //! body    := stripe: u64le | kind: u8 | ts.ticks: u64le | ts.pid: u32le | payload
-//! kind    := 0 OrdTs | 1 ⊥ entry | 2 nil entry | 3 data entry | 4 GC
+//! kind    := 0 OrdTs | 1 ⊥ entry | 2 nil entry | 3 data entry | 4 GC | 5 batch
 //! payload := (kind 3 only) data_len: u32le | bytes
 //! ```
+//!
+//! A **batch** record (kind 5) carries several logical records under one
+//! record-level CRC: its stripe field holds the sub-record count, its
+//! timestamp is zero, and its payload is a sequence of
+//! `sub_len: u32le | sub_body` entries, each `sub_body` in the single-record
+//! body format above (nesting is rejected). Because the whole batch lives
+//! under one CRC, a torn write makes the *entire* batch invisible on
+//! replay — group commit is all-or-nothing, never a prefix.
+//!
+//! [`BrickStore::append_batch`] writes a batch with one `write_all` + one
+//! `sync_data`; [`CommitPipeline`] (see [`commit`]) coalesces concurrently
+//! submitted records into such batches so independent operations share
+//! fsyncs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -36,7 +49,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+pub mod commit;
 mod crc32;
+pub use commit::{CommitPipeline, CommitStats, CommitStatsHandle};
 pub use crc32::crc32;
 
 /// Errors from the brick store.
@@ -92,10 +107,14 @@ const KIND_BOTTOM: u8 = 1;
 const KIND_NIL: u8 = 2;
 const KIND_DATA: u8 = 3;
 const KIND_GC: u8 = 4;
+const KIND_BATCH: u8 = 5;
 
-fn encode_record(stripe: StripeId, event: &PersistEvent) -> Vec<u8> {
-    let mut body = Vec::with_capacity(32);
-    body.extend_from_slice(&stripe.0.to_le_bytes());
+/// Smallest valid body: stripe + kind + ticks + pid.
+const MIN_BODY: usize = 8 + 1 + 8 + 4;
+
+/// Appends one single-record *body* (no `len|crc` framing) to `out`.
+fn encode_body_into(out: &mut Vec<u8>, stripe: StripeId, event: &PersistEvent) {
+    out.extend_from_slice(&stripe.0.to_le_bytes());
     let (kind, ts, payload): (u8, Timestamp, Option<&Bytes>) = match event {
         PersistEvent::OrdTs(ts) => (KIND_ORD, *ts, None),
         PersistEvent::Entry(ts, BlockValue::Bottom) => (KIND_BOTTOM, *ts, None),
@@ -103,23 +122,105 @@ fn encode_record(stripe: StripeId, event: &PersistEvent) -> Vec<u8> {
         PersistEvent::Entry(ts, BlockValue::Data(b)) => (KIND_DATA, *ts, Some(b)),
         PersistEvent::Gc(ts) => (KIND_GC, *ts, None),
     };
-    body.push(kind);
-    body.extend_from_slice(&ts.ticks().to_le_bytes());
-    body.extend_from_slice(&ts.pid().value().to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&ts.ticks().to_le_bytes());
+    out.extend_from_slice(&ts.pid().value().to_le_bytes());
     if let Some(data) = payload {
-        body.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        body.extend_from_slice(data);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
     }
-    let mut record = Vec::with_capacity(body.len() + 8);
-    record.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    record.extend_from_slice(&crc32(&body).to_le_bytes());
-    record.extend_from_slice(&body);
-    record
 }
 
-/// Decodes one body; returns `None` on structural corruption.
+/// Patches the 8-byte `len | crc` prefix reserved at `frame_at`, covering
+/// the body bytes written at `frame_at + 8 ..` (which must be the current
+/// tail of `out`).
+fn finish_record(out: &mut [u8], frame_at: usize) {
+    let body_len = (out.len() - frame_at - 8) as u32;
+    let crc = crc32(&out[frame_at + 8..]);
+    out[frame_at..frame_at + 4].copy_from_slice(&body_len.to_le_bytes());
+    out[frame_at + 4..frame_at + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Appends one framed record (`len | crc | body`) to `out`.
+fn encode_record_into(out: &mut Vec<u8>, stripe: StripeId, event: &PersistEvent) {
+    let frame_at = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    encode_body_into(out, stripe, event);
+    finish_record(out, frame_at);
+}
+
+/// Appends one framed *batch* record covering all of `records` under a
+/// single CRC, so replay sees the whole batch or none of it.
+fn encode_batch_into(out: &mut Vec<u8>, records: &[(StripeId, PersistEvent)]) {
+    let frame_at = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    // The batch header reuses the body layout: the stripe field carries
+    // the sub-record count and the timestamp field must be zero.
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    out.push(KIND_BATCH);
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    for (stripe, event) in records {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        encode_body_into(out, *stripe, event);
+        let sub_len = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&sub_len.to_le_bytes());
+    }
+    finish_record(out, frame_at);
+}
+
+/// A decoded record body: either one logical record or a whole batch.
+enum DecodedBody {
+    One(StripeId, PersistEvent),
+    Batch(Vec<(StripeId, PersistEvent)>),
+}
+
+/// Decodes a record body that may be a batch (kind 5) or a single record.
+/// Returns `None` on structural corruption; a batch with any malformed
+/// sub-record is rejected whole.
+fn decode_record_body(body: &[u8]) -> Option<DecodedBody> {
+    if body.len() < MIN_BODY {
+        return None;
+    }
+    if body[8] != KIND_BATCH {
+        return decode_body(body).map(|(s, e)| DecodedBody::One(s, e));
+    }
+    let count = u64::from_le_bytes(body[0..8].try_into().ok()?);
+    let ticks = u64::from_le_bytes(body[9..17].try_into().ok()?);
+    let pid = u32::from_le_bytes(body[17..21].try_into().ok()?);
+    if ticks != 0 || pid != 0 {
+        return None;
+    }
+    let mut rest = &body[21..];
+    // Every sub-record costs at least a length prefix plus a minimal body,
+    // so the declared count is bounded by the bytes actually present.
+    if count > (rest.len() / (4 + MIN_BODY)) as u64 {
+        return None;
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if rest.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
+        if rest.len() - 4 < len {
+            return None;
+        }
+        // `decode_body` rejects kind 5, so batches cannot nest.
+        let (stripe, event) = decode_body(&rest[4..4 + len])?;
+        records.push((stripe, event));
+        rest = &rest[4 + len..];
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(DecodedBody::Batch(records))
+}
+
+/// Decodes one single-record body; returns `None` on structural corruption.
 fn decode_body(body: &[u8]) -> Option<(StripeId, PersistEvent)> {
-    if body.len() < 8 + 1 + 8 + 4 {
+    if body.len() < MIN_BODY {
         return None;
     }
     let stripe = StripeId(u64::from_le_bytes(body[0..8].try_into().ok()?));
@@ -191,6 +292,8 @@ pub struct BrickStore {
     appended: u64,
     /// Live entries at the last compaction (compaction heuristic input).
     live_at_compaction: u64,
+    /// Reused encode buffer: the steady-state append path allocates nothing.
+    scratch: Vec<u8>,
 }
 
 impl BrickStore {
@@ -228,13 +331,23 @@ impl BrickStore {
             if crc32(body) != crc {
                 break; // corrupt record: stop replay here
             }
-            let Some((stripe, event)) = decode_body(body) else {
+            let Some(decoded) = decode_record_body(body) else {
                 break;
             };
-            apply(&mut state, stripe, &event);
+            match decoded {
+                DecodedBody::One(stripe, event) => {
+                    apply(&mut state, stripe, &event);
+                    appended += 1;
+                }
+                DecodedBody::Batch(records) => {
+                    appended += records.len() as u64;
+                    for (stripe, event) in records {
+                        apply(&mut state, stripe, &event);
+                    }
+                }
+            }
             pos += 8 + len;
             valid = pos;
-            appended += 1;
         }
         if valid < raw.len() {
             // Drop the torn/corrupt tail so future appends are clean.
@@ -247,6 +360,7 @@ impl BrickStore {
             state,
             appended,
             live_at_compaction: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -256,11 +370,47 @@ impl BrickStore {
     ///
     /// Returns [`StoreError`] on filesystem failure.
     pub fn append(&mut self, stripe: StripeId, event: &PersistEvent) -> Result<(), StoreError> {
-        let record = encode_record(stripe, event);
-        self.file.write_all(&record)?;
+        self.scratch.clear();
+        encode_record_into(&mut self.scratch, stripe, event);
+        self.file.write_all(&self.scratch)?;
         self.file.sync_data()?;
         apply(&mut self.state, stripe, event);
         self.appended += 1;
+        Ok(())
+    }
+
+    /// Appends a group of persistence events with **one** `write_all` and
+    /// **one** `sync_data`, making them durable all-or-nothing.
+    ///
+    /// A single-element batch is written as a plain record; larger batches
+    /// become one kind-5 batch record whose CRC covers every sub-record, so
+    /// a torn write during the batch leaves *none* of it visible on replay
+    /// (never a prefix). This is the group-commit primitive the
+    /// [`CommitPipeline`] builds on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on filesystem failure; on error none of the
+    /// batch is applied to the in-memory image.
+    pub fn append_batch(
+        &mut self,
+        records: &[(StripeId, PersistEvent)],
+    ) -> Result<(), StoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        if let [(stripe, event)] = records {
+            encode_record_into(&mut self.scratch, *stripe, event);
+        } else {
+            encode_batch_into(&mut self.scratch, records);
+        }
+        self.file.write_all(&self.scratch)?;
+        self.file.sync_data()?;
+        for (stripe, event) in records {
+            apply(&mut self.state, *stripe, event);
+        }
+        self.appended += records.len() as u64;
         Ok(())
     }
 
@@ -290,7 +440,8 @@ impl BrickStore {
     }
 
     /// Rewrites the log as a snapshot of live state (atomic
-    /// write-to-temp + rename), dropping superseded history.
+    /// write-to-temp + rename + parent-directory fsync), dropping
+    /// superseded history.
     ///
     /// # Errors
     ///
@@ -298,26 +449,33 @@ impl BrickStore {
     pub fn compact(&mut self) -> Result<(), StoreError> {
         let tmp_path = self.path.with_extension("compact");
         {
-            let mut tmp = File::create(&tmp_path)?;
+            let mut out = std::io::BufWriter::new(File::create(&tmp_path)?);
+            let mut rec = Vec::with_capacity(64);
             let mut live = 0u64;
             for (stripe, st) in &self.state {
-                tmp.write_all(&encode_record(*stripe, &PersistEvent::OrdTs(st.ord_ts)))?;
+                rec.clear();
+                encode_record_into(&mut rec, *stripe, &PersistEvent::OrdTs(st.ord_ts));
+                out.write_all(&rec)?;
                 live += 1;
                 for (ts, value) in st.log.iter() {
                     if ts == Timestamp::LOW {
                         continue; // the sentinel is implicit in a fresh Log
                     }
-                    tmp.write_all(&encode_record(
-                        *stripe,
-                        &PersistEvent::Entry(ts, value.clone()),
-                    ))?;
+                    rec.clear();
+                    encode_record_into(&mut rec, *stripe, &PersistEvent::Entry(ts, value.clone()));
+                    out.write_all(&rec)?;
                     live += 1;
                 }
             }
-            tmp.sync_all()?;
+            out.flush()?;
+            out.get_ref().sync_all()?;
             self.live_at_compaction = live;
         }
         std::fs::rename(&tmp_path, &self.path)?;
+        // Persist the rename itself: without the directory fsync, a crash
+        // here can resurrect the old (pre-compaction) inode, and any record
+        // appended after the rename would then be lost with it.
+        sync_parent_dir(&self.path)?;
         self.file = OpenOptions::new()
             .read(true)
             .append(true)
@@ -341,6 +499,16 @@ impl BrickStore {
             Ok(false)
         }
     }
+}
+
+/// Fsyncs the directory containing `path` so a just-renamed file survives
+/// a crash before the directory entry is otherwise forced out.
+fn sync_parent_dir(path: &Path) -> Result<(), StoreError> {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(()); // bare filename: the cwd is not ours to sync
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
 }
 
 /// Applies an event to the in-memory image (used by both replay and
@@ -527,6 +695,102 @@ mod tests {
         assert!(!s.maybe_compact(100).unwrap(), "below threshold");
         assert!(s.maybe_compact(5).unwrap(), "above threshold");
         assert_eq!(s.appended_records(), 0, "counter reset");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn append_batch_round_trips_and_counts_records() {
+        let dir = tmpdir("batch");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append_batch(&[]).unwrap();
+            s.append_batch(&[(StripeId(1), PersistEvent::OrdTs(ts(3)))])
+                .unwrap();
+            s.append_batch(&[
+                (StripeId(1), PersistEvent::Entry(ts(3), data(1))),
+                (StripeId(2), PersistEvent::OrdTs(ts(4))),
+                (StripeId(2), PersistEvent::Entry(ts(4), BlockValue::Nil)),
+            ])
+            .unwrap();
+            assert_eq!(s.appended_records(), 4, "logical records, not writes");
+        }
+        let s = BrickStore::open(&path).unwrap();
+        assert_eq!(s.appended_records(), 4, "replay counts logical records");
+        assert_eq!(s.stripe(StripeId(1)).unwrap().ord_ts, ts(3));
+        assert_eq!(s.stripe(StripeId(1)).unwrap().log.entry_at(ts(3)), Some(&data(1)));
+        assert_eq!(s.stripe(StripeId(2)).unwrap().ord_ts, ts(4));
+        assert_eq!(
+            s.stripe(StripeId(2)).unwrap().log.entry_at(ts(4)),
+            Some(&BlockValue::Nil)
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_batch_is_all_or_nothing() {
+        let dir = tmpdir("tornbatch");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append(StripeId(0), &PersistEvent::Entry(ts(1), data(9)))
+                .unwrap();
+            s.append_batch(&[
+                (StripeId(0), PersistEvent::Entry(ts(2), data(2))),
+                (StripeId(0), PersistEvent::Entry(ts(3), data(3))),
+                (StripeId(0), PersistEvent::Entry(ts(4), data(4))),
+            ])
+            .unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Tear the batch record anywhere — even one byte short — and the
+        // whole batch must vanish, never a prefix of it.
+        for cut in [1u64, 10, 25, 40] {
+            let dst = dir.join(format!("cut{cut}.log"));
+            std::fs::copy(&path, &dst).unwrap();
+            let f = OpenOptions::new().write(true).open(&dst).unwrap();
+            f.set_len(full - cut).unwrap();
+            drop(f);
+            let s = BrickStore::open(&dst).unwrap();
+            let st = s.stripe(StripeId(0)).unwrap();
+            assert_eq!(st.log.entry_at(ts(1)), Some(&data(9)), "pre-batch kept");
+            for t in [2u64, 3, 4] {
+                assert_eq!(
+                    st.log.entry_at(ts(t)),
+                    None,
+                    "cut={cut}: batched record ts={t} must not survive a torn batch"
+                );
+            }
+        }
+        // Untouched file: the whole batch is visible.
+        let s = BrickStore::open(&path).unwrap();
+        let st = s.stripe(StripeId(0)).unwrap();
+        for t in [2u64, 3, 4] {
+            assert!(st.log.entry_at(ts(t)).is_some(), "intact batch replays");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_batch_interior_rejects_whole_batch() {
+        let dir = tmpdir("corruptbatch");
+        let path = dir.join("brick.log");
+        {
+            let mut s = BrickStore::open(&path).unwrap();
+            s.append_batch(&[
+                (StripeId(0), PersistEvent::Entry(ts(2), data(2))),
+                (StripeId(0), PersistEvent::Entry(ts(3), data(3))),
+            ])
+            .unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a byte inside the FIRST sub-record: with per-record framing
+        // the second record would survive; with a batch CRC nothing does.
+        let mid = 8 + 21 + 8;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let s = BrickStore::open(&path).unwrap();
+        assert!(s.stripe(StripeId(0)).is_none(), "whole batch rejected");
         std::fs::remove_dir_all(dir).ok();
     }
 

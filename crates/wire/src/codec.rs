@@ -18,7 +18,7 @@
 //! (enforced by `cargo xtask analyze` L1/L1b over this file).
 
 use crate::error::WireError;
-use crate::frame::{encode_frame, split_frame, FrameKind};
+use crate::frame::{split_frame, FrameBuilder, FrameKind};
 use bytes::Bytes;
 use fab_core::{
     AbortReason, BlockTarget, BlockUpdate, BlockValue, Envelope, ModifyPayload, OpResult, Payload,
@@ -340,23 +340,27 @@ fn put_reply(out: &mut Vec<u8>, r: &Reply) {
     }
 }
 
+fn put_peer_body(out: &mut Vec<u8>, from: ProcessId, env: &Envelope) {
+    put_pid(out, from);
+    put_u64(out, env.stripe.0);
+    put_u64(out, env.round);
+    match &env.kind {
+        Payload::Request(r) => {
+            put_u8(out, 0);
+            put_request(out, r);
+        }
+        Payload::Reply(r) => {
+            put_u8(out, 1);
+            put_reply(out, r);
+        }
+    }
+}
+
 /// Encodes an envelope (with its sender) into a Peer frame body.
 #[must_use]
 pub fn encode_peer_body(from: ProcessId, env: &Envelope) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
-    put_pid(&mut out, from);
-    put_u64(&mut out, env.stripe.0);
-    put_u64(&mut out, env.round);
-    match &env.kind {
-        Payload::Request(r) => {
-            put_u8(&mut out, 0);
-            put_request(&mut out, r);
-        }
-        Payload::Reply(r) => {
-            put_u8(&mut out, 1);
-            put_reply(&mut out, r);
-        }
-    }
+    put_peer_body(&mut out, from, env);
     out
 }
 
@@ -454,29 +458,30 @@ fn put_op_result(out: &mut Vec<u8>, r: &OpResult) {
     }
 }
 
+fn put_client_request_body(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
+    put_u64(out, id);
+    put_client_op(out, op);
+}
+
 /// Encodes a client request into a ClientRequest frame body.
 #[must_use]
 pub fn encode_client_request_body(id: u64, op: &ClientOp) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
-    put_u64(&mut out, id);
-    put_client_op(&mut out, op);
+    put_client_request_body(&mut out, id, op);
     out
 }
 
-/// Encodes a client reply into a ClientReply frame body.
-#[must_use]
-pub fn encode_client_reply_body(id: u64, result: &Result<OpResult, ClientError>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32);
-    put_u64(&mut out, id);
+fn put_client_reply_body(out: &mut Vec<u8>, id: u64, result: &Result<OpResult, ClientError>) {
+    put_u64(out, id);
     match result {
         Ok(r) => {
-            put_u8(&mut out, 0);
-            put_op_result(&mut out, r);
+            put_u8(out, 0);
+            put_op_result(out, r);
         }
         Err(e) => {
-            put_u8(&mut out, 1);
+            put_u8(out, 1);
             put_u8(
-                &mut out,
+                out,
                 match e {
                     ClientError::InvalidRequest => 0,
                     ClientError::Unavailable => 1,
@@ -486,18 +491,63 @@ pub fn encode_client_reply_body(id: u64, result: &Result<OpResult, ClientError>)
             );
         }
     }
+}
+
+/// Encodes a client reply into a ClientReply frame body.
+#[must_use]
+pub fn encode_client_reply_body(id: u64, result: &Result<OpResult, ClientError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_client_reply_body(&mut out, id, result);
     out
 }
 
 /// Encodes a full frame (header + body) for any message.
 #[must_use]
 pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let body = match msg {
-        Message::Peer { from, env } => encode_peer_body(*from, env),
-        Message::ClientRequest { id, op } => encode_client_request_body(*id, op),
-        Message::ClientReply { id, result } => encode_client_reply_body(*id, result),
-    };
-    encode_frame(msg.kind(), &body)
+    let mut out = Vec::new();
+    encode_message_into(msg, &mut out);
+    out
+}
+
+/// Appends a complete Peer frame (header + body) to `out` with no
+/// intermediate allocation: the body is serialized straight into the
+/// caller's buffer behind a reserved header that is patched afterwards.
+///
+/// Byte-identical to `encode_frame(FrameKind::Peer, &encode_peer_body(..))`
+/// appended at `out`'s current tail.
+pub fn encode_peer_message_into(from: ProcessId, env: &Envelope, out: &mut Vec<u8>) {
+    let frame = FrameBuilder::begin(out);
+    put_peer_body(out, from, env);
+    frame.finish(FrameKind::Peer, out);
+}
+
+/// Appends a complete ClientRequest frame to `out` without allocating.
+pub fn encode_client_request_into(id: u64, op: &ClientOp, out: &mut Vec<u8>) {
+    let frame = FrameBuilder::begin(out);
+    put_client_request_body(out, id, op);
+    frame.finish(FrameKind::ClientRequest, out);
+}
+
+/// Appends a complete ClientReply frame to `out` without allocating.
+pub fn encode_client_reply_into(
+    id: u64,
+    result: &Result<OpResult, ClientError>,
+    out: &mut Vec<u8>,
+) {
+    let frame = FrameBuilder::begin(out);
+    put_client_reply_body(out, id, result);
+    frame.finish(FrameKind::ClientReply, out);
+}
+
+/// Appends a complete frame for any message to `out` without allocating.
+///
+/// Byte-identical to [`encode_message`] appended at `out`'s current tail.
+pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Peer { from, env } => encode_peer_message_into(*from, env, out),
+        Message::ClientRequest { id, op } => encode_client_request_into(*id, op, out),
+        Message::ClientReply { id, result } => encode_client_reply_into(*id, result, out),
+    }
 }
 
 // -------------------------------------------------------------- decoding --
@@ -1075,6 +1125,73 @@ mod tests {
             Err(WireError::TrailingBytes { remaining: 1 })
         );
         round_trip(&msg);
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_and_prefix_preserving() {
+        let msgs = [
+            Message::Peer {
+                from: ProcessId::new(7),
+                env: Envelope {
+                    stripe: StripeId(42),
+                    round: 9000,
+                    kind: Payload::Reply(Reply::OrderReadR {
+                        status: false,
+                        lts: ts(3),
+                        block: Some(BlockValue::Data(Bytes::from_static(b"blk"))),
+                        seen: Timestamp::HIGH,
+                    }),
+                },
+            },
+            Message::ClientRequest {
+                id: 11,
+                op: ClientOp::WriteStripe {
+                    stripe: StripeId(2),
+                    blocks: vec![Bytes::from_static(b"aaaa"), Bytes::from_static(b"bb")],
+                },
+            },
+            Message::ClientReply {
+                id: 12,
+                result: Ok(OpResult::Blocks(vec![BlockValue::Nil, BlockValue::Bottom])),
+            },
+            Message::ClientReply {
+                id: 13,
+                result: Err(ClientError::Unavailable),
+            },
+        ];
+        let mut buf = vec![0xEE, 0xFF]; // pre-existing prefix must survive
+        let mut at = buf.len();
+        for msg in &msgs {
+            encode_message_into(msg, &mut buf);
+            let one = encode_message(msg);
+            assert_eq!(&buf[at..], &one[..], "encode_into diverged for {msg:?}");
+            at = buf.len();
+        }
+        assert_eq!(&buf[..2], &[0xEE, 0xFF]);
+        // The concatenated buffer decodes back message by message.
+        let mut rest = &buf[2..];
+        for msg in &msgs {
+            let (back, used) = decode_message(rest).expect("decode concatenated");
+            assert_eq!(&back, msg);
+            rest = &rest[used..];
+        }
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn body_encoders_match_their_into_frames() {
+        let env = Envelope {
+            stripe: StripeId(1),
+            round: 2,
+            kind: Payload::Request(Request::Gc { up_to: ts(9) }),
+        };
+        let mut framed = Vec::new();
+        encode_peer_message_into(ProcessId::new(4), &env, &mut framed);
+        let body = encode_peer_body(ProcessId::new(4), &env);
+        assert_eq!(
+            framed,
+            crate::frame::encode_frame(FrameKind::Peer, &body)
+        );
     }
 
     #[test]

@@ -177,6 +177,57 @@ pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Appends one frame (header + body) for `body` under `kind` to `out`
+/// without allocating: the caller owns (and reuses) the buffer.
+///
+/// Byte-identical to [`encode_frame`] appended at `out`'s current tail.
+pub fn encode_frame_into(kind: FrameKind, body: &[u8], out: &mut Vec<u8>) {
+    let header = FrameHeader::for_body(kind, body);
+    out.reserve(HEADER_LEN + body.len());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(body);
+}
+
+/// Builds a frame directly inside a caller-owned buffer, skipping the
+/// intermediate body allocation: reserve the header, append the body bytes
+/// straight into the buffer, then patch the header in place.
+///
+/// ```
+/// use fab_wire::{FrameBuilder, FrameKind, encode_frame};
+/// let mut buf = Vec::new();
+/// let frame = FrameBuilder::begin(&mut buf);
+/// buf.extend_from_slice(b"payload");
+/// frame.finish(FrameKind::Peer, &mut buf);
+/// assert_eq!(buf, encode_frame(FrameKind::Peer, b"payload"));
+/// ```
+#[derive(Debug)]
+#[must_use = "an unfinished frame leaves a zeroed header in the buffer"]
+pub struct FrameBuilder {
+    /// Offset of the reserved header within the output buffer.
+    start: usize,
+}
+
+impl FrameBuilder {
+    /// Reserves header space at the current tail of `out`. All bytes the
+    /// caller appends afterwards (until [`FrameBuilder::finish`]) form the
+    /// frame body.
+    pub fn begin(out: &mut Vec<u8>) -> FrameBuilder {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; HEADER_LEN]);
+        FrameBuilder { start }
+    }
+
+    /// Patches the reserved header so `out` ends with a complete, valid
+    /// frame of `kind` whose body is everything appended since
+    /// [`FrameBuilder::begin`].
+    pub fn finish(self, kind: FrameKind, out: &mut [u8]) {
+        debug_assert!(out.len() >= self.start + HEADER_LEN, "buffer shrank");
+        let body_start = self.start + HEADER_LEN;
+        let header = FrameHeader::for_body(kind, &out[body_start..]);
+        out[self.start..body_start].copy_from_slice(&header.encode());
+    }
+}
+
 /// Splits one frame off the front of `buf`.
 ///
 /// Returns the validated header, the body slice, and the total number of
@@ -210,6 +261,40 @@ pub fn split_frame(buf: &[u8]) -> Result<(FrameHeader, &[u8], usize), WireError>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn encode_frame_into_matches_encode_frame() {
+        let mut buf = vec![0xAA]; // prefix survives
+        encode_frame_into(FrameKind::ClientRequest, b"body-bytes", &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        assert_eq!(&buf[1..], &encode_frame(FrameKind::ClientRequest, b"body-bytes")[..]);
+    }
+
+    #[test]
+    fn frame_builder_patches_header_in_place() {
+        let mut buf = Vec::new();
+        for (i, kind) in [FrameKind::Peer, FrameKind::ClientReply].iter().enumerate() {
+            let frame = FrameBuilder::begin(&mut buf);
+            buf.extend_from_slice(&[i as u8; 7]);
+            frame.finish(*kind, &mut buf);
+        }
+        // Both frames parse back, in order, with intact CRCs.
+        let (h0, b0, used0) = split_frame(&buf).expect("first frame");
+        assert_eq!((h0.kind, b0), (FrameKind::Peer, &[0u8; 7][..]));
+        let (h1, b1, used1) = split_frame(&buf[used0..]).expect("second frame");
+        assert_eq!((h1.kind, b1), (FrameKind::ClientReply, &[1u8; 7][..]));
+        assert_eq!(used0 + used1, buf.len());
+        // And the builder output is byte-identical to the allocating path.
+        assert_eq!(&buf[..used0], &encode_frame(FrameKind::Peer, &[0u8; 7])[..]);
+    }
+
+    #[test]
+    fn frame_builder_empty_body() {
+        let mut buf = Vec::new();
+        let frame = FrameBuilder::begin(&mut buf);
+        frame.finish(FrameKind::Peer, &mut buf);
+        assert_eq!(buf, encode_frame(FrameKind::Peer, b""));
+    }
 
     #[test]
     fn header_round_trip() {

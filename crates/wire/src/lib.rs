@@ -57,10 +57,12 @@ pub mod frame;
 
 pub use codec::{
     decode_body, decode_client_reply_body, decode_client_request_body, decode_message,
-    decode_peer_body, encode_client_reply_body, encode_client_request_body, encode_message,
-    encode_peer_body, ClientError, ClientOp, Message,
+    decode_peer_body, encode_client_reply_body, encode_client_reply_into,
+    encode_client_request_body, encode_client_request_into, encode_message, encode_message_into,
+    encode_peer_body, encode_peer_message_into, ClientError, ClientOp, Message,
 };
 pub use error::WireError;
 pub use frame::{
-    encode_frame, split_frame, FrameHeader, FrameKind, HEADER_LEN, MAGIC, MAX_BODY_LEN, VERSION,
+    encode_frame, encode_frame_into, split_frame, FrameBuilder, FrameHeader, FrameKind,
+    HEADER_LEN, MAGIC, MAX_BODY_LEN, VERSION,
 };

@@ -17,7 +17,8 @@ use fab_core::{
 };
 use fab_timestamp::{ProcessId, Timestamp};
 use fab_wire::{
-    decode_message, encode_frame, encode_message, ClientError, ClientOp, Message, WireError,
+    decode_message, encode_frame, encode_frame_into, encode_message, encode_message_into,
+    ClientError, ClientOp, FrameBuilder, FrameKind, Message, WireError,
 };
 use proptest::prelude::*;
 
@@ -284,5 +285,66 @@ proptest! {
         };
         let frame = encode_frame(kind, &body);
         let _ = decode_message(&frame); // must return, Ok or Err
+    }
+
+    /// The zero-allocation append path is byte-identical to the allocating
+    /// encoder, and never disturbs bytes already in the buffer.
+    #[test]
+    fn encode_into_is_byte_identical(
+        msg in arb_message(),
+        prefix in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut buf = prefix.clone();
+        encode_message_into(&msg, &mut buf);
+        let alone = encode_message(&msg);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &alone[..]);
+    }
+
+    /// encode_frame_into and FrameBuilder both match encode_frame for any
+    /// body, including when the builder's body is appended piecewise.
+    #[test]
+    fn frame_builder_matches_encode_frame(
+        kind in 0u16..3,
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        split in any::<usize>(),
+    ) {
+        let kind = match kind {
+            0 => FrameKind::Peer,
+            1 => FrameKind::ClientRequest,
+            _ => FrameKind::ClientReply,
+        };
+        let reference = encode_frame(kind, &body);
+
+        let mut via_into = Vec::new();
+        encode_frame_into(kind, &body, &mut via_into);
+        prop_assert_eq!(&via_into[..], &reference[..]);
+
+        let mut via_builder = Vec::new();
+        let frame = FrameBuilder::begin(&mut via_builder);
+        let cut = split % (body.len() + 1);
+        via_builder.extend_from_slice(&body[..cut]);
+        via_builder.extend_from_slice(&body[cut..]);
+        frame.finish(kind, &mut via_builder);
+        prop_assert_eq!(&via_builder[..], &reference[..]);
+    }
+
+    /// Back-to-back frames built with the `_into` encoders into ONE reused
+    /// buffer stream-decode exactly like individually allocated frames.
+    #[test]
+    fn reused_buffer_streams_decode(
+        msgs in proptest::collection::vec(arb_message(), 1..4)
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_message_into(m, &mut stream);
+        }
+        let mut at = 0;
+        for m in &msgs {
+            let (back, used) = decode_message(&stream[at..]).expect("frame boundary");
+            prop_assert_eq!(&back, m);
+            at += used;
+        }
+        prop_assert_eq!(at, stream.len());
     }
 }

@@ -20,6 +20,10 @@
 #                               gate), plus the sim-vs-sockets differential
 #                               test (the 50k sweep and mutation smoke live in
 #                               tools/nightly.sh; see TESTING.md)
+#   8. e2e throughput smoke   — bounded n=5/m=3 durable-write run asserting
+#                               group commit is at least as fast as
+#                               per-record fsync (regression tripwire for
+#                               the commit pipeline, not a benchmark)
 #
 # Optional: when `cargo-llvm-cov` is installed, COVERAGE=1 ./tools/ci.sh
 # appends a line-coverage summary after the gates (informational, non-gating).
@@ -50,6 +54,12 @@ run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored
 run cargo xtask torture --runs 500 --seed-base fixed --check-determinism \
     --bench-out target/BENCH_torture_ci.json
 run timeout 300 cargo test -q -p fab-torture --lib differential -- --ignored
+
+# Stage 8: end-to-end durable-write smoke. One bounded data point per commit
+# mode over real loopback TCP; exits non-zero if group commit ever loses to
+# per-record fsync. The full sweep that regenerates BENCH_e2e.json is run
+# manually (`cargo run --release -p fab-bench --bin e2e_throughput`).
+run timeout 300 cargo run --release -p fab-bench --bin e2e_throughput -- --smoke
 
 # Informational line-coverage summary (requires `cargo llvm-cov`; opt-in so
 # the default gate stays fast and works in toolchains without the component).

@@ -133,6 +133,14 @@ fn untrusted_input(p: &str) -> bool {
         || p == "crates/net/src/server.rs"
 }
 
+/// The committer thread owns the only handle to a brick's durable log; a
+/// panic there ends durability for the whole brick. The pipeline fences on
+/// failure, but the discipline is the same as for protocol code: typed
+/// errors, never panics.
+fn commit_pipeline(p: &str) -> bool {
+    p == "crates/store/src/commit.rs"
+}
+
 // ---------------------------------------------------------------- helpers --
 
 fn push(
@@ -178,7 +186,11 @@ fn next_token_byte(text: &str, mut off: usize) -> Option<(usize, u8)> {
 // ---------------------------------------------------------------- L1 -------
 
 fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !(in_core(&file.path) || in_simnet(&file.path) || untrusted_input(&file.path)) {
+    if !(in_core(&file.path)
+        || in_simnet(&file.path)
+        || untrusted_input(&file.path)
+        || commit_pipeline(&file.path))
+    {
         return;
     }
     for mac in ["panic", "unreachable", "todo", "unimplemented"] {
@@ -237,6 +249,7 @@ fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             | "crates/wire/src/frame.rs"
             | "crates/net/src/transport.rs"
             | "crates/net/src/server.rs"
+            | "crates/store/src/commit.rs"
     );
     if !scoped {
         return;
@@ -601,10 +614,13 @@ fn decode_frame(buf: &[u8]) -> Message {
     parse(buf).expect(\"valid body\")
 }
 ";
+        // The commit pipeline is held to the same bar: a panicking
+        // committer thread silently ends a brick's durability.
         for path in [
             "crates/wire/src/frame.rs",
             "crates/net/src/transport.rs",
             "crates/net/src/server.rs",
+            "crates/store/src/commit.rs",
         ] {
             let d = run_lint("no-panic", path, src);
             assert_eq!(d.len(), 3, "{path}: {d:?}");
@@ -644,6 +660,11 @@ fn decode_peer_body(body: &[u8]) -> Result<Envelope, WireError> {
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].msg.contains("decode_peer_body"));
         assert!(run_lint("no-untrusted-index", "crates/wire/src/error.rs", src).is_empty());
+
+        // The commit pipeline replays logged bytes through the same shapes;
+        // its handler/decoder-named fns carry the indexing discipline too.
+        let d = run_lint("no-untrusted-index", "crates/store/src/commit.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
 
         // `read_*` socket paths in fab-net are decoders too.
         let net = "\
