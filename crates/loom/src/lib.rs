@@ -1,0 +1,84 @@
+//! Minimal deterministic model checker for small concurrent tests.
+//!
+//! This crate is an API-compatible subset of the well-known `loom` crate,
+//! reimplemented from scratch with zero dependencies so the workspace can
+//! model-check its concurrency primitives in hermetic CI images (no
+//! registry access). Code under test swaps `std::sync::mpsc` /
+//! `std::sync::Mutex` / `std::thread` for the types in [`sync`] and
+//! [`thread`] behind `--cfg loom` (see the `sys` modules in `fab-store`
+//! and `fab-net`), and tests wrap their body in [`model`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let h = loom::thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! # How it works
+//!
+//! [`model`] runs the closure repeatedly, once per distinct thread
+//! interleaving, until the depth-first search over scheduling decisions is
+//! exhausted. Within one execution all threads are real OS threads but run
+//! fully **serialized**: a scheduler hands a single run token from thread
+//! to thread, and every visible operation (channel send/recv, mutex
+//! lock/unlock, spawn, join) is a *decision point* where the scheduler
+//! picks which runnable thread goes next. The decisions taken are recorded
+//! on a tape; after each execution the last non-exhausted decision is
+//! advanced and the prefix replayed, enumerating every schedule.
+//!
+//! Because execution is serialized, exploration is **sequentially
+//! consistent**: unlike the real `loom`, weak-memory reorderings of
+//! `Relaxed`/`Acquire`/`Release` atomics are not modeled. What *is*
+//! covered exhaustively — and what the workspace's suites assert — is the
+//! ordering of channel messages, lock acquisitions, fsync-to-callback
+//! sequencing, and thread lifecycles.
+//!
+//! # Guarantees checked for free
+//!
+//! * **Deadlock**: if every live thread is blocked, the model panics with
+//!   a per-thread trace instead of hanging.
+//! * **Poisoning**: the [`sync::Mutex`] wrapper delegates to
+//!   `std::sync::Mutex`, so lock poisoning on panic behaves exactly as in
+//!   production.
+//! * **Divergence**: exploration is capped at [`MAX_EXECUTIONS`] schedules;
+//!   exceeding the cap fails the test rather than spinning forever.
+//!
+//! Outside [`model`] every wrapper type degrades to plain `std` behavior,
+//! so a crate compiled with `--cfg loom` still runs its ordinary unit
+//! tests correctly.
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+/// Upper bound on distinct schedules explored by one [`model`] call.
+/// Generous for the intended test sizes (2–3 threads, a handful of sync
+/// operations each); hitting it means the test is too big to check
+/// exhaustively and should be shrunk.
+pub const MAX_EXECUTIONS: usize = 200_000;
+
+/// Exhaustively explores every thread interleaving of `f`.
+///
+/// `f` is executed once per distinct schedule; any panic or assertion
+/// failure inside it is re-raised from the schedule that triggered it
+/// (deterministically reproducible, since exploration is a depth-first
+/// search with no randomness).
+///
+/// # Panics
+///
+/// Propagates panics from `f`; panics on deadlock (all threads blocked)
+/// and when [`MAX_EXECUTIONS`] is exceeded.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    scheduler::explore(std::sync::Arc::new(f));
+}

@@ -1,0 +1,431 @@
+//! The serializing scheduler behind [`crate::model`].
+//!
+//! One execution = one set of real OS threads sharing a single run token.
+//! Threads run only while they hold the token; they hand it over at
+//! *decision points* (every visible sync operation), where the scheduler
+//! consults a decision tape: replaying the prefix of the previous
+//! execution, then extending it first-choice-first. [`explore`] drives the
+//! depth-first search over tapes.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
+
+/// Payload used to unwind threads out of an execution being torn down
+/// (deadlock detected, or a sibling thread failed). Never surfaces to the
+/// user: the panic hook swallows it and [`explore`] reports the real cause.
+pub(crate) struct Abort;
+
+/// One recorded scheduling decision: which of `choices` runnable threads
+/// was handed the token.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub chosen: usize,
+    pub choices: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Waiting for [`Scheduler::wake`] on this resource id.
+    Blocked(u64),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Run,
+    /// Resource id joiners block on; woken when this thread finishes.
+    exit: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    threads: Vec<Slot>,
+    current: usize,
+    tape: Vec<Decision>,
+    cursor: usize,
+    abort: bool,
+    deadlock: Option<String>,
+    /// Registered threads that have not finished.
+    active: usize,
+}
+
+/// Shared between every thread of one execution.
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// OS handles of spawned (non-root) threads, joined at execution end.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and thread id of the calling thread, if it is running
+/// inside a [`crate::model`] execution.
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Process-wide resource id allocator (channels, mutexes, thread exits).
+/// Ids only need to be unique, never dense or reproducible.
+static NEXT_RES: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_res() -> u64 {
+    NEXT_RES.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Swallows [`Abort`] unwinds (execution teardown, not failures) so they
+/// do not spam stderr; everything else goes to the previous hook.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Abort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Scheduler {
+    fn new(tape: Vec<Decision>) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                current: 0,
+                tape,
+                cursor: 0,
+                abort: false,
+                deadlock: None,
+                active: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a thread; the root (tid 0) starts holding the token.
+    pub(crate) fn register(&self) -> (usize, u64) {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        let exit = next_res();
+        st.threads.push(Slot {
+            state: Run::Runnable,
+            exit,
+        });
+        st.active += 1;
+        (tid, exit)
+    }
+
+    /// Rolls back a registration whose OS thread failed to spawn.
+    pub(crate) fn deregister(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].state = Run::Finished;
+        st.active -= 1;
+    }
+
+    pub(crate) fn stash_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock().threads[tid].state == Run::Finished
+    }
+
+    /// Picks the next token holder among runnable threads, consulting the
+    /// tape. Returns `None` if nothing is runnable. Must be called with
+    /// the state lock held (hence `&mut State`).
+    fn pick(st: &mut State) -> Option<usize> {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        let d = if st.cursor < st.tape.len() {
+            st.tape[st.cursor]
+        } else {
+            let d = Decision {
+                chosen: 0,
+                choices: runnable.len(),
+            };
+            st.tape.push(d);
+            d
+        };
+        st.cursor += 1;
+        Some(runnable[d.chosen.min(runnable.len() - 1)])
+    }
+
+    /// Parks the calling thread until it holds the token and is runnable.
+    /// Unwinds with [`Abort`] if the execution is being torn down.
+    fn wait_turn(&self, mut st: std::sync::MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.current == me && st.threads[me].state == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// First wait of a freshly spawned thread: parks until scheduled.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let st = self.lock();
+        self.wait_turn(st, me);
+    }
+
+    /// A decision point: hand the token to any runnable thread (possibly
+    /// the caller again) and park until it comes back.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        match Self::pick(&mut st) {
+            Some(next) => st.current = next,
+            None => unreachable!("caller is runnable"),
+        }
+        self.cv.notify_all();
+        self.wait_turn(st, me);
+    }
+
+    /// Blocks the calling thread on `res` until [`Scheduler::wake`]. If no
+    /// other thread is runnable, the execution has deadlocked.
+    pub(crate) fn block_on(&self, me: usize, res: u64) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[me].state = Run::Blocked(res);
+        match Self::pick(&mut st) {
+            Some(next) => {
+                st.current = next;
+                self.cv.notify_all();
+                self.wait_turn(st, me);
+            }
+            None => {
+                st.deadlock = Some(Self::trace(&st));
+                st.abort = true;
+                drop(st);
+                self.cv.notify_all();
+                std::panic::panic_any(Abort);
+            }
+        }
+    }
+
+    /// Makes every thread blocked on `res` runnable again (they still wait
+    /// for the token).
+    pub(crate) fn wake(&self, res: u64) {
+        let mut st = self.lock();
+        for s in &mut st.threads {
+            if s.state == Run::Blocked(res) {
+                s.state = Run::Runnable;
+            }
+        }
+    }
+
+    /// Marks the calling thread finished, wakes its joiners, and passes
+    /// the token on.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].state = Run::Finished;
+        st.active -= 1;
+        let exit = st.threads[me].exit;
+        for s in &mut st.threads {
+            if s.state == Run::Blocked(exit) {
+                s.state = Run::Runnable;
+            }
+        }
+        if st.active == 0 || st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        match Self::pick(&mut st) {
+            Some(next) => st.current = next,
+            None => {
+                // Everyone left is blocked and nobody can wake them.
+                st.deadlock = Some(Self::trace(&st));
+                st.abort = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn trace(st: &State) -> String {
+        st.threads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s.state {
+                Run::Runnable => format!("thread {i}: runnable"),
+                Run::Blocked(r) => format!("thread {i}: blocked on resource {r}"),
+                Run::Finished => format!("thread {i}: finished"),
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    fn wait_all_done(&self) {
+        let mut st = self.lock();
+        while st.active > 0 {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Where a model thread's return value (or panic payload) is stashed for
+/// its joiner.
+pub(crate) type ResultSlot<T> = Arc<Mutex<Option<Result<T, Box<dyn Any + Send>>>>>;
+
+/// Registers a child thread and spawns its serialized OS thread. Returns
+/// the child tid and exit resource for `JoinHandle`.
+pub(crate) fn spawn_child<T, F>(
+    sched: &Arc<Scheduler>,
+    parent: usize,
+    name: Option<String>,
+    f: F,
+) -> std::io::Result<(usize, u64, ResultSlot<T>)>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (tid, exit) = sched.register();
+    let slot: ResultSlot<T> = Arc::new(Mutex::new(None));
+    let mut builder = std::thread::Builder::new();
+    if let Some(n) = name {
+        builder = builder.name(n);
+    }
+    let os = {
+        let sched = Arc::clone(sched);
+        let slot = Arc::clone(&slot);
+        builder.spawn(move || {
+            set_ctx(Arc::clone(&sched), tid);
+            sched.wait_first(tid);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            let aborted = matches!(&r, Err(p) if p.downcast_ref::<Abort>().is_some());
+            if !aborted {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            }
+            sched.finish(tid);
+            clear_ctx();
+        })
+    };
+    match os {
+        Ok(h) => {
+            sched.stash_handle(h);
+            // Spawning is itself a visible event: the child may or may not
+            // run before the parent's next step.
+            sched.yield_point(parent);
+            Ok((tid, exit, slot))
+        }
+        Err(e) => {
+            sched.deregister(tid);
+            Err(e)
+        }
+    }
+}
+
+/// Drives the depth-first search over schedules. See [`crate::model`].
+/// (`f` is shared by value: every execution's root thread gets a clone.)
+#[allow(clippy::needless_pass_by_value)]
+pub(crate) fn explore(f: Arc<dyn Fn() + Send + Sync>) {
+    install_panic_hook();
+    let mut tape: Vec<Decision> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= crate::MAX_EXECUTIONS,
+            "loom: exceeded {} schedules; shrink the test",
+            crate::MAX_EXECUTIONS
+        );
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut tape)));
+        let (root, _) = sched.register();
+        debug_assert_eq!(root, 0);
+        let slot: ResultSlot<()> = Arc::new(Mutex::new(None));
+        let os = {
+            let sched = Arc::clone(&sched);
+            let f = Arc::clone(&f);
+            let slot = Arc::clone(&slot);
+            std::thread::Builder::new()
+                .name("loom-root".into())
+                .spawn(move || {
+                    set_ctx(Arc::clone(&sched), 0);
+                    sched.wait_first(0);
+                    let r = catch_unwind(AssertUnwindSafe(|| f()));
+                    let aborted =
+                        matches!(&r, Err(p) if p.downcast_ref::<Abort>().is_some());
+                    if !aborted {
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    }
+                    sched.finish(0);
+                    clear_ctx();
+                })
+                .expect("spawn loom root thread")
+        };
+        sched.wait_all_done();
+        let _ = os.join();
+        for h in sched
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let st = sched.lock();
+        let root_result = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(Err(p)) = root_result {
+            resume_unwind(p);
+        }
+        if let Some(msg) = &st.deadlock {
+            panic!("loom: deadlock detected after {executions} schedule(s): {msg}");
+        }
+        // Advance to the next unexplored schedule: drop exhausted suffix
+        // decisions, bump the last one left.
+        let mut t = st.tape.clone();
+        drop(st);
+        loop {
+            match t.last_mut() {
+                None => return, // every schedule explored
+                Some(d) if d.chosen + 1 < d.choices => {
+                    d.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    t.pop();
+                }
+            }
+        }
+        tape = t;
+    }
+}

@@ -1,0 +1,218 @@
+//! `std::sync`-shaped primitives that become scheduler decision points
+//! inside [`crate::model`] and degrade to plain `std` behavior outside it.
+//!
+//! Error types are re-used from `std` (`PoisonError`, `SendError`,
+//! `RecvError`, …) so code generic over both worlds needs no mapping.
+
+use crate::scheduler::{ctx, next_res};
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+pub use std::sync::atomic;
+pub use std::sync::Arc;
+
+/// Model-aware [`std::sync::Mutex`]: acquisition is a decision point, a
+/// contended lock blocks in the scheduler (never the OS), and poisoning
+/// delegates to the wrapped `std` mutex so panic semantics match
+/// production exactly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    res: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            res: next_res(),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex; see [`std::sync::Mutex::lock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoisonError`] (holding the guard) if another thread
+    /// panicked while holding this mutex.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, me)) = ctx() {
+            loop {
+                sched.yield_point(me);
+                match self.inner.try_lock() {
+                    Ok(g) => {
+                        return Ok(MutexGuard {
+                            inner: Some(g),
+                            res: self.res,
+                        })
+                    }
+                    Err(TryLockError::Poisoned(p)) => {
+                        return Err(PoisonError::new(MutexGuard {
+                            inner: Some(p.into_inner()),
+                            res: self.res,
+                        }))
+                    }
+                    Err(TryLockError::WouldBlock) => sched.block_on(me, self.res),
+                }
+            }
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    res: self.res,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    res: self.res,
+                })),
+            }
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it wakes scheduler-blocked
+/// waiters.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    res: u64,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first, *then* wake waiters — the other
+        // order would wake them into a still-held lock.
+        self.inner = None;
+        if let Some((sched, _)) = ctx() {
+            sched.wake(self.res);
+        }
+    }
+}
+
+/// Model-aware [`std::sync::mpsc`] (unbounded channels only).
+pub mod mpsc {
+    use crate::scheduler::{ctx, next_res};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// An unbounded channel; see [`std::sync::mpsc::channel`].
+    #[must_use]
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let res = next_res();
+        (
+            Sender {
+                inner: Some(tx),
+                res,
+            },
+            Receiver { inner: rx, res },
+        )
+    }
+
+    /// Sending half; see [`std::sync::mpsc::Sender`].
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        /// `Option` so `Drop` can release the std sender *before* waking
+        /// the receiver (which must observe the disconnect).
+        inner: Option<std::sync::mpsc::Sender<T>>,
+        res: u64,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                res: self.res,
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `t`; see [`std::sync::mpsc::Sender::send`].
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let c = ctx();
+            if let Some((sched, me)) = &c {
+                sched.yield_point(*me);
+            }
+            let r = self.inner.as_ref().expect("sender live until drop").send(t);
+            if let Some((sched, _)) = &c {
+                sched.wake(self.res);
+            }
+            r
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            if let Some((sched, _)) = ctx() {
+                // Possibly the last sender: a blocked receiver must wake
+                // to observe the disconnect.
+                sched.wake(self.res);
+            }
+        }
+    }
+
+    /// Receiving half; see [`std::sync::mpsc::Receiver`].
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+        res: u64,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks (in the scheduler) for the next value; see
+        /// [`std::sync::mpsc::Receiver::recv`].
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once every sender is gone and the queue
+        /// is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let Some((sched, me)) = ctx() else {
+                return self.inner.recv();
+            };
+            loop {
+                sched.yield_point(me);
+                match self.inner.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => sched.block_on(me, self.res),
+                }
+            }
+        }
+
+        /// Non-blocking receive; see
+        /// [`std::sync::mpsc::Receiver::try_recv`].
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] if no value is queued,
+        /// [`TryRecvError::Disconnected`] if every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if let Some((sched, me)) = ctx() {
+                sched.yield_point(me);
+            }
+            self.inner.try_recv()
+        }
+    }
+}

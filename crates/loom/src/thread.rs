@@ -1,0 +1,127 @@
+//! `std::thread`-shaped API whose threads participate in the model
+//! scheduler when called inside [`crate::model`], and fall through to real
+//! `std::thread` otherwise.
+
+use crate::scheduler::{self, ctx, ResultSlot, Scheduler};
+use std::any::Any;
+use std::sync::{Arc, PoisonError};
+
+/// See [`std::thread::Result`].
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        tid: usize,
+        exit: u64,
+        slot: ResultSlot<T>,
+    },
+}
+
+/// Owned handle to join a spawned thread (model-aware
+/// [`std::thread::JoinHandle`] equivalent).
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Inner::Std(_) => f.write_str("JoinHandle(std)"),
+            Inner::Model { tid, .. } => write!(f, "JoinHandle(model thread {tid})"),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its value or the panic
+    /// payload, exactly like [`std::thread::JoinHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked.
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model {
+                sched,
+                tid,
+                exit,
+                slot,
+            } => {
+                let me = ctx().map_or(0, |(_, me)| me);
+                loop {
+                    sched.yield_point(me);
+                    if sched.is_finished(tid) {
+                        break;
+                    }
+                    sched.block_on(me, exit);
+                }
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(r) => r,
+                    // The joined thread was unwound during teardown and
+                    // never produced a value; teardown is already failing
+                    // the model, so any payload will do.
+                    None => Err(Box::new("loom: thread aborted")),
+                }
+            }
+        }
+    }
+}
+
+/// Model-aware [`std::thread::Builder`] equivalent (only `name` is
+/// supported).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with no name set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names the thread (visible in panic messages and debuggers).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the thread could not be created.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((sched, me)) = ctx() {
+            let (tid, exit, slot) = scheduler::spawn_child(&sched, me, self.name, f)?;
+            Ok(JoinHandle(Inner::Model {
+                sched,
+                tid,
+                exit,
+                slot,
+            }))
+        } else {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = self.name {
+                b = b.name(n);
+            }
+            b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+        }
+    }
+}
+
+/// Spawns a thread; see [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}

@@ -1,0 +1,130 @@
+//! Self-tests for the mini model checker: exploration actually enumerates
+//! distinct schedules, the wrappers keep their `std` semantics, and the
+//! failure modes (deadlock, child panic) surface as panics rather than
+//! hangs.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+#[test]
+fn explores_both_orders_of_a_spawned_thread() {
+    // The only decision point is the spawn itself: the child either runs
+    // to completion before the root's read, or after it. Exhaustive
+    // exploration must observe both outcomes.
+    let seen: Arc<StdMutex<HashSet<bool>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let seen2 = Arc::clone(&seen);
+    loom::model(move || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = loom::thread::spawn(move || f2.store(true, Ordering::SeqCst));
+        let observed = flag.load(Ordering::SeqCst);
+        h.join().unwrap();
+        assert!(flag.load(Ordering::SeqCst), "join is a happens-before edge");
+        seen2.lock().unwrap().insert(observed);
+    });
+    assert_eq!(
+        *seen.lock().unwrap(),
+        HashSet::from([false, true]),
+        "model() must explore both sides of the spawn race"
+    );
+}
+
+#[test]
+fn mutex_excludes_and_final_count_is_exact() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let runs2 = Arc::clone(&runs);
+    loom::model(move || {
+        runs2.fetch_add(1, Ordering::SeqCst);
+        let n = Arc::new(loom::sync::Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let h = loom::thread::spawn(move || {
+            let mut g = n2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = n.lock().unwrap();
+            *g += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(
+        runs.load(Ordering::SeqCst) > 1,
+        "two contending threads must produce more than one schedule"
+    );
+}
+
+#[test]
+fn channel_is_fifo_and_reports_disconnect() {
+    loom::model(|| {
+        let (tx, rx) = loom::sync::mpsc::channel();
+        let h = loom::thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // tx drops here: receiver must observe disconnect.
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err(), "sender dropped, recv must not hang");
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn deadlock_panics_instead_of_hanging() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let (tx, rx) = loom::sync::mpsc::channel::<u8>();
+            let _keep_alive = tx; // never sends, never drops before recv
+            let _ = rx.recv();
+        });
+    }));
+    let msg = match r {
+        Ok(()) => panic!("expected the model to detect a deadlock"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into()),
+    };
+    assert!(msg.contains("deadlock"), "panic should name the cause: {msg}");
+}
+
+#[test]
+fn child_panic_surfaces_through_join() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let h = loom::thread::spawn(|| panic!("boom in child"));
+            // Propagating the Err from join fails the whole model run,
+            // exactly like a std test would.
+            h.join().expect("child panicked");
+        });
+    }));
+    assert!(r.is_err(), "a panicking child must fail the model run");
+}
+
+#[test]
+fn builder_names_threads_and_join_returns_values() {
+    loom::model(|| {
+        let h = loom::thread::Builder::new()
+            .name("worker".into())
+            .spawn(|| 40 + 2)
+            .expect("spawn");
+        assert_eq!(h.join().unwrap(), 42);
+    });
+}
+
+#[test]
+fn wrappers_degrade_to_std_outside_model() {
+    // No loom::model() wrapper: everything must behave as plain std.
+    let m = loom::sync::Mutex::new(5);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let (tx, rx) = loom::sync::mpsc::channel();
+    let h = loom::thread::spawn(move || tx.send(7).unwrap());
+    assert_eq!(rx.recv(), Ok(7));
+    h.join().unwrap();
+}

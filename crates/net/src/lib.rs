@@ -73,6 +73,7 @@
 
 pub mod client;
 pub mod server;
+pub(crate) mod sys;
 pub mod transport;
 
 pub use client::{NetClient, NetClientError};

@@ -493,11 +493,13 @@ impl NodeServer {
                 }
                 if let Durable::PerRecord(store) = &mut self.durable {
                     for event in &persist {
+                        // xtask-allow(no-blocking-on-event-loop): CommitMode::PerRecord is the documented synchronous mode — every record fsyncs inline before the reply, trading loop latency for the simplest durability story
                         if store.append(stripe, event).is_err() {
                             self.fence("store append failed");
                             return;
                         }
                     }
+                    // xtask-allow(no-blocking-on-event-loop): compaction in PerRecord mode runs inline by design; pipelined deployments use Durable::Pipelined where the committer thread owns all fsyncs
                     if store.maybe_compact(COMPACT_THRESHOLD).is_err() {
                         self.fence("store compaction failed");
                         return;

@@ -1,0 +1,12 @@
+//! Concurrency primitives behind [`crate::transport::BufferPool`],
+//! swappable for exhaustive model checking.
+//!
+//! Production builds use `std::sync::Mutex`; `RUSTFLAGS="--cfg loom"`
+//! swaps in the workspace `loom` model checker's mutex so `tests/loom.rs`
+//! can explore every take/put interleaving (see TESTING.md, tier 6).
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;

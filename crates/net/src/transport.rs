@@ -16,7 +16,7 @@
 
 use crate::server::WRITE_TIMEOUT;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use fab_wire::{decode_body, FrameHeader, Message, WireError, HEADER_LEN};
+use fab_wire::{decode_body, FrameHeader, Message, WireError, HEADER_LEN, MAX_BODY_LEN};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,7 +44,7 @@ pub const MAX_COALESCED_BYTES: usize = 1 << 20;
 /// `take` is a hit and the steady-state path allocates nothing per frame.
 #[derive(Debug)]
 pub struct BufferPool {
-    free: std::sync::Mutex<Vec<Vec<u8>>>,
+    free: crate::sys::Mutex<Vec<Vec<u8>>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -55,7 +55,7 @@ impl BufferPool {
     #[must_use]
     pub fn new(capacity: usize) -> Arc<Self> {
         Arc::new(BufferPool {
-            free: std::sync::Mutex::new(Vec::new()),
+            free: crate::sys::Mutex::new(Vec::new()),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -66,12 +66,15 @@ impl BufferPool {
     /// otherwise (miss).
     #[must_use]
     pub fn take(&self) -> Vec<u8> {
-        // A poisoned lock (impossible: no panics while held) degrades to
-        // allocating — never to panicking on the hot path.
-        let recycled = match self.free.lock() {
-            Ok(mut free) => free.pop(),
-            Err(_) => None,
-        };
+        // A poisoned lock (impossible in practice: no panics while held)
+        // degrades to recycling anyway — the free list is a plain Vec whose
+        // invariants can't be torn by an unwind — never to panicking on the
+        // hot path.
+        let recycled = self
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
         if let Some(buf) = recycled {
             self.hits.fetch_add(1, Ordering::Relaxed);
             buf
@@ -83,13 +86,38 @@ impl BufferPool {
 
     /// Returns `buf` to the free list (cleared, capacity kept). Dropped on
     /// the floor if the pool is already full.
+    ///
+    /// The `capacity` bound holds on *every* path, including a poisoned
+    /// lock: a pool that stopped bounding itself after an unrelated panic
+    /// would silently become the unbounded backlog this type exists to
+    /// prevent.
     pub fn put(&self, mut buf: Vec<u8>) {
         buf.clear();
-        if let Ok(mut free) = self.free.lock() {
-            if free.len() < self.capacity {
-                free.push(buf);
-            }
+        let mut free = self
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if free.len() < self.capacity {
+            free.push(buf);
         }
+    }
+
+    /// Test hook: poison the free-list lock by panicking while holding it.
+    ///
+    /// Only compiled for model-checking builds; lets `tests/loom.rs` prove
+    /// the degraded (poisoned) path still enforces the capacity bound.
+    #[cfg(loom)]
+    #[doc(hidden)]
+    pub fn poison_free_list(self: &Arc<Self>) {
+        let me = Arc::clone(self);
+        let _ = loom::thread::spawn(move || {
+            // Hold the guard (inside the Ok) across the panic so the
+            // unwind poisons the lock.
+            let _guard = me.free.lock();
+            // xtask-allow(no-panic): deliberate panic-while-locked, cfg(loom)-only, to drive the poisoned-path test
+            panic!("poisoning BufferPool free list for the model checker");
+        })
+        .join();
     }
 
     /// `(hits, misses)` so far. A steady-state sender stops accumulating
@@ -257,9 +285,17 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<(Message, usize), RecvError>
         Err(e) => return Err(RecvError::Io(e.kind())),
     }
     let header = FrameHeader::decode(&head).map_err(RecvError::Wire)?;
-    // `body_len` was validated against MAX_BODY_LEN by `decode`, so this
-    // allocation is bounded no matter what the header claimed.
-    let mut body = vec![0u8; header.body_len];
+    // `decode` already rejected lengths above MAX_BODY_LEN, but the bound is
+    // re-checked here, next to the allocation it protects, so the guarantee
+    // survives refactors of the decoder (and L9 can see it locally).
+    let body_len = header.body_len;
+    if body_len > MAX_BODY_LEN {
+        return Err(RecvError::Wire(WireError::BodyTooLarge {
+            declared: body_len as u64,
+            max: MAX_BODY_LEN as u64,
+        }));
+    }
+    let mut body = vec![0u8; body_len];
     if let Err(e) = stream.read_exact(&mut body) {
         return Err(RecvError::Io(e.kind()));
     }
@@ -467,6 +503,36 @@ mod tests {
         let snap = counters.snapshot();
         assert_eq!(snap.frames_sent, 1);
         assert_eq!(snap.bytes_sent, len as u64);
+    }
+
+    #[test]
+    fn buffer_pool_bound_survives_poisoned_lock() {
+        let pool = BufferPool::new(1);
+
+        // Poison the free-list lock: panic while holding the guard.
+        let poisoner = Arc::clone(&pool);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.free.lock().unwrap();
+            panic!("poison the pool lock");
+        }));
+        assert!(pool.free.lock().is_err(), "lock should now be poisoned");
+
+        // The degraded path must still enforce the capacity bound...
+        pool.put(Vec::with_capacity(64));
+        pool.put(Vec::with_capacity(64));
+        assert_eq!(
+            pool.free
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
+            1,
+            "poisoned path must keep the capacity bound"
+        );
+
+        // ...and `take` must still recycle rather than always allocating.
+        let _ = pool.take();
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 0));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Exhaustive interleaving checks for [`fab_net::BufferPool`].
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (CI stage 9; see
+//! TESTING.md, tier 6): the pool's free-list mutex is then the workspace
+//! `loom` model checker's, and these tests explore every take/put
+//! schedule. Two properties:
+//!
+//! 1. **No double hand-out** — a recycled buffer is given to at most one
+//!    taker, whatever the interleaving.
+//! 2. **Poisoned-lock degradation** — after a panic poisons the free-list
+//!    lock, the pool keeps recycling *and* keeps its capacity bound (it
+//!    must not silently become unbounded).
+#![cfg(loom)]
+
+use fab_net::BufferPool;
+use std::sync::Arc;
+
+#[test]
+fn warm_buffer_handed_out_at_most_once() {
+    loom::model(|| {
+        let pool = BufferPool::new(4);
+        // Warm the pool with exactly one idle buffer.
+        pool.put(Vec::with_capacity(64));
+        let (h0, m0) = pool.stats();
+
+        // Two threads race to take it.
+        let taker = {
+            let pool = Arc::clone(&pool);
+            loom::thread::spawn(move || pool.take())
+        };
+        let mine = pool.take();
+        let theirs = taker.join().unwrap();
+
+        // Both got a buffer, but the single warm one went to at most one
+        // of them — `hits` grew by at most 1 over the two takes.
+        let (h1, m1) = pool.stats();
+        assert_eq!((h1 - h0) + (m1 - m0), 2, "every take is a hit or a miss");
+        assert!(h1 - h0 <= 1, "one warm buffer must not satisfy two takes");
+        drop(mine);
+        drop(theirs);
+    });
+}
+
+#[test]
+fn poisoned_lock_still_recycles_and_keeps_the_bound() {
+    loom::model(|| {
+        let pool = BufferPool::new(1);
+        pool.poison_free_list();
+
+        // Degraded path: two puts into a capacity-1 pool may retain only
+        // one buffer...
+        pool.put(Vec::with_capacity(64));
+        pool.put(Vec::with_capacity(64));
+
+        // ...so of two takes, exactly one is a hit (the retained buffer)
+        // and one is a miss (the bound dropped the second put).
+        let _ = pool.take();
+        let _ = pool.take();
+        let (hits, misses) = pool.stats();
+        assert_eq!(
+            (hits, misses),
+            (1, 1),
+            "poisoned pool must keep recycling and keep the capacity bound"
+        );
+    });
+}

@@ -254,6 +254,7 @@ impl BrickServer {
         // `states()` is a FIFO barrier on the committer: every append
         // submitted before this call is reflected in the snapshot.
         self.replicas = pipeline
+            // xtask-allow(no-blocking-on-event-loop): recovery runs before the brick serves traffic; the barrier on the committer is the point of load_from_store
             .states()
             .into_iter()
             .map(|(stripe, st)| {

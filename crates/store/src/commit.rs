@@ -32,20 +32,70 @@
 //! crash-recovery model, where a brick that cannot persist must fail-stop
 //! rather than reply from volatile state).
 
+use crate::sys::mpsc::{channel, Receiver, Sender};
+use crate::sys::thread;
 use crate::{BrickStore, StoreError, StripeState};
 use fab_core::{PersistEvent, StripeId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Upper bound on logical records folded into one batch commit; bounds the
 /// staging buffer and the latency any single waiter can be held behind.
 pub const MAX_BATCH_RECORDS: usize = 1024;
 
+/// What the committer thread needs from the storage backend it owns.
+///
+/// [`BrickStore`] is the production implementation; `tests/loom.rs`
+/// substitutes an in-memory fake so the pipeline's callback/fencing/FIFO
+/// discipline can be model-checked without touching a filesystem. The
+/// committer moves the store onto its own thread, hence `Send + 'static`.
+pub trait CommitStore: Send + 'static {
+    /// Persists `records` atomically (one covering sync); all-or-nothing
+    /// on replay.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] fences the pipeline: the batch and every later
+    /// submission resolve non-durable.
+    fn append_batch(
+        &mut self,
+        records: &[(StripeId, PersistEvent)],
+    ) -> Result<(), StoreError>;
+
+    /// Opportunistic compaction after a batch lands; `Ok(true)` if the
+    /// store was rewritten.
+    ///
+    /// # Errors
+    ///
+    /// A failed compaction leaves the just-synced batch durable but fences
+    /// future commits.
+    fn maybe_compact(&mut self, threshold: u64) -> Result<bool, StoreError>;
+
+    /// Snapshot of every stripe's in-memory state (used by the
+    /// [`CommitPipeline::states`] barrier).
+    fn states(&self) -> Vec<(StripeId, StripeState)>;
+}
+
+impl CommitStore for BrickStore {
+    fn append_batch(
+        &mut self,
+        records: &[(StripeId, PersistEvent)],
+    ) -> Result<(), StoreError> {
+        BrickStore::append_batch(self, records)
+    }
+
+    fn maybe_compact(&mut self, threshold: u64) -> Result<bool, StoreError> {
+        BrickStore::maybe_compact(self, threshold)
+    }
+
+    fn states(&self) -> Vec<(StripeId, StripeState)> {
+        self.stripes().map(|(s, st)| (s, st.clone())).collect()
+    }
+}
+
 type DurableCallback = Box<dyn FnOnce(bool) + Send + 'static>;
 
-enum Job {
+enum Job<S> {
     /// Records to persist; `done(durable)` runs after the covering sync.
     Append {
         records: Vec<(StripeId, PersistEvent)>,
@@ -54,7 +104,7 @@ enum Job {
     /// Snapshot the in-memory stripe states (barriers behind prior appends).
     States(Sender<Vec<(StripeId, StripeState)>>),
     /// Stop the committer; optionally hand the store back.
-    Shutdown(Option<Sender<BrickStore>>),
+    Shutdown(Option<Sender<S>>),
 }
 
 #[derive(Debug, Default)]
@@ -118,17 +168,18 @@ pub struct CommitStats {
     pub max_batch: u64,
 }
 
-/// Handle to a committer thread that owns a [`BrickStore`] and group-commits
-/// submissions. Cheap to use from any thread via `&self`; see the module
-/// docs for the ack-after-fsync discipline.
-pub struct CommitPipeline {
-    tx: Sender<Job>,
-    handle: Option<JoinHandle<()>>,
+/// Handle to a committer thread that owns a [`CommitStore`] (a
+/// [`BrickStore`] in production) and group-commits submissions. Cheap to
+/// use from any thread via `&self`; see the module docs for the
+/// ack-after-fsync discipline.
+pub struct CommitPipeline<S: CommitStore = BrickStore> {
+    tx: Sender<Job<S>>,
+    handle: Option<thread::JoinHandle<()>>,
     counters: Arc<Counters>,
     fenced: Arc<AtomicBool>,
 }
 
-impl std::fmt::Debug for CommitPipeline {
+impl<S: CommitStore> std::fmt::Debug for CommitPipeline<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CommitPipeline")
             .field("stats", &self.stats())
@@ -137,18 +188,18 @@ impl std::fmt::Debug for CommitPipeline {
     }
 }
 
-impl CommitPipeline {
+impl<S: CommitStore> CommitPipeline<S> {
     /// Takes ownership of `store` and spawns the committer thread.
     ///
     /// After every batch the committer calls
-    /// [`BrickStore::maybe_compact`] with `compact_threshold`, so
+    /// [`CommitStore::maybe_compact`] with `compact_threshold`, so
     /// compaction also rides off the caller's event loop (pass `u64::MAX`
     /// to disable).
-    pub fn spawn(store: BrickStore, compact_threshold: u64) -> Self {
+    pub fn spawn(store: S, compact_threshold: u64) -> Self {
         let (tx, rx) = channel();
         let counters = Arc::new(Counters::default());
         let fenced = Arc::new(AtomicBool::new(false));
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name("fab-commit".into())
             .spawn({
                 let counters = Arc::clone(&counters);
@@ -264,7 +315,7 @@ impl CommitPipeline {
     /// Stops the committer after it resolves everything queued, returning
     /// the store (e.g. for recovery tests). `None` if the committer is
     /// already gone.
-    pub fn shutdown(mut self) -> Option<BrickStore> {
+    pub fn shutdown(mut self) -> Option<S> {
         let (tx, rx) = channel();
         if self.tx.send(Job::Shutdown(Some(tx))).is_err() {
             return None;
@@ -276,7 +327,7 @@ impl CommitPipeline {
     }
 }
 
-impl Drop for CommitPipeline {
+impl<S: CommitStore> Drop for CommitPipeline<S> {
     fn drop(&mut self) {
         let _ = self.tx.send(Job::Shutdown(None));
         if let Some(handle) = self.handle.take() {
@@ -286,9 +337,9 @@ impl Drop for CommitPipeline {
 }
 
 /// The committer loop: block for one job, drain greedily, commit once.
-fn committer(
-    mut store: BrickStore,
-    rx: &Receiver<Job>,
+fn committer<S: CommitStore>(
+    mut store: S,
+    rx: &Receiver<Job<S>>,
     counters: &Counters,
     fenced: &AtomicBool,
     compact_threshold: u64,
@@ -323,8 +374,7 @@ fn committer(
                         &mut records,
                         &mut done,
                     );
-                    let snapshot = store.stripes().map(|(s, st)| (s, st.clone())).collect();
-                    let _ = reply.send(snapshot);
+                    let _ = reply.send(store.states());
                 }
                 Job::Shutdown(reply) => {
                     stop = Some(reply);
@@ -352,8 +402,8 @@ fn committer(
 
 /// One group commit: a single `append_batch` (one write + one sync), then
 /// the callbacks — strictly after the covering sync, in submission order.
-fn commit_batch(
-    store: &mut BrickStore,
+fn commit_batch<S: CommitStore>(
+    store: &mut S,
     counters: &Counters,
     fenced: &AtomicBool,
     compact_threshold: u64,

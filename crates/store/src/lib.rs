@@ -51,7 +51,8 @@ use std::path::{Path, PathBuf};
 
 pub mod commit;
 mod crc32;
-pub use commit::{CommitPipeline, CommitStats, CommitStatsHandle};
+pub(crate) mod sys;
+pub use commit::{CommitPipeline, CommitStats, CommitStatsHandle, CommitStore};
 pub use crc32::crc32;
 
 /// Errors from the brick store.

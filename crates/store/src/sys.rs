@@ -1,0 +1,17 @@
+//! Concurrency primitives behind the commit pipeline, swappable for
+//! exhaustive model checking.
+//!
+//! Production builds use `std`; `RUSTFLAGS="--cfg loom"` swaps in the
+//! workspace `loom` model checker so `tests/loom.rs` can explore every
+//! interleaving of the committer thread against its submitters (see
+//! TESTING.md, tier 6).
+
+#[cfg(loom)]
+pub(crate) use loom::sync::mpsc;
+#[cfg(loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::mpsc;
+#[cfg(not(loom))]
+pub(crate) use std::thread;

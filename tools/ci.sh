@@ -24,6 +24,11 @@
 #                               group commit is at least as fast as
 #                               per-record fsync (regression tripwire for
 #                               the commit pipeline, not a benchmark)
+#   9. loom model checking    — exhaustive interleaving suites for the
+#                               commit pipeline and the transport buffer
+#                               pool, built with --cfg loom (swaps std sync
+#                               primitives for the workspace model checker;
+#                               see TESTING.md tier 6)
 #
 # Optional: when `cargo-llvm-cov` is installed, COVERAGE=1 ./tools/ci.sh
 # appends a line-coverage summary after the gates (informational, non-gating).
@@ -60,6 +65,16 @@ run timeout 300 cargo test -q -p fab-torture --lib differential -- --ignored
 # per-record fsync. The full sweep that regenerates BENCH_e2e.json is run
 # manually (`cargo run --release -p fab-bench --bin e2e_throughput`).
 run timeout 300 cargo run --release -p fab-bench --bin e2e_throughput -- --smoke
+
+# Stage 9: exhaustive model checking of the concurrency kernels. --cfg loom
+# swaps the sys modules in fab-store/fab-net onto the in-tree `loom` model
+# checker; a separate target dir keeps the differently-cfg'd artifacts from
+# thrashing the main cache. The suites are exhaustive DFS over schedules, so
+# a hang means state-space blowup — the hard timeout fails CI instead.
+run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    cargo test -q -p fab-store --test loom
+run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    cargo test -q -p fab-net --test loom
 
 # Informational line-coverage summary (requires `cargo llvm-cov`; opt-in so
 # the default gate stays fast and works in toolchains without the component).

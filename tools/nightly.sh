@@ -15,7 +15,12 @@
 #   3. mutation smoke         — rebuild with each `fab_mutation` variant and
 #                               prove the suite catches the planted bug
 #                               within 500 seeds
-#   4. coverage (optional)    — line-coverage summary when cargo-llvm-cov
+#   4. thread sanitizer       — fab-store + fab-net test suites under
+#                               -Zsanitizer=thread (data-race detection on
+#                               the real, non-model-checked threads);
+#                               requires a nightly toolchain with rust-src,
+#                               skipped with a notice otherwise
+#   5. coverage (optional)    — line-coverage summary when cargo-llvm-cov
 #                               is installed
 #
 # Failing seeds are auto-minimized and written to target/torture/*.seed;
@@ -46,7 +51,27 @@ run cargo xtask torture \
 # cache from phase 1 survives.
 run cargo xtask torture --mutation-smoke
 
-# Phase 4: coverage summary (informational).
+# Phase 4: ThreadSanitizer over the two crates with real thread/fsync
+# concurrency. -Zsanitizer=thread needs a nightly toolchain and a
+# rebuilt std (-Zbuild-std, hence rust-src); on stable-only machines the
+# phase skips with a notice rather than failing the whole night. The model
+# checker (ci.sh stage 9) covers the same kernels exhaustively but only
+# under sequential consistency — TSan is the complementary check on the
+# real weak-memory execution.
+if rustup toolchain list 2> /dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly 2> /dev/null \
+        | grep -q 'rust-src (installed)'; then
+    TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+    run env RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+        cargo +nightly test -q -Zbuild-std --target "$TSAN_TARGET" \
+        -p fab-store -p fab-net
+else
+    echo
+    echo "==> tsan skipped: needs a nightly toolchain with rust-src" \
+         "(rustup toolchain install nightly && rustup component add rust-src --toolchain nightly)"
+fi
+
+# Phase 5: coverage summary (informational).
 if command -v cargo-llvm-cov > /dev/null 2>&1; then
     run cargo llvm-cov --workspace --summary-only
 else

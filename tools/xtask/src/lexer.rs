@@ -39,6 +39,15 @@ fn blank(out: &mut [u8], range: core::ops::Range<usize>) {
     }
 }
 
+/// Blank a string literal's contents but keep its first and last byte (the
+/// delimiters), so a masked literal still reads as a non-empty expression —
+/// e.g. `path.join("sub")` must not collapse into a zero-argument call.
+fn blank_literal(out: &mut [u8], range: core::ops::Range<usize>) {
+    if range.len() > 2 {
+        blank(out, range.start + 1..range.end - 1);
+    }
+}
+
 fn count_newlines(bytes: &[u8]) -> usize {
     bytes.iter().filter(|&&b| b == b'\n').count()
 }
@@ -124,7 +133,7 @@ pub fn mask(src: &str) -> Masked {
                 }
                 let end = i.min(len);
                 line += count_newlines(&b[start..end]);
-                blank(&mut out, start..end);
+                blank_literal(&mut out, start..end);
             }
             b'r' | b'b' if (i == 0 || !is_ident_byte(b[i - 1])) => {
                 // Possible raw string r"…", r#"…"#, byte string b"…", byte
@@ -194,7 +203,7 @@ pub fn mask(src: &str) -> Masked {
                     }
                     let end = i.min(len);
                     line += count_newlines(&b[start..end]);
-                    blank(&mut out, start..end);
+                    blank_literal(&mut out, start..end);
                 } else {
                     i += 1; // ordinary identifier starting with r/b
                 }

@@ -1,30 +1,41 @@
-//! The six protocol-aware lints.
+//! The protocol-aware lints.
 //!
 //! Rule-ID map (see DESIGN.md "Static analysis & invariant enforcement"):
 //!
-//! | ID  | lint name              | invariant                                          |
-//! |-----|------------------------|----------------------------------------------------|
-//! | L1  | `no-panic`             | protocol paths never panic                          |
-//! | L1b | `no-untrusted-index`   | handler code never `[]`-indexes untrusted lengths   |
-//! | L2  | `determinism`          | simnet-driven crates are bit-for-bit deterministic  |
-//! | L3  | `unsafe-audit`         | `unsafe` confined to the erasure kernel + SAFETY    |
-//! | L4  | `timestamp-discipline` | timestamps compared only as whole values            |
-//! | L5  | `no-as-truncation`     | no `as` integer casts in quorum/timestamp math      |
-//! | L6  | `log-before-send`      | replies leave a persistence trace before sending    |
+//! | ID  | lint name                  | invariant                                          |
+//! |-----|----------------------------|----------------------------------------------------|
+//! | L1  | `no-panic`                 | protocol paths never panic                          |
+//! | L1b | `no-untrusted-index`       | handler code never `[]`-indexes untrusted lengths   |
+//! | L2  | `determinism`              | simnet-driven crates are bit-for-bit deterministic  |
+//! | L3  | `unsafe-audit`             | `unsafe` confined to the erasure kernel + SAFETY    |
+//! | L4  | `timestamp-discipline`     | timestamps compared only as whole values            |
+//! | L5  | `no-as-truncation`         | no `as` integer casts in quorum/timestamp math      |
+//! | L6  | `log-before-send`          | replies leave a persistence trace before sending    |
+//! | L7  | `lock-order`               | nested lock acquisitions follow the canonical order |
+//! | L8  | `no-blocking-on-event-loop`| nothing reachable from an event-loop entry blocks   |
+//! | L9  | `untrusted-length-taint`   | wire lengths are guarded before sizing allocations  |
 //!
-//! Every lint honours `// xtask-allow(<name>): <reason>` on the flagged line
-//! or the line above, and skips `#[cfg(test)]` modules entirely.
+//! L1–L6 and L9 are per-file passes; L7 and L8 run over the whole-workspace
+//! call graph ([`crate::graph::Workspace`]). Every lint honours
+//! `// xtask-allow(<name>): <reason>` on the flagged line or the line above
+//! (recorded as a *suppressed* diagnostic, which feeds stale-allow
+//! detection), and skips `#[cfg(test)]` modules entirely.
 
+use crate::graph::Workspace;
 use crate::lexer::{is_ident_byte, word_occurrences};
-use crate::model::SourceFile;
+use crate::model::{LockClass, SourceFile};
 
-/// One reported violation.
+/// One reported violation. `suppressed` diagnostics matched an
+/// `xtask-allow` directive: they don't fail the run, but they are kept so
+/// `--json` can expose them and so an allow that suppresses *nothing* can
+/// be detected as stale.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub path: String,
     pub line: usize,
     pub lint: &'static str,
     pub msg: String,
+    pub suppressed: bool,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -33,11 +44,18 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// A lint is either a per-file pass or a whole-workspace pass over the
+/// call graph.
+pub enum Check {
+    File(fn(&SourceFile, &mut Vec<Diagnostic>)),
+    Workspace(fn(&Workspace, &mut Vec<Diagnostic>)),
+}
+
 pub struct Lint {
     pub id: &'static str,
     pub rule: &'static str,
     pub desc: &'static str,
-    pub check: fn(&SourceFile, &mut Vec<Diagnostic>),
+    pub check: Check,
 }
 
 pub fn registry() -> Vec<Lint> {
@@ -47,48 +65,66 @@ pub fn registry() -> Vec<Lint> {
             rule: "L1",
             desc: "no unwrap/expect/panic!/unreachable!/todo! in fab-core/fab-simnet protocol code, \
                    fab-wire decode paths, or fab-net reader/server threads",
-            check: no_panic,
+            check: Check::File(no_panic),
         },
         Lint {
             id: "no-untrusted-index",
             rule: "L1b",
             desc: "no non-literal [] indexing inside message/state-machine handler or wire-decode functions",
-            check: no_untrusted_index,
+            check: Check::File(no_untrusted_index),
         },
         Lint {
             id: "determinism",
             rule: "L2",
             desc: "no wall clocks, OS entropy, threads, or hash-order iteration in simnet-driven crates",
-            check: determinism,
+            check: Check::File(determinism),
         },
         Lint {
             id: "unsafe-audit",
             rule: "L3",
             desc: "unsafe only in fab-erasure kernel modules, each block with a SAFETY: comment",
-            check: unsafe_audit,
+            check: Check::File(unsafe_audit),
         },
         Lint {
             id: "timestamp-discipline",
             rule: "L4",
             desc: "no field-wise timestamp comparison outside fab-timestamp (whole-value Ord only)",
-            check: timestamp_discipline,
+            check: Check::File(timestamp_discipline),
         },
         Lint {
             id: "no-as-truncation",
             rule: "L5",
             desc: "no `as` integer casts in quorum/timestamp arithmetic (use From/TryFrom)",
-            check: no_as_truncation,
+            check: Check::File(no_as_truncation),
         },
         Lint {
             id: "log-before-send",
             rule: "L6",
             desc: "fab-core sends must be preceded by a persistence/log call in the same function",
-            check: log_before_send,
+            check: Check::File(log_before_send),
+        },
+        Lint {
+            id: "lock-order",
+            rule: "L7",
+            desc: "nested lock acquisitions follow the canonical rank order declared in model.rs",
+            check: Check::Workspace(lock_order),
+        },
+        Lint {
+            id: "no-blocking-on-event-loop",
+            rule: "L8",
+            desc: "no fsync/channel-wait/lock-wait reachable from NodeServer/BrickServer event-loop entries",
+            check: Check::Workspace(no_blocking_on_event_loop),
+        },
+        Lint {
+            id: "untrusted-length-taint",
+            rule: "L9",
+            desc: "wire-decoded lengths guarded before Vec::with_capacity/vec!/slice-range sinks",
+            check: Check::File(untrusted_length_taint),
         },
     ]
 }
 
-/// Run every lint (plus allow-directive hygiene) over one file.
+/// Run every per-file lint (plus allow-directive hygiene) over one file.
 pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for line in &file.malformed_allows {
         out.push(Diagnostic {
@@ -96,10 +132,50 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             line: *line,
             lint: "malformed-allow",
             msg: "xtask-allow directive must be `xtask-allow(<lint>): <reason>` with a non-empty reason".into(),
+            suppressed: false,
         });
     }
     for lint in registry() {
-        (lint.check)(file, out);
+        if let Check::File(check) = lint.check {
+            check(file, out);
+        }
+    }
+}
+
+/// Run every workspace lint over the call graph.
+pub fn check_workspace(w: &Workspace, out: &mut Vec<Diagnostic>) {
+    for lint in registry() {
+        if let Check::Workspace(check) = lint.check {
+            check(w, out);
+        }
+    }
+}
+
+/// Satellite: detect `xtask-allow` directives that no longer suppress any
+/// diagnostic (including currently-suppressed ones), so suppressions can't
+/// rot after refactors. Allows inside `#[cfg(test)]` modules are skipped —
+/// test code is outside lint scope, so nothing there can match. Call after
+/// *all* lints (file + workspace) have run over `file`.
+pub fn stale_allows(file: &SourceFile, diags: &[Diagnostic], out: &mut Vec<Diagnostic>) {
+    for a in &file.allows {
+        if file.line_in_test(a.line) {
+            continue;
+        }
+        let used = diags.iter().any(|d| {
+            d.path == file.path && d.lint == a.lint && (d.line == a.line || d.line == a.line + 1)
+        });
+        if !used {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: a.line,
+                lint: "stale-allow",
+                msg: format!(
+                    "xtask-allow({}) suppresses nothing (reason was: {}); remove it or fix the rule id",
+                    a.lint, a.reason
+                ),
+                suppressed: false,
+            });
+        }
     }
 }
 
@@ -151,7 +227,7 @@ fn push(
     msg: String,
 ) {
     let line = file.line_of(off);
-    if file.in_test(off) || file.allowed(lint, line) {
+    if file.in_test(off) {
         return;
     }
     out.push(Diagnostic {
@@ -159,6 +235,7 @@ fn push(
         line,
         lint,
         msg,
+        suppressed: file.allowed(lint, line),
     });
 }
 
@@ -522,21 +599,631 @@ fn log_before_send(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------- L7 -------
+
+use std::collections::BTreeMap;
+
+fn class_of(path: &str, receiver: &str) -> Option<&'static LockClass> {
+    crate::model::LOCK_CLASSES
+        .iter()
+        .find(|c| c.receiver == receiver && path.starts_with(c.file_prefix))
+}
+
+fn rank_of(class_key: &str) -> Option<u32> {
+    crate::model::LOCK_CLASSES
+        .iter()
+        .find(|c| c.class == class_key)
+        .map(|c| c.rank)
+}
+
+/// Lock-class keys (class name, or `?receiver` for undeclared receivers)
+/// transitively acquired by each workspace fn, each with a human witness
+/// string. Cycle-safe DFS with memoization.
+fn acquired_classes(w: &Workspace) -> Vec<BTreeMap<String, String>> {
+    fn visit(
+        w: &Workspace,
+        i: usize,
+        memo: &mut Vec<Option<BTreeMap<String, String>>>,
+        on_stack: &mut Vec<bool>,
+    ) -> BTreeMap<String, String> {
+        if let Some(done) = &memo[i] {
+            return done.clone();
+        }
+        if on_stack[i] {
+            return BTreeMap::new(); // cycle: resolved by the other frames
+        }
+        on_stack[i] = true;
+        let f = &w.fns[i];
+        let file = &w.files[f.file];
+        let mut acc = BTreeMap::new();
+        for l in &f.locks {
+            let key = match class_of(&file.path, &l.receiver) {
+                Some(c) => c.class.to_string(),
+                None => format!("?{}", l.receiver),
+            };
+            acc.entry(key).or_insert_with(|| {
+                format!(
+                    "`{}` locked in `{}` ({}:{})",
+                    l.receiver,
+                    f.qual,
+                    file.path,
+                    file.line_of(l.offset)
+                )
+            });
+        }
+        for c in &f.calls {
+            for t in w.resolve(i, c) {
+                for (key, witness) in visit(w, t, memo, on_stack) {
+                    acc.entry(key)
+                        .or_insert_with(|| format!("{} → {witness}", w.fns[t].qual));
+                }
+            }
+        }
+        on_stack[i] = false;
+        memo[i] = Some(acc.clone());
+        acc
+    }
+    let mut memo = vec![None; w.fns.len()];
+    let mut on_stack = vec![false; w.fns.len()];
+    (0..w.fns.len())
+        .map(|i| visit(w, i, &mut memo, &mut on_stack))
+        .collect()
+}
+
+/// L7: every *nested* acquisition (a lock taken — directly or via any
+/// resolvable call — while another guard is live) must move strictly
+/// *down* the canonical rank order in `model.rs`. Rank violations and
+/// same-class re-entry are flagged; since the declared order is total,
+/// any cycle in the acquired-under graph necessarily contains a flagged
+/// edge. Undeclared receivers are flagged only when they participate in
+/// nesting — a standalone lock of a local mutex is not an ordering hazard.
+fn lock_order(w: &Workspace, out: &mut Vec<Diagnostic>) {
+    let acquired = acquired_classes(w);
+    let mut local = Vec::new();
+    for (fi, f) in w.fns.iter().enumerate() {
+        let file = &w.files[f.file];
+        for l in &f.locks {
+            let outer = class_of(&file.path, &l.receiver);
+            let outer_key = match outer {
+                Some(c) => c.class.to_string(),
+                None => format!("?{}", l.receiver),
+            };
+            let mut inner_sites: Vec<(usize, String, String)> = Vec::new(); // (offset, key, how)
+            for l2 in &f.locks {
+                if l2.offset > l.offset && l.scope.contains(&l2.offset) {
+                    let key = match class_of(&file.path, &l2.receiver) {
+                        Some(c) => c.class.to_string(),
+                        None => format!("?{}", l2.receiver),
+                    };
+                    inner_sites.push((l2.offset, key, format!("`{}.lock()`", l2.receiver)));
+                }
+            }
+            for c in &f.calls {
+                if c.offset > l.offset && l.scope.contains(&c.offset) {
+                    for t in w.resolve(fi, c) {
+                        for (key, witness) in &acquired[t] {
+                            inner_sites.push((
+                                c.offset,
+                                key.clone(),
+                                format!("call `{}` → {witness}", c.callee),
+                            ));
+                        }
+                    }
+                }
+            }
+            for (off, inner_key, how) in inner_sites {
+                let msg = match (rank_of(&outer_key), rank_of(&inner_key)) {
+                    (None, _) => format!(
+                        "undeclared lock class `{}` held in `{}` while acquiring `{inner_key}` ({how}); \
+                         declare it in LOCK_CLASSES (tools/xtask/src/model.rs)",
+                        l.receiver, f.qual
+                    ),
+                    (_, None) => format!(
+                        "undeclared lock class acquired under `{outer_key}` in `{}` ({how}); \
+                         declare it in LOCK_CLASSES (tools/xtask/src/model.rs)",
+                        f.qual
+                    ),
+                    (Some(ro), Some(ri)) if ri <= ro => format!(
+                        "lock order violation in `{}`: `{inner_key}` (rank {ri}) acquired while \
+                         holding `{outer_key}` (rank {ro}) via {how}; the canonical order requires \
+                         strictly increasing rank",
+                        f.qual
+                    ),
+                    _ => continue,
+                };
+                push(file, &mut local, "lock-order", off, msg);
+            }
+        }
+    }
+    local.sort_by(|a, b| (&a.path, a.line, &a.msg).cmp(&(&b.path, b.line, &b.msg)));
+    local.dedup();
+    out.append(&mut local);
+}
+
+// ---------------------------------------------------------------- L8 -------
+
+/// Witness of the first blocking operation transitively reachable from
+/// each fn (`None` = provably non-blocking under the model). Locks on
+/// classes declared `bounded` do not count.
+fn blocking_witnesses(w: &Workspace) -> Vec<Option<String>> {
+    fn visit(
+        w: &Workspace,
+        i: usize,
+        memo: &mut Vec<Option<Option<String>>>,
+        on_stack: &mut Vec<bool>,
+    ) -> Option<String> {
+        if let Some(done) = &memo[i] {
+            return done.clone();
+        }
+        if on_stack[i] {
+            return None;
+        }
+        on_stack[i] = true;
+        let f = &w.fns[i];
+        let file = &w.files[f.file];
+        let mut res: Option<String> = f.blocking.first().map(|b| {
+            format!("`{}` ({}:{})", b.what, file.path, file.line_of(b.offset))
+        });
+        if res.is_none() {
+            res = f
+                .locks
+                .iter()
+                .find(|l| !class_of(&file.path, &l.receiver).is_some_and(|c| c.bounded))
+                .map(|l| {
+                    format!(
+                        "lock-wait on `{}` ({}:{})",
+                        l.receiver,
+                        file.path,
+                        file.line_of(l.offset)
+                    )
+                });
+        }
+        if res.is_none() {
+            'calls: for c in &f.calls {
+                for t in w.resolve(i, c) {
+                    if let Some(inner) = visit(w, t, memo, on_stack) {
+                        res = Some(format!("{} → {inner}", w.fns[t].qual));
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        on_stack[i] = false;
+        memo[i] = Some(res.clone());
+        res
+    }
+    let mut memo = vec![None; w.fns.len()];
+    let mut on_stack = vec![false; w.fns.len()];
+    (0..w.fns.len())
+        .map(|i| visit(w, i, &mut memo, &mut on_stack))
+        .collect()
+}
+
+/// L8: nothing blocking — fsync, channel wait, unbounded lock-wait, sleep,
+/// thread join — may be reachable from a declared event-loop entry point.
+/// This pins PR 5's "pre-decide on the loop, block only in the committer /
+/// writer threads" split. Diagnostics anchor at the offending site inside
+/// the entry itself (so an `xtask-allow` goes next to the decision), with
+/// the interprocedural witness chain in the message.
+fn no_blocking_on_event_loop(w: &Workspace, out: &mut Vec<Diagnostic>) {
+    let witnesses = blocking_witnesses(w);
+    let mut local = Vec::new();
+    for (path, qual) in crate::model::EVENT_LOOP_ENTRIES {
+        let Some(e) = w.fn_by_qual(path, qual) else {
+            continue;
+        };
+        let f = &w.fns[e];
+        let file = &w.files[f.file];
+        for b in &f.blocking {
+            push(
+                file,
+                &mut local,
+                "no-blocking-on-event-loop",
+                b.offset,
+                format!(
+                    "`{}` blocks event-loop entry `{}`; hand the work to the committer/writer threads",
+                    b.what, f.qual
+                ),
+            );
+        }
+        for l in &f.locks {
+            if class_of(&file.path, &l.receiver).is_some_and(|c| c.bounded) {
+                continue;
+            }
+            push(
+                file,
+                &mut local,
+                "no-blocking-on-event-loop",
+                l.offset,
+                format!(
+                    "lock-wait on `{}` (not a declared bounded class) in event-loop entry `{}`",
+                    l.receiver, f.qual
+                ),
+            );
+        }
+        for c in &f.calls {
+            for t in w.resolve(e, c) {
+                if let Some(chain) = &witnesses[t] {
+                    push(
+                        file,
+                        &mut local,
+                        "no-blocking-on-event-loop",
+                        c.offset,
+                        format!(
+                            "call to `{}` from event-loop entry `{}` reaches blocking {} → {chain}",
+                            c.callee, f.qual, w.fns[t].qual
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    local.sort_by(|a, b| (&a.path, a.line, &a.msg).cmp(&(&b.path, b.line, &b.msg)));
+    local.dedup();
+    out.append(&mut local);
+}
+
+// ---------------------------------------------------------------- L9 -------
+
+/// Does `text` contain an untrusted-length source expression: a reader
+/// method call (`.u32(`), a wire-length field read (`.body_len`), or an
+/// integer-from-bytes reconstruction?
+fn has_source_expr(text: &str) -> bool {
+    let b = text.as_bytes();
+    for m in crate::model::TAINT_METHOD_SOURCES {
+        for off in word_occurrences(text, m) {
+            if off > 0 && b[off - 1] == b'.' {
+                let after = off + m.len();
+                if next_token_byte(text, after).is_some_and(|(_, c)| c == b'(') {
+                    return true;
+                }
+            }
+        }
+    }
+    for fsrc in crate::model::TAINT_FIELD_SOURCES {
+        for off in word_occurrences(text, fsrc) {
+            if off > 0 && b[off - 1] == b'.' {
+                let after = off + fsrc.len();
+                if next_token_byte(text, after).is_none_or(|(_, c)| c != b'(') {
+                    return true;
+                }
+            }
+        }
+    }
+    for wsrc in crate::model::TAINT_WORD_SOURCES {
+        if !word_occurrences(text, wsrc).is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The single statement around byte `off` of `body` (between the nearest
+/// `;`/`{`/`}` boundaries). Coarse, but statements are where guards live.
+fn statement_around(body: &str, off: usize) -> &str {
+    let b = body.as_bytes();
+    let start = (0..off)
+        .rev()
+        .find(|&i| matches!(b[i], b';' | b'{' | b'}'))
+        .map_or(0, |i| i + 1);
+    let end = (off..b.len())
+        .find(|&i| matches!(b[i], b';' | b'{'))
+        .unwrap_or(b.len());
+    &body[start..end]
+}
+
+/// Does the statement contain a comparison operator? `->`, `=>`, shifts
+/// and generic angle brackets are excluded: a bare `<`/`>` only counts
+/// when preceded by a space (rustfmt guarantees binary operators are
+/// spaced; `Vec<u8>` and `::<` are not).
+fn has_comparison(s: &str) -> bool {
+    let b = s.as_bytes();
+    for i in 0..b.len() {
+        match b[i] {
+            b'=' | b'!' if i + 1 < b.len() && b[i + 1] == b'=' => return true,
+            b'<' | b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    return true;
+                }
+                let spaced = i > 0 && b[i - 1] == b' ';
+                let doubled = i + 1 < b.len() && b[i + 1] == b[i];
+                if spaced && !doubled {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does the statement invoke a sanitizing call (`min`, `count`, `take`,
+/// `get`, `clamp`, or any `check*`/`ensure*`/`validate*`/`guard*`)?
+fn has_guard_call(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !is_ident_byte(b[i]) || b[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        let name = &s[start..i];
+        let guard = crate::model::TAINT_GUARD_CALLS.contains(&name)
+            || ["check", "ensure", "validate", "guard"]
+                .iter()
+                .any(|p| name.starts_with(p));
+        if guard && next_token_byte(s, i).is_some_and(|(_, c)| c == b'(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Offset one past the bracket matching `open` (`(`/`[`), or `len`.
+fn match_bracket(text: &str, open: usize) -> usize {
+    let b = text.as_bytes();
+    let (o, c) = match b[open] {
+        b'(' => (b'(', b')'),
+        _ => (b'[', b']'),
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == o {
+            depth += 1;
+        } else if b[i] == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// L9: in the wire-facing files, a value derived from an untrusted wire
+/// length must see a bounds guard (comparison or sanitizing call) before
+/// it sizes an allocation (`Vec::with_capacity`, `reserve`, `vec![_; n]`)
+/// or slice-range math. This closes the gap L1b leaves open by exempting
+/// ranges. Function-local forward pass: `let` bindings whose initializer
+/// mentions a source (or an already-tainted variable) become tainted; any
+/// statement mentioning the variable alongside a comparison or guard call
+/// sanitizes it.
+fn untrusted_length_taint(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !crate::model::TAINT_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    let b_all = file.masked.as_bytes();
+    for f in &file.fns {
+        if f.body.is_empty() {
+            continue;
+        }
+        let body = &file.masked[f.body.clone()];
+        let base = f.body.start;
+        let bb = body.as_bytes();
+
+        // Pass 1: tainted `let` bindings, in order, with forward propagation.
+        let mut tainted: Vec<String> = Vec::new();
+        for off in word_occurrences(body, "let") {
+            let mut i = off + 3;
+            while i < bb.len() && (bb[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if body[i..].starts_with("mut") && !is_ident_byte(*bb.get(i + 3).unwrap_or(&b'_')) {
+                i += 3;
+                while i < bb.len() && (bb[i] as char).is_whitespace() {
+                    i += 1;
+                }
+            }
+            let name_start = i;
+            while i < bb.len() && is_ident_byte(bb[i]) {
+                i += 1;
+            }
+            let name = &body[name_start..i];
+            if name.is_empty() || KEYWORD_PATTERNS.contains(&name) {
+                continue; // destructuring or non-binding `let`
+            }
+            // Initializer: from the depth-0 `=` to the depth-0 `;`.
+            let mut depth = 0i32;
+            let mut eq = None;
+            let mut j = i;
+            while j < bb.len() {
+                match bb[j] {
+                    b'(' | b'[' | b'<' => depth += 1,
+                    b'>' if j > 0 && bb[j - 1] == b'-' => {}
+                    b')' | b']' | b'>' => depth -= 1,
+                    b'=' if depth == 0 => {
+                        eq = Some(j + 1);
+                        break;
+                    }
+                    b';' | b'{' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(rhs_start) = eq else { continue };
+            let mut depth = 0i32;
+            let mut k = rhs_start;
+            while k < bb.len() {
+                match bb[k] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let rhs = &body[rhs_start..k];
+            let from_var = tainted
+                .iter()
+                .any(|v| !word_occurrences(rhs, v).is_empty());
+            if (has_source_expr(rhs) || from_var) && !tainted.iter().any(|v| v == name) {
+                tainted.push(name.to_string());
+            }
+        }
+
+        // Pass 2: drop sanitized variables.
+        let live: Vec<String> = tainted
+            .into_iter()
+            .filter(|v| {
+                !word_occurrences(body, v).iter().any(|&off| {
+                    let stmt = statement_around(body, off);
+                    has_comparison(stmt) || has_guard_call(stmt)
+                })
+            })
+            .collect();
+
+        let flag_args = |args: &str| -> Option<String> {
+            if let Some(v) = live.iter().find(|v| !word_occurrences(args, v).is_empty()) {
+                return Some(format!("`{v}`"));
+            }
+            has_source_expr(args).then(|| "(read directly off the wire)".to_string())
+        };
+
+        // Pass 3: sinks.
+        for sink in crate::model::TAINT_SINK_METHODS {
+            for off in word_occurrences(body, sink) {
+                let Some((p, b'(')) = next_token_byte(body, off + sink.len()) else {
+                    continue;
+                };
+                let args = &body[p + 1..match_bracket(body, p).saturating_sub(1)];
+                if let Some(what) = flag_args(args) {
+                    push(
+                        file,
+                        out,
+                        "untrusted-length-taint",
+                        base + off,
+                        format!(
+                            "`{sink}` in `{}` sized by unguarded wire-derived length {what}; \
+                             bound it first (compare against a MAX_*, or go through Reader::count/take)",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+        for off in word_occurrences(body, "vec") {
+            if bb.get(off + 3) != Some(&b'!') {
+                continue;
+            }
+            let Some((p, c)) = next_token_byte(body, off + 4) else {
+                continue;
+            };
+            if c != b'[' && c != b'(' {
+                continue;
+            }
+            let args = &body[p + 1..match_bracket(body, p).saturating_sub(1)];
+            if let Some(what) = flag_args(args) {
+                push(
+                    file,
+                    out,
+                    "untrusted-length-taint",
+                    base + off,
+                    format!(
+                        "`vec![..]` in `{}` sized by unguarded wire-derived length {what}; \
+                         bound it first (compare against a MAX_*, or go through Reader::count/take)",
+                        f.name
+                    ),
+                );
+            }
+        }
+        // Slice-range math: `buf[a..b]` where the range mentions a tainted
+        // variable (the range form is exactly what L1b exempts).
+        let mut i = 0usize;
+        while i < bb.len() {
+            if bb[i] == b'[' {
+                let abs = base + i;
+                let is_index = abs > 0
+                    && (is_ident_byte(b_all[abs - 1])
+                        || b_all[abs - 1] == b')'
+                        || b_all[abs - 1] == b']');
+                if is_index {
+                    let end = match_bracket(body, i);
+                    let inner = &body[i + 1..end.saturating_sub(1)];
+                    if inner.contains("..") {
+                        if let Some(v) =
+                            live.iter().find(|v| !word_occurrences(inner, v).is_empty())
+                        {
+                            push(
+                                file,
+                                out,
+                                "untrusted-length-taint",
+                                abs,
+                                format!(
+                                    "slice range in `{}` uses unguarded wire-derived length `{v}`; \
+                                     bound it first or use .get(..)",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Names that can follow `let` without being a binding we track.
+const KEYWORD_PATTERNS: &[&str] = &["else", "_"];
+
 // ---------------------------------------------------------------- tests ----
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Run one per-file lint; returns only unsuppressed diagnostics (the
+    /// historical semantics the fixtures assert against).
     fn run_lint(id: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        run_lint_all(id, path, src)
+            .into_iter()
+            .filter(|d| !d.suppressed)
+            .collect()
+    }
+
+    /// Same, but suppressed diagnostics included.
+    fn run_lint_all(id: &str, path: &str, src: &str) -> Vec<Diagnostic> {
         let file = SourceFile::parse(path, src);
         let lint = registry()
             .into_iter()
             .find(|l| l.id == id)
             .expect("known lint id");
         let mut out = Vec::new();
-        (lint.check)(&file, &mut out);
+        match lint.check {
+            Check::File(check) => check(&file, &mut out),
+            Check::Workspace(_) => panic!("use run_workspace_lint for {id}"),
+        }
         out
+    }
+
+    /// Run one workspace lint over a set of (path, source) fixtures;
+    /// returns only unsuppressed diagnostics.
+    fn run_workspace_lint(id: &str, files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let w = Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile::parse(p, s))
+                .collect(),
+        );
+        let lint = registry()
+            .into_iter()
+            .find(|l| l.id == id)
+            .expect("known lint id");
+        let mut out = Vec::new();
+        match lint.check {
+            Check::Workspace(check) => check(&w, &mut out),
+            Check::File(_) => panic!("use run_lint for {id}"),
+        }
+        out.into_iter().filter(|d| !d.suppressed).collect()
     }
 
     const CORE: &str = "crates/core/src/coordinator.rs";
@@ -877,9 +1564,39 @@ fn on_other(&mut self, ctx: &mut Context) {
         let mut out = Vec::new();
         check_file(&file, &mut out);
         let l6: Vec<_> = out.iter().filter(|d| d.lint == "log-before-send").collect();
-        assert!(l6.is_empty(), "allow must suppress: {l6:?}");
+        assert_eq!(l6.len(), 1, "finding is kept but marked suppressed: {l6:?}");
+        assert!(l6[0].suppressed);
         let malformed: Vec<_> = out.iter().filter(|d| d.lint == "malformed-allow").collect();
         assert_eq!(malformed.len(), 1, "reason-less allow is itself flagged");
+    }
+
+    #[test]
+    fn stale_allow_detected_and_live_allow_spared() {
+        let src = "\
+fn on_message(&mut self, ctx: &mut Context) {
+    // xtask-allow(log-before-send): coordinator state is volatile by design
+    ctx.send(peer, env);
+}
+fn on_quiet(&mut self) {
+    // xtask-allow(no-panic): nothing here panics any more after the refactor
+    let x = compute();
+}
+#[cfg(test)]
+mod tests {
+    // xtask-allow(no-panic): test-module allows are out of lint scope
+    fn t() {}
+}
+";
+        let file = SourceFile::parse("crates/core/src/brick.rs", src);
+        let mut diags = Vec::new();
+        check_file(&file, &mut diags);
+        let mut stale = Vec::new();
+        stale_allows(&file, &diags, &mut stale);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].lint, "stale-allow");
+        assert_eq!(stale[0].line, 6, "the no-panic allow that suppresses nothing");
+        assert!(stale[0].msg.contains("no-panic"));
+        assert!(!stale[0].suppressed, "stale allows always fail the run");
     }
 
     #[test]
@@ -890,5 +1607,242 @@ fn on_other(&mut self, ctx: &mut Context) {
         assert_eq!(d[0].line, 2);
         assert_eq!(format!("{}", d[0]),
             format!("{CORE}:2: [no-panic] `.unwrap()` in protocol code; use `?`, `unwrap_or`, or a typed error"));
+    }
+
+    // ------------------------------------------------------------ L7 -------
+
+    const NET: &str = "crates/net/src/transport.rs";
+
+    #[test]
+    fn l7_fires_on_rank_inversion_direct_and_via_call() {
+        // Direct nesting: buffer-pool (rank 2) held while taking
+        // conn-registry (rank 0) — inverted.
+        let direct = "\
+impl Pool {
+    fn recycle(&self) {
+        let mut free = self.free.lock().unwrap();
+        let reg = self.registry.lock().unwrap();
+        free.push(reg.len());
+    }
+}
+";
+        let d = run_workspace_lint("lock-order", &[(NET, direct)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4, "anchored at the inner acquisition");
+        assert!(d[0].msg.contains("rank 0"));
+        assert!(d[0].msg.contains("rank 2"));
+
+        // Interprocedural: cluster-handles (rank 3, crates/runtime) held
+        // across a call into crates/net that takes conn-registry (rank 0).
+        let runtime = "\
+impl Cluster {
+    fn shutdown(&self) {
+        let h = self.handles.lock().unwrap();
+        drop_all(h.len());
+    }
+}
+";
+        let net = "\
+fn drop_all(n: usize) {
+    let reg = GLOBAL.registry.lock().unwrap();
+    reg.truncate(n);
+}
+";
+        let d = run_workspace_lint(
+            "lock-order",
+            &[("crates/runtime/src/lib.rs", runtime), ("crates/net/src/server.rs", net)],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].path, "crates/runtime/src/lib.rs");
+        assert!(d[0].msg.contains("call `drop_all`"), "{}", d[0].msg);
+    }
+
+    #[test]
+    fn l7_silent_on_canonical_order_and_disjoint_guards() {
+        // conn-registry (0) then client-stream (1): strictly increasing.
+        let ordered = "\
+impl Hub {
+    fn route(&self) {
+        let reg = self.registry.lock().unwrap();
+        let w = self.writer.lock().unwrap();
+        w.notify(reg.len());
+    }
+}
+";
+        assert!(run_workspace_lint("lock-order", &[(NET, ordered)]).is_empty());
+
+        // Inverted classes but in disjoint scopes: no nesting, no finding.
+        let disjoint = "\
+impl Hub {
+    fn route(&self) {
+        {
+            let w = self.writer.lock().unwrap();
+            w.flush();
+        }
+        let reg = self.registry.lock().unwrap();
+        reg.clear();
+    }
+}
+";
+        assert!(run_workspace_lint("lock-order", &[(NET, disjoint)]).is_empty());
+    }
+
+    #[test]
+    fn l7_undeclared_class_flagged_only_when_nested_and_allow_works() {
+        // A standalone local mutex is not an ordering hazard.
+        let standalone = "\
+fn tally(counters: &Mutex<u32>) {
+    let mut c = counters.lock().unwrap();
+    *c += 1;
+}
+";
+        assert!(run_workspace_lint("lock-order", &[(NET, standalone)]).is_empty());
+
+        // The same receiver nested under a declared class is flagged…
+        let nested = "\
+impl Hub {
+    fn route(&self) {
+        let reg = self.registry.lock().unwrap();
+        let c = self.counters.lock().unwrap();
+    }
+}
+";
+        let d = run_workspace_lint("lock-order", &[(NET, nested)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("declare it in LOCK_CLASSES"), "{}", d[0].msg);
+
+        // …and an xtask-allow on the inner acquisition suppresses it.
+        let allowed = "\
+impl Hub {
+    fn route(&self) {
+        let reg = self.registry.lock().unwrap();
+        // xtask-allow(lock-order): counters is a leaf mutex never held across a call
+        let c = self.counters.lock().unwrap();
+    }
+}
+";
+        assert!(run_workspace_lint("lock-order", &[(NET, allowed)]).is_empty());
+    }
+
+    // ------------------------------------------------------------ L8 -------
+
+    const SERVER: &str = "crates/net/src/server.rs";
+
+    #[test]
+    fn l8_fires_on_direct_and_transitive_blocking_from_entry() {
+        let src = "\
+impl NodeServer {
+    fn on_net(&mut self, msg: Message) {
+        self.store.sync_data();
+        self.drain();
+    }
+    fn drain(&mut self) {
+        while let Ok(ev) = self.rx.recv() {
+            apply(ev);
+        }
+    }
+}
+";
+        let d = run_workspace_lint("no-blocking-on-event-loop", &[(SERVER, src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].msg.contains("`sync_data` blocks event-loop entry"), "{}", d[0].msg);
+        assert!(d[1].msg.contains("call to `drain`"), "{}", d[1].msg);
+        assert!(d[1].msg.contains("`recv`"), "{}", d[1].msg);
+    }
+
+    #[test]
+    fn l8_silent_on_bounded_locks_and_non_entry_blocking() {
+        let src = "\
+impl NodeServer {
+    fn on_net(&mut self, msg: Message) {
+        let w = self.writer.lock().unwrap();
+        w.enqueue(msg);
+    }
+}
+fn writer_loop(rx: &Receiver<Frame>) {
+    while let Ok(f) = rx.recv() {
+        stage(f);
+    }
+}
+";
+        // `writer` is a declared bounded class; `writer_loop` blocks but is
+        // not an event-loop entry and is not reachable from one.
+        assert!(run_workspace_lint("no-blocking-on-event-loop", &[(SERVER, src)]).is_empty());
+    }
+
+    #[test]
+    fn l8_honours_allow_at_the_offending_site() {
+        let src = "\
+impl NodeServer {
+    fn on_net(&mut self, msg: Message) {
+        // xtask-allow(no-blocking-on-event-loop): synchronous mode fsyncs inline by documented design
+        self.store.sync_data();
+    }
+}
+";
+        assert!(run_workspace_lint("no-blocking-on-event-loop", &[(SERVER, src)]).is_empty());
+    }
+
+    // ------------------------------------------------------------ L9 -------
+
+    const CODEC: &str = "crates/wire/src/codec.rs";
+
+    #[test]
+    fn l9_fires_on_unguarded_wire_lengths_at_sinks() {
+        let src = "\
+fn decode(r: &mut Reader) -> Result<Frame, WireError> {
+    let n = r.u32()? as usize;
+    let mut buf = Vec::with_capacity(n);
+    let body = vec![0u8; n];
+    Ok(Frame { buf, body })
+}
+";
+        let d = run_lint("untrusted-length-taint", CODEC, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].msg.contains("with_capacity"), "{}", d[0].msg);
+        assert_eq!(d[1].line, 4);
+        assert!(d[1].msg.contains("vec!"), "{}", d[1].msg);
+    }
+
+    #[test]
+    fn l9_silent_when_guarded_or_out_of_scope() {
+        // A comparison against a bound sanitizes the variable.
+        let guarded = "\
+fn decode(r: &mut Reader) -> Result<Frame, WireError> {
+    let n = r.u32()? as usize;
+    if n > MAX_BODY_LEN {
+        return Err(WireError::TooLarge);
+    }
+    let mut buf = Vec::with_capacity(n);
+    Ok(Frame { buf })
+}
+";
+        assert!(run_lint("untrusted-length-taint", CODEC, guarded).is_empty());
+
+        // Same taint in a non-wire file: out of scope.
+        let src = "\
+fn rebuild(r: &mut Reader) {
+    let n = r.u32() as usize;
+    let v = Vec::with_capacity(n);
+}
+";
+        assert!(run_lint("untrusted-length-taint", "crates/core/src/replica.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_honours_allow_and_keeps_suppressed_finding() {
+        let src = "\
+fn decode(r: &mut Reader) -> Result<Frame, WireError> {
+    let n = r.u32()? as usize;
+    // xtask-allow(untrusted-length-taint): n is re-bounded by the caller before any allocation
+    let mut buf = Vec::with_capacity(n);
+    Ok(Frame { buf })
+}
+";
+        assert!(run_lint("untrusted-length-taint", CODEC, src).is_empty());
+        let all = run_lint_all("untrusted-length-taint", CODEC, src);
+        assert_eq!(all.len(), 1, "{all:?}");
+        assert!(all[0].suppressed);
     }
 }

@@ -2,10 +2,15 @@
 //!
 //! Subcommands:
 //!
-//! * `analyze [--list] [PATH ...]` — run the protocol-aware static-analysis
-//!   pass (lints L1–L6, see `lints.rs` and DESIGN.md) over the workspace
-//!   sources. Exits non-zero if any violation is found. With explicit PATHs,
-//!   analyzes only those files/directories.
+//! * `analyze [--list] [--json] [PATH ...]` — run the protocol-aware
+//!   static-analysis pass (lints L1–L9, see `lints.rs`, `graph.rs` and
+//!   DESIGN.md) over the workspace sources. L1–L6 and L9 are per-file
+//!   passes; L7 (lock order) and L8 (no blocking on the event loop) run
+//!   over a whole-workspace call graph. Exits non-zero if any unsuppressed
+//!   violation — or any stale `xtask-allow` — is found. With explicit
+//!   PATHs, analyzes only those files/directories (workspace lints then see
+//!   only that slice of the graph). `--json` emits deterministically-sorted
+//!   machine-readable diagnostics, suppressed ones included.
 //!
 //! * `torture [ARGS ...]` — build and run the `fab-torture` fault-campaign
 //!   binary (release profile) with ARGS forwarded verbatim; see
@@ -17,6 +22,7 @@
 //! The binary is dependency-free on purpose: it must build in hermetic CI
 //! images with an empty cargo registry.
 
+mod graph;
 mod lexer;
 mod lints;
 mod model;
@@ -88,6 +94,7 @@ fn analyze(args: &[String]) -> ExitCode {
     }
 
     let list_allows = args.iter().any(|a| a == "--allows");
+    let json = args.iter().any(|a| a == "--json");
     let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let files: Vec<PathBuf> = if explicit.is_empty() {
         default_targets(&root)
@@ -112,7 +119,7 @@ fn analyze(args: &[String]) -> ExitCode {
     };
 
     let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut analyzed = 0usize;
+    let mut parsed: Vec<SourceFile> = Vec::new();
     for path in &files {
         let Ok(raw) = std::fs::read_to_string(path) else {
             eprintln!("xtask: warning: unreadable file {}", path.display());
@@ -126,27 +133,87 @@ fn analyze(args: &[String]) -> ExitCode {
             }
         }
         lints::check_file(&file, &mut diags);
-        analyzed += 1;
+        parsed.push(file);
     }
     if list_allows {
         return ExitCode::SUCCESS;
     }
+    let analyzed = parsed.len();
 
-    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for d in &diags {
+    // Workspace lints (L7/L8) need the whole call graph, then stale-allow
+    // detection needs every diagnostic — suppressed ones included — so an
+    // allow matching *any* finding counts as live.
+    let workspace = graph::Workspace::build(parsed);
+    lints::check_workspace(&workspace, &mut diags);
+    let mut stale = Vec::new();
+    for file in &workspace.files {
+        lints::stale_allows(file, &diags, &mut stale);
+    }
+    diags.append(&mut stale);
+
+    // Deterministic order for humans and machines alike.
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.msg).cmp(&(&b.path, b.line, b.lint, &b.msg))
+    });
+    let unsuppressed = diags.iter().filter(|d| !d.suppressed).count();
+    let suppressed = diags.len() - unsuppressed;
+
+    if json {
+        println!("{}", json_report(&diags));
+        return if unsuppressed == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    for d in diags.iter().filter(|d| !d.suppressed) {
         println!("{d}");
     }
-    if diags.is_empty() {
-        println!("xtask analyze: {analyzed} files clean (lints L1-L6, 0 violations)");
+    if unsuppressed == 0 {
+        println!(
+            "xtask analyze: {analyzed} files clean (lints L1-L9, 0 violations, {suppressed} suppressed)"
+        );
         ExitCode::SUCCESS
     } else {
         println!(
-            "xtask analyze: {} violation(s) in {analyzed} files",
-            diags.len()
+            "xtask analyze: {unsuppressed} violation(s) in {analyzed} files ({suppressed} suppressed)"
         );
         println!("suppress a finding with `// xtask-allow(<lint>): <reason>` on or above the line");
         ExitCode::FAILURE
     }
+}
+
+/// Render diagnostics as a JSON array, sorted by the caller. Hand-rolled
+/// (the binary is dependency-free); escaping covers everything our
+/// messages can contain.
+fn json_report(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\", \"suppressed\": {}}}",
+            esc(&d.path),
+            d.line,
+            esc(d.lint),
+            esc(&d.msg),
+            d.suppressed
+        ));
+    }
+    out.push_str("\n]");
+    out
 }
 
 /// The planted protocol bugs `torture --mutation-smoke` must catch.
@@ -223,9 +290,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: cargo xtask <analyze|torture> [ARGS ...]");
             eprintln!();
-            eprintln!("  analyze   run the protocol-aware static-analysis pass (L1-L6)");
+            eprintln!("  analyze   run the protocol-aware static-analysis pass (L1-L9)");
             eprintln!("    --list    print the lint registry and exit");
             eprintln!("    --allows  audit every xtask-allow suppression and its reason");
+            eprintln!("    --json    emit deterministically-sorted machine-readable diagnostics");
             eprintln!("  torture   run seed-driven fault campaigns (fab-torture)");
             eprintln!("    --mutation-smoke  prove the suite catches planted protocol bugs");
             eprintln!("    (other flags are forwarded; see `cargo xtask torture -- --help`)");

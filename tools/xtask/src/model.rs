@@ -78,6 +78,13 @@ impl SourceFile {
         self.test_ranges.iter().any(|r| r.contains(&offset))
     }
 
+    /// Is the start of 1-based `line` inside a `#[cfg(test)]` module?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.line_starts
+            .get(line.wrapping_sub(1))
+            .is_some_and(|&off| self.in_test(off))
+    }
+
     /// Is a diagnostic for `lint` at `line` suppressed by an
     /// `xtask-allow` directive on the same line or the line above?
     pub fn allowed(&self, lint: &str, line: usize) -> bool {
@@ -170,7 +177,7 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<usize>) {
 
 /// Given masked text and the offset of a `{`, return the offset one past its
 /// matching `}` (or `text.len()` if unbalanced).
-fn match_brace(text: &str, open: usize) -> usize {
+pub(crate) fn match_brace(text: &str, open: usize) -> usize {
     let b = text.as_bytes();
     debug_assert_eq!(b[open], b'{');
     let mut depth = 0usize;
@@ -303,6 +310,126 @@ fn find_fns(masked: &str) -> Vec<FnSpan> {
     }
     fns
 }
+
+// ------------------------------------------------------------------------
+// Workspace concurrency model — the declarations L7/L8/L9 check against.
+// These live here (not in the lint code) so the *policy* is one screen of
+// reviewable facts while the engine in `graph.rs`/`lints.rs` stays generic.
+// ------------------------------------------------------------------------
+
+/// Crates that contribute nothing to the call graph: dev harnesses whose
+/// helper names (`send`, `recv`, `lock`, …) would pollute bare-name
+/// resolution, and client-side glue that never runs on a brick's event
+/// loop. Files here are still linted by the per-file rules L1–L6.
+pub const GRAPH_EXCLUDED_PREFIXES: &[&str] = &[
+    "crates/loom/",    // model-checking stand-in: reimplements thread/mpsc/Mutex
+    "crates/torture/", // fault-campaign harness
+    "crates/bench/",   // benchmark drivers
+    "crates/volume/",  // client-side volume glue (delegation wrappers over a Mutex)
+];
+
+/// One declared lock class for L7. `receiver` is the last alphabetic
+/// segment of the expression a `.lock()` is called on (`self.free.lock()`
+/// → `free`); `file_prefix` scopes the mapping (empty = any file).
+pub struct LockClass {
+    pub receiver: &'static str,
+    pub file_prefix: &'static str,
+    pub class: &'static str,
+    /// Position in the canonical acquisition order: a thread holding a
+    /// lock of rank `r` may only acquire locks of rank strictly greater
+    /// than `r`.
+    pub rank: u32,
+    /// Bounded critical sections (O(1) work, no waiting inside): safe to
+    /// take from the event loop, so L8 does not count them as blocking.
+    pub bounded: bool,
+}
+
+/// The canonical lock order for the whole workspace (L7). Rationale:
+///
+/// * `conn-registry` (fab-net `Registry`): held while draining/joining
+///   reader bookkeeping — outermost, nothing else may be held around it.
+/// * `client-stream` (fab-net per-client `ClientWriter`): held across one
+///   reply `write_all` (bounded by the socket write timeout); the reply
+///   buffer is returned to the pool afterwards, so `buffer-pool` must rank
+///   inside it.
+/// * `buffer-pool` (fab-net `BufferPool::free`): an O(1) push/pop
+///   free-list — a leaf in practice, may be taken under any of the above.
+/// * `cluster-handles` (fab-runtime `RuntimeCluster::handles`): join-side
+///   bookkeeping on the test-cluster path; nothing is ever acquired under
+///   it, so it ranks last.
+pub const LOCK_CLASSES: &[LockClass] = &[
+    LockClass { receiver: "registry", file_prefix: "crates/net/", class: "conn-registry", rank: 0, bounded: false },
+    LockClass { receiver: "writer", file_prefix: "crates/net/", class: "client-stream", rank: 1, bounded: true },
+    LockClass { receiver: "free", file_prefix: "crates/net/", class: "buffer-pool", rank: 2, bounded: true },
+    LockClass { receiver: "handles", file_prefix: "crates/runtime/", class: "cluster-handles", rank: 3, bounded: false },
+];
+
+/// Event-loop entry points for L8, as `(file, qualified fn)`. These are
+/// the functions the single-threaded brick event loops call per event;
+/// anything blocking reachable from them stalls every client of the brick.
+/// The loops' own idle `recv`/`recv_timeout` (in `run`) is the one place
+/// blocking is the *point*, so `run` itself is not an entry.
+pub const EVENT_LOOP_ENTRIES: &[(&str, &str)] = &[
+    ("crates/net/src/server.rs", "NodeServer::on_net"),
+    ("crates/net/src/server.rs", "NodeServer::on_client"),
+    ("crates/net/src/server.rs", "NodeServer::deliver_completions"),
+    ("crates/net/src/server.rs", "NodeServer::refuse_waiting"),
+    ("crates/net/src/server.rs", "NodeServer::fence"),
+    ("crates/net/src/server.rs", "send_reply"),
+    ("crates/runtime/src/lib.rs", "BrickServer::on_net"),
+    ("crates/runtime/src/lib.rs", "BrickServer::on_invoke"),
+    ("crates/runtime/src/lib.rs", "BrickServer::deliver_completions"),
+    ("crates/runtime/src/lib.rs", "BrickServer::load_from_store"),
+];
+
+/// Method calls that block the calling thread (L8 sinks). Channel `send`
+/// is deliberately absent (all inter-thread channels here are unbounded,
+/// or capacity-1 replies with a dedicated waiting receiver), as is
+/// `write_all` (sockets carry explicit write timeouts). `try_recv` never
+/// matches `recv` thanks to identifier-boundary matching.
+pub const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "sync_data",
+    "sync_all",
+];
+
+/// Call-position names that block regardless of receiver syntax.
+pub const BLOCKING_CALLS: &[&str] = &["sleep", "connect_timeout"];
+
+/// Files whose functions L9 taint-checks: every length they read came off
+/// a socket (wire codec + frame header) or out of an on-disk log replayed
+/// through the same shapes.
+pub const TAINT_FILES: &[&str] = &[
+    "crates/wire/src/codec.rs",
+    "crates/wire/src/frame.rs",
+    "crates/net/src/transport.rs",
+];
+
+/// Reader-style methods whose return value is an untrusted wire integer.
+pub const TAINT_METHOD_SOURCES: &[&str] =
+    &["u16", "u32", "u64", "read_u16", "read_u32", "read_u64"];
+
+/// Struct fields that carry a wire-declared length.
+pub const TAINT_FIELD_SOURCES: &[&str] = &["body_len"];
+
+/// Free/associated functions that reconstruct integers from raw bytes.
+pub const TAINT_WORD_SOURCES: &[&str] = &["from_le_bytes", "from_be_bytes"];
+
+/// Calls that count as sanitizing a tainted length when it appears in
+/// their arguments: `Reader::count`/`take` validate against remaining
+/// input, `min`/`clamp` bound it, `get` returns `Option` instead of
+/// panicking or over-allocating. Names starting with `check`/`ensure`/
+/// `validate`/`guard` also count (prefix match in the lint).
+pub const TAINT_GUARD_CALLS: &[&str] = &["min", "clamp", "count", "take", "get"];
+
+/// Allocation-sized sinks: a tainted length reaching one of these without
+/// a prior guard is an allocation bomb (`vec![0; n]` and slice-range math
+/// are handled structurally in the lint).
+pub const TAINT_SINK_METHODS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
 
 #[cfg(test)]
 mod tests {
