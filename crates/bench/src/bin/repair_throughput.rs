@@ -1,0 +1,323 @@
+//! Background-rebuild throughput over a real loopback TCP cluster.
+//!
+//! Boots the paper's f=1 configuration (n=5 bricks, m=3 data blocks) with
+//! durable stores, seeds a volume, then replaces one brick: kill it, wipe
+//! its store directory, restart it empty, and drive the admin repair
+//! orchestrator (`AdminOp::RepairStart`) to rebuild it. Each data point
+//! reports rebuild throughput (stripes/s and MB/s of reconstructed data)
+//! for a throttle setting, with and without concurrent foreground writes —
+//! the trade the throttle exists to navigate: an unthrottled rebuild
+//! finishes fastest but competes with clients for coordinator slots, while
+//! a throttled one bounds its impact on foreground p99 at the cost of a
+//! longer degraded window.
+//!
+//! Writes `BENCH_repair.json` (or the path given as the first non-flag
+//! argument) so CI and later PRs can diff rebuild performance.
+//!
+//! Run: `cargo run --release -p fab-bench --bin repair_throughput [out.json]`
+//!
+//! `--smoke` runs one bounded throttled point under foreground load and
+//! exits non-zero unless the rebuild completes with zero failures, the
+//! throttle demonstrably engaged, and foreground writes kept committing
+//! with bounded p99 — a cheap CI regression tripwire, not a benchmark.
+
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use fab_core::{OpResult, RegisterConfig, StripeId};
+use fab_net::{BrickNode, NetClient, NodeConfig};
+use fab_timestamp::ProcessId;
+use fab_wire::{AdminOp, AdminResponse, RepairProgress};
+
+/// The paper's f=1 layout: 5 bricks, stripes of 3 data blocks.
+const N: usize = 5;
+const M: usize = 3;
+
+/// Large-ish blocks so rebuild MB/s measures data movement, not framing.
+const BLOCK_BYTES: usize = 4096;
+
+/// Stripes seeded (and then rebuilt) per data point.
+const STRIPES: usize = 192;
+const SMOKE_STRIPES: usize = 48;
+
+/// Throttle sweep: unlimited, then a rate well below the unthrottled
+/// rebuild speed so the token bucket is the binding constraint.
+const THROTTLES: [u64; 2] = [0, 48];
+const SMOKE_THROTTLE: u64 = 24;
+
+/// Foreground writer threads when load is enabled.
+const FG_WORKERS: usize = 2;
+
+struct Sample {
+    stripes_per_sec_limit: u64,
+    foreground: bool,
+    stripes: usize,
+    rebuild_secs: f64,
+    rebuild_stripes_per_s: f64,
+    rebuild_mb_per_s: f64,
+    throttle_waits: u64,
+    repaired: u64,
+    skipped: u64,
+    fg_ops: u64,
+    fg_p50_us: u64,
+    fg_p99_us: u64,
+}
+
+fn bind_cluster(n: usize) -> (Vec<TcpListener>, Vec<SocketAddr>) {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    (listeners, addrs)
+}
+
+fn stripe(seed: u8) -> Vec<Bytes> {
+    (0..M)
+        .map(|j| Bytes::from(vec![seed.wrapping_add(j as u8).wrapping_mul(37) | 1; BLOCK_BYTES]))
+        .collect()
+}
+
+fn status(admin: &mut NetClient, node: usize) -> RepairProgress {
+    match admin.try_admin(node, &AdminOp::RepairStatus) {
+        Ok(AdminResponse::Status(p)) => p,
+        other => panic!("repair-status reply: {other:?}"),
+    }
+}
+
+/// Boots a fresh cluster, seeds `stripes`, replaces brick `N-1`, rebuilds
+/// it at the given throttle (optionally under foreground write load), and
+/// returns the sample.
+fn run_point(stripes: usize, throttle: u64, foreground: bool) -> Sample {
+    let store_root = std::env::temp_dir().join(format!(
+        "fab-repair-bench-{}-{throttle}-{foreground}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let (listeners, addrs) = bind_cluster(N);
+    let cfg = RegisterConfig::new(M, N, BLOCK_BYTES).expect("valid config");
+    let spawn_node = |i: usize, listener: TcpListener| -> BrickNode {
+        let node_cfg = NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone())
+            .with_store_dir(store_root.join(format!("node-{i}")));
+        BrickNode::spawn(node_cfg, listener).expect("spawn brick")
+    };
+    let mut nodes: Vec<Option<BrickNode>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| Some(spawn_node(i, l)))
+        .collect();
+
+    // Seed every stripe so the rebuild moves a known volume of data.
+    let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+    for s in 0..stripes {
+        let result = client
+            .try_write_stripe(StripeId(s as u64), stripe(s as u8))
+            .expect("seed write");
+        assert_eq!(result, OpResult::Written, "seed write to stripe {s}");
+    }
+
+    // Replace the brick: kill, wipe the store (fresh disk), restart empty.
+    let victim = N - 1;
+    let listener = nodes[victim]
+        .take()
+        .unwrap()
+        .shutdown()
+        .expect("shutdown returns listener");
+    std::fs::remove_dir_all(store_root.join(format!("node-{victim}"))).expect("wipe store");
+    nodes[victim] = Some(spawn_node(victim, listener));
+
+    // Foreground writers (if enabled) run for the whole rebuild window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let fg: Vec<_> = (0..if foreground { FG_WORKERS } else { 0 })
+        .map(|t| {
+            let addrs = addrs.clone();
+            let cfg = cfg.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut client = NetClient::connect(addrs, cfg);
+                let mut rng = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut lat_us = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let s = rng % stripes as u64;
+                    let op_start = Instant::now();
+                    let result = client.try_write_stripe(StripeId(s), stripe(s as u8));
+                    if matches!(result, Ok(OpResult::Written)) {
+                        lat_us.push(op_start.elapsed().as_micros() as u64);
+                    }
+                }
+                lat_us
+            })
+        })
+        .collect();
+
+    // Rebuild via the admin path, timing start → completion.
+    let mut admin = NetClient::connect(addrs.clone(), cfg.clone());
+    let start_op = AdminOp::RepairStart {
+        brick: victim as u32,
+        stripe_count: stripes as u64,
+        stripes_per_sec: throttle,
+        bytes_per_sec: 0,
+        max_inflight: 4,
+        scrub_all: false,
+    };
+    let started = Instant::now();
+    assert!(matches!(
+        admin.try_admin(0, &start_op).expect("repair-start"),
+        AdminResponse::Started
+    ));
+    let final_status = loop {
+        let p = status(&mut admin, 0);
+        if !p.running {
+            break p;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let rebuild_secs = started.elapsed().as_secs_f64();
+    assert!(final_status.complete, "rebuild incomplete: {final_status:?}");
+    assert_eq!(final_status.failed, 0, "{final_status:?}");
+
+    stop.store(true, Ordering::Relaxed);
+    let mut fg_lat: Vec<u64> = Vec::new();
+    for w in fg {
+        fg_lat.extend(w.join().expect("foreground worker panicked"));
+    }
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    fg_lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((fg_lat.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        fg_lat.get(idx).copied().unwrap_or(0)
+    };
+    Sample {
+        stripes_per_sec_limit: throttle,
+        foreground,
+        stripes,
+        rebuild_secs,
+        rebuild_stripes_per_s: stripes as f64 / rebuild_secs.max(1e-9),
+        rebuild_mb_per_s: final_status.bytes_reconstructed as f64
+            / (1024.0 * 1024.0)
+            / rebuild_secs.max(1e-9),
+        throttle_waits: final_status.throttle_waits,
+        repaired: final_status.repaired,
+        skipped: final_status.skipped,
+        fg_ops: fg_lat.len() as u64,
+        fg_p50_us: pct(0.50),
+        fg_p99_us: pct(0.99),
+    }
+}
+
+fn render(samples: &[Sample]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"m\": {M},");
+    let _ = writeln!(json, "  \"block_bytes\": {BLOCK_BYTES},");
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"stripes_per_sec_limit\": {}, \"foreground\": {}, \"stripes\": {}, \
+             \"rebuild_secs\": {:.2}, \"rebuild_stripes_per_s\": {:.1}, \
+             \"rebuild_mb_per_s\": {:.2}, \"throttle_waits\": {}, \"repaired\": {}, \
+             \"skipped\": {}, \"fg_ops\": {}, \"fg_p50_us\": {}, \"fg_p99_us\": {}}}{}",
+            s.stripes_per_sec_limit,
+            s.foreground,
+            s.stripes,
+            s.rebuild_secs,
+            s.rebuild_stripes_per_s,
+            s.rebuild_mb_per_s,
+            s.throttle_waits,
+            s.repaired,
+            s.skipped,
+            s.fg_ops,
+            s.fg_p50_us,
+            s.fg_p99_us,
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(PathBuf::from(arg));
+        }
+    }
+
+    if smoke {
+        let s = run_point(SMOKE_STRIPES, SMOKE_THROTTLE, true);
+        eprintln!(
+            "smoke: rebuilt {} stripes at {}/s limit in {:.2}s ({:.1} stripes/s, {:.2} MB/s), \
+             {} throttle waits, fg {} ops p99 {}us",
+            s.stripes,
+            s.stripes_per_sec_limit,
+            s.rebuild_secs,
+            s.rebuild_stripes_per_s,
+            s.rebuild_mb_per_s,
+            s.throttle_waits,
+            s.fg_ops,
+            s.fg_p99_us
+        );
+        if s.throttle_waits == 0 {
+            eprintln!("FAIL: throttle never engaged");
+            std::process::exit(1);
+        }
+        if s.fg_ops == 0 {
+            eprintln!("FAIL: foreground writes starved during rebuild");
+            std::process::exit(1);
+        }
+        if s.fg_p99_us > 5_000_000 {
+            eprintln!("FAIL: foreground p99 {}us exceeds 5s bound", s.fg_p99_us);
+            std::process::exit(1);
+        }
+        eprintln!("ok: throttled rebuild completed, foreground p99 bounded");
+        return;
+    }
+
+    let out_path = out_path.unwrap_or_else(|| PathBuf::from("BENCH_repair.json"));
+    let mut samples = Vec::new();
+    for &throttle in &THROTTLES {
+        for fg in [false, true] {
+            let s = run_point(STRIPES, throttle, fg);
+            eprintln!(
+                "limit {:>3}/s fg={:<5}: {:>6.1} stripes/s  {:>6.2} MB/s  in {:>5.2}s  \
+                 waits {:>4}  fg p99 {:>7}us",
+                s.stripes_per_sec_limit,
+                s.foreground,
+                s.rebuild_stripes_per_s,
+                s.rebuild_mb_per_s,
+                s.rebuild_secs,
+                s.throttle_waits,
+                s.fg_p99_us
+            );
+            samples.push(s);
+        }
+    }
+
+    let json = render(&samples);
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -106,6 +106,18 @@ impl Brick {
         self.replicas.get(&stripe)
     }
 
+    /// Discards ALL of this brick's state, persistent replica state
+    /// included — the "replaced disk" model, as opposed to
+    /// [`Actor::on_crash`]'s power-loss model where the durable log
+    /// survives. Every register this brick stored restarts from its
+    /// initial state; recovery/repair must rebuild it from the rest of
+    /// the segment group.
+    pub fn wipe(&mut self) {
+        self.replicas.clear();
+        self.coordinator.on_crash();
+        self.completions.clear();
+    }
+
     /// Sum of disk metrics across this brick's replicas.
     pub fn disk_metrics(&self) -> DiskMetrics {
         let mut total = DiskMetrics::default();
@@ -465,6 +477,34 @@ impl SimCluster {
             b.scrub(ctx, stripe);
         })
         .result
+    }
+
+    /// Like [`SimCluster::scrub`] but returns the full [`Completion`]
+    /// (with timing and the `recovered` flag).
+    pub fn scrub_completion(&mut self, coordinator: ProcessId, stripe: StripeId) -> Completion {
+        self.run_op(coordinator, move |b, ctx| {
+            b.scrub(ctx, stripe);
+        })
+    }
+
+    /// Like [`SimCluster::read_stripe`] but returns the full
+    /// [`Completion`], so callers can observe whether the read took the
+    /// recovery path (`Completion::recovered`).
+    pub fn read_stripe_completion(
+        &mut self,
+        coordinator: ProcessId,
+        stripe: StripeId,
+    ) -> Completion {
+        self.run_op(coordinator, move |b, ctx| {
+            b.read_stripe(ctx, stripe);
+        })
+    }
+
+    /// Wipes `pid`'s entire brick state — the replaced-disk model (see
+    /// [`Brick::wipe`]). The brick keeps running; repair must rebuild
+    /// its registers from the rest of the segment group.
+    pub fn wipe(&mut self, pid: ProcessId) {
+        self.sim.actor_mut(pid).wipe();
     }
 
     /// Runs a multi-block write to completion via `coordinator`.
@@ -870,5 +910,67 @@ mod tests {
             (c.sim().fingerprint(), format!("{r:?}"))
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn scrub_of_never_written_stripe_is_a_clean_noop() {
+        // A full-brick rebuild visits every stripe the brick could
+        // host, most of which were never written. The scrub must
+        // complete as `Stripe(Nil)` without manufacturing a synthetic
+        // zero value: no disk write may land anywhere.
+        let mut c = cluster(2, 4);
+        let before = c.disk_metrics();
+        assert_eq!(
+            c.scrub(pid(1), StripeId(9)),
+            OpResult::Stripe(StripeValue::Nil)
+        );
+        let after = c.disk_metrics();
+        assert_eq!(
+            after.writes, before.writes,
+            "scrubbing an unwritten stripe must not write a synthetic value"
+        );
+        // The stripe is still writable and readable afterwards.
+        let data = blocks(2, 42, 16);
+        assert_eq!(
+            c.write_stripe(pid(0), StripeId(9), data.clone()),
+            OpResult::Written
+        );
+        assert_eq!(
+            c.read_stripe(pid(2), StripeId(9)),
+            OpResult::Stripe(StripeValue::Data(data))
+        );
+    }
+
+    #[test]
+    fn wiped_brick_rebuilds_via_scrub() {
+        // Replaced-disk model: write stripes, wipe one brick's entire
+        // replica state, scrub each stripe, and then verify reads take
+        // the fast path again (the wiped brick holds fresh segments).
+        let mut c = cluster(3, 5);
+        let victim = pid(4);
+        let written: Vec<StripeId> = (0..6).map(StripeId).collect();
+        for (i, &s) in written.iter().enumerate() {
+            c.write_stripe(pid((i % 5) as u32), s, blocks(3, i as u8, 16));
+        }
+        c.wipe(victim);
+        for &s in &written {
+            match c.scrub(pid(0), s) {
+                OpResult::Stripe(StripeValue::Data(_)) => {}
+                other => panic!("scrub of written stripe after wipe: {other:?}"),
+            }
+        }
+        // Post-repair reads complete without the recovery path, even
+        // when coordinated by the previously wiped brick.
+        for &s in &written {
+            let done = c.read_stripe_completion(victim, s);
+            assert!(
+                !done.recovered,
+                "stripe {s:?} still degraded after scrub-rebuild"
+            );
+            match done.result {
+                OpResult::Stripe(StripeValue::Data(_)) => {}
+                other => panic!("post-repair read: {other:?}"),
+            }
+        }
     }
 }

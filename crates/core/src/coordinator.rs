@@ -910,6 +910,20 @@ impl Coordinator {
         if blocks.len() >= self.cfg.m() {
             match assemble_stripe(&self.cfg, &blocks) {
                 Some(mut value) => {
+                    // A scrub that recovers an untouched register — no reply
+                    // carried a real version, so `max` never left LowTS and
+                    // the assembled value is nil — completes as a clean no-op
+                    // instead of running store-stripe: writing a synthetic
+                    // nil at a fresh timestamp would manufacture history for
+                    // a stripe nobody ever wrote, and a full-brick rebuild
+                    // visits many such stripes.
+                    if matches!(op.kind, OpKind::Scrub)
+                        && max == Timestamp::LOW
+                        && matches!(value, StripeValue::Nil)
+                    {
+                        self.complete(fx, op_id, OpResult::Stripe(StripeValue::Nil));
+                        return;
+                    }
                     // slow-write-block grafts the new blocks onto the
                     // recovered stripe (Alg. 3 lines 84–87).
                     if let OpKind::WriteBlocks { updates, .. } = &op.kind {

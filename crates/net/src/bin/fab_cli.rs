@@ -9,7 +9,16 @@
 //!   write-block  STRIPE J TEXT   write TEXT (zero-padded) into block J
 //!   read-block   STRIPE J        read and print block J
 //!   scrub        STRIPE          recover + rewrite the stripe everywhere
+//!   repair BRICK --stripes N     rebuild a replaced brick's stripes
+//!   repair --all --stripes N     full-volume scrub
+//!   repair-status                progress of the running repair
+//!   repair-abort                 stop the running repair
 //! ```
+//!
+//! Repair verbs accept `--stripes-per-sec R`, `--bytes-per-sec B`, and
+//! `--max-inflight K` throttles, and `--node I` to pick the brick that
+//! orchestrates (default 0). `repair-status`/`repair-abort` must target
+//! the same node the repair was started on.
 //!
 //! `--cluster`, `--m`, and `--block-size` must match the running `fabd`
 //! processes. Any brick can coordinate any operation; the client rotates
@@ -21,6 +30,7 @@
 use bytes::Bytes;
 use fab_core::{BlockValue, OpResult, RegisterConfig, StripeId, StripeValue};
 use fab_net::NetClient;
+use fab_wire::{AdminOp, AdminResponse, RepairProgress};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
@@ -30,7 +40,11 @@ commands:
   read-stripe  STRIPE
   write-block  STRIPE J TEXT
   read-block   STRIPE J
-  scrub        STRIPE";
+  scrub        STRIPE
+  repair BRICK --stripes N [--stripes-per-sec R] [--bytes-per-sec B] [--max-inflight K] [--node I]
+  repair --all --stripes N [throttles...] [--node I]
+  repair-status [--node I]
+  repair-abort  [--node I]";
 
 /// A parsed invocation: connection parameters plus one command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +55,15 @@ struct Cli {
     command: Command,
 }
 
+/// What a repair rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepairTarget {
+    /// The stripes hosted by one replaced/wiped brick.
+    Brick(u32),
+    /// Every stripe of the volume (`--all`).
+    All,
+}
+
 /// The operation to run against the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Command {
@@ -49,6 +72,16 @@ enum Command {
     WriteBlock { stripe: StripeId, j: usize, text: String },
     ReadBlock { stripe: StripeId, j: usize },
     Scrub { stripe: StripeId },
+    Repair {
+        target: RepairTarget,
+        stripes: u64,
+        stripes_per_sec: u64,
+        bytes_per_sec: u64,
+        max_inflight: u32,
+        node: usize,
+    },
+    RepairStatus { node: usize },
+    RepairAbort { node: usize },
 }
 
 fn pad(text: &str, len: usize) -> Bytes {
@@ -104,6 +137,12 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
     let mut cluster: Option<Vec<SocketAddr>> = None;
     let mut m = None;
     let mut block_size = None;
+    let mut stripes: Option<u64> = None;
+    let mut stripes_per_sec = 0u64;
+    let mut bytes_per_sec = 0u64;
+    let mut max_inflight = 4u32;
+    let mut all = false;
+    let mut node = 0usize;
     let mut rest: Vec<&String> = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -133,14 +172,90 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
                         .map_err(|e| format!("--block-size: {e}"))?,
                 );
             }
+            "--stripes" => {
+                stripes = Some(
+                    it.next()
+                        .ok_or("--stripes needs a stripe count")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--stripes: {e}"))?,
+                );
+            }
+            "--stripes-per-sec" => {
+                stripes_per_sec = it
+                    .next()
+                    .ok_or("--stripes-per-sec needs a rate")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--stripes-per-sec: {e}"))?;
+            }
+            "--bytes-per-sec" => {
+                bytes_per_sec = it
+                    .next()
+                    .ok_or("--bytes-per-sec needs a rate")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--bytes-per-sec: {e}"))?;
+            }
+            "--max-inflight" => {
+                max_inflight = it
+                    .next()
+                    .ok_or("--max-inflight needs a count")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--all" => all = true,
+            "--node" => {
+                node = it
+                    .next()
+                    .ok_or("--node needs a brick index")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--node: {e}"))?;
+            }
             _ => rest.push(arg),
         }
     }
     let cluster = cluster.ok_or("--cluster is required")?;
     let m = m.ok_or("--m is required")?;
     let block_size = block_size.ok_or("--block-size is required")?;
+    if node >= cluster.len() {
+        return Err(format!(
+            "--node {node} is out of range for a {}-brick cluster",
+            cluster.len()
+        ));
+    }
+
+    // A closure, not computed eagerly: only the repair verbs need it.
+    let repair_command = |target: RepairTarget| -> Result<Command, String> {
+        let stripes =
+            stripes.ok_or("--stripes is required for repair (the volume's stripe count)")?;
+        Ok(Command::Repair {
+            target,
+            stripes,
+            stripes_per_sec,
+            bytes_per_sec,
+            max_inflight,
+            node,
+        })
+    };
 
     let command = match rest.as_slice() {
+        [cmd, brick] if cmd.as_str() == "repair" => {
+            if all {
+                return Err(
+                    "conflicting arguments: give a BRICK operand or --all, not both".to_string()
+                );
+            }
+            let brick = brick
+                .parse::<u32>()
+                .map_err(|e| format!("brick id: {e}"))?;
+            repair_command(RepairTarget::Brick(brick))?
+        }
+        [cmd] if cmd.as_str() == "repair" => {
+            if !all {
+                return Err("repair needs a BRICK operand or --all".to_string());
+            }
+            repair_command(RepairTarget::All)?
+        }
+        [cmd] if cmd.as_str() == "repair-status" => Command::RepairStatus { node },
+        [cmd] if cmd.as_str() == "repair-abort" => Command::RepairAbort { node },
         [cmd, stripe, text] if cmd.as_str() == "write-stripe" => Command::WriteStripe {
             stripe: stripe_arg(stripe)?,
             text: (*text).clone(),
@@ -171,6 +286,31 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
     })
 }
 
+fn print_progress(p: &RepairProgress) {
+    let state = if p.running {
+        "running"
+    } else if p.complete {
+        "complete"
+    } else if p.planned > 0 {
+        "stopped (incomplete)"
+    } else {
+        "idle (no repair started)"
+    };
+    println!("repair: {state}");
+    println!(
+        "  stripes: {} planned, {} repaired, {} skipped, {} failed ({} retries)",
+        p.planned, p.repaired, p.skipped, p.failed, p.retried
+    );
+    println!(
+        "  watermark {} / bytes reconstructed {} / throttle waits {}",
+        p.watermark, p.bytes_reconstructed, p.throttle_waits
+    );
+    println!(
+        "  scrub latency: p50 {}us, p99 {}us",
+        p.scrub_p50_micros, p.scrub_p99_micros
+    );
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let cli = parse_args(argv)?;
     let Cli {
@@ -183,7 +323,58 @@ fn run(argv: &[String]) -> Result<(), String> {
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let mut client = NetClient::connect(cluster, cfg);
 
-    let result = match command {
+    // Admin verbs talk to one specific node, return early, and do not
+    // print OpResults; the data verbs fall through to `data_result`.
+    let data_result = match command {
+        Command::Repair {
+            target,
+            stripes,
+            stripes_per_sec,
+            bytes_per_sec,
+            max_inflight,
+            node,
+        } => {
+            let (brick, scrub_all) = match target {
+                RepairTarget::Brick(b) => (b, false),
+                RepairTarget::All => (0, true),
+            };
+            let op = AdminOp::RepairStart {
+                brick,
+                stripe_count: stripes,
+                stripes_per_sec,
+                bytes_per_sec,
+                max_inflight,
+                scrub_all,
+            };
+            return match client.try_admin(node, &op) {
+                Ok(AdminResponse::Started) => {
+                    println!("ok: repair started on node {node}");
+                    Ok(())
+                }
+                Ok(other) => Err(format!("unexpected reply: {other:?}")),
+                Err(e) => Err(e.to_string()),
+            };
+        }
+        Command::RepairStatus { node } => {
+            return match client.try_admin(node, &AdminOp::RepairStatus) {
+                Ok(AdminResponse::Status(p)) => {
+                    print_progress(&p);
+                    Ok(())
+                }
+                Ok(other) => Err(format!("unexpected reply: {other:?}")),
+                Err(e) => Err(e.to_string()),
+            };
+        }
+        Command::RepairAbort { node } => {
+            return match client.try_admin(node, &AdminOp::RepairAbort) {
+                Ok(AdminResponse::Aborted) => {
+                    println!("ok: repair aborted on node {node}");
+                    Ok(())
+                }
+                Ok(other) => Err(format!("unexpected reply: {other:?}")),
+                Err(e) => Err(e.to_string()),
+            };
+        }
         Command::WriteStripe { stripe, text } => {
             // Spread the text across the stripe's m·block_size bytes.
             let full = pad(&text, m * block_size);
@@ -199,7 +390,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Command::ReadBlock { stripe, j } => client.try_read_block(stripe, j),
         Command::Scrub { stripe } => client.try_scrub(stripe),
     };
-    match result {
+    match data_result {
         Ok(r) => {
             print_result(&r);
             Ok(())
@@ -365,5 +556,77 @@ mod tests {
     fn padding_is_zero_filled_and_sized() {
         let b = pad("hi", 8);
         assert_eq!(&b[..], b"hi\0\0\0\0\0\0");
+    }
+
+    #[test]
+    fn parses_repair_verbs() {
+        let cli = parse_args(&with_base(&[
+            "repair", "2", "--stripes", "1024", "--stripes-per-sec", "50",
+            "--bytes-per-sec", "1048576", "--max-inflight", "8", "--node", "1",
+        ]))
+        .expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Repair {
+                target: RepairTarget::Brick(2),
+                stripes: 1024,
+                stripes_per_sec: 50,
+                bytes_per_sec: 1_048_576,
+                max_inflight: 8,
+                node: 1,
+            }
+        );
+
+        let cli = parse_args(&with_base(&["repair", "--all", "--stripes", "64"])).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Repair {
+                target: RepairTarget::All,
+                stripes: 64,
+                stripes_per_sec: 0,
+                bytes_per_sec: 0,
+                max_inflight: 4,
+                node: 0,
+            }
+        );
+
+        let cli = parse_args(&with_base(&["repair-status", "--node", "2"])).expect("parse");
+        assert_eq!(cli.command, Command::RepairStatus { node: 2 });
+        let cli = parse_args(&with_base(&["repair-abort"])).expect("parse");
+        assert_eq!(cli.command, Command::RepairAbort { node: 0 });
+    }
+
+    #[test]
+    fn repair_rejects_a_bad_brick_id() {
+        let err = parse_args(&with_base(&["repair", "banana", "--stripes", "8"])).unwrap_err();
+        assert!(err.contains("brick id"), "{err}");
+        let err = parse_args(&with_base(&["repair", "-1", "--stripes", "8"])).unwrap_err();
+        assert!(err.contains("brick id"), "{err}");
+    }
+
+    #[test]
+    fn repair_requires_the_volume_size() {
+        let err = parse_args(&with_base(&["repair", "2"])).unwrap_err();
+        assert!(err.contains("--stripes"), "{err}");
+        let err = parse_args(&with_base(&["repair", "--all"])).unwrap_err();
+        assert!(err.contains("--stripes"), "{err}");
+    }
+
+    #[test]
+    fn repair_rejects_conflicting_target_flags() {
+        let err =
+            parse_args(&with_base(&["repair", "2", "--all", "--stripes", "8"])).unwrap_err();
+        assert!(err.contains("conflicting"), "{err}");
+        // A bare `repair` names neither target.
+        let err = parse_args(&with_base(&["repair"])).unwrap_err();
+        assert!(err.contains("BRICK") && err.contains("--all"), "{err}");
+    }
+
+    #[test]
+    fn repair_node_must_be_in_the_cluster() {
+        let err = parse_args(&with_base(&["repair-status", "--node", "9"])).unwrap_err();
+        assert!(err.contains("--node"), "{err}");
+        let err = parse_args(&with_base(&["repair-status", "--node", "x"])).unwrap_err();
+        assert!(err.contains("--node"), "{err}");
     }
 }

@@ -17,7 +17,10 @@ use crate::transport::{read_frame, RecvError};
 use bytes::Bytes;
 use fab_core::{OpResult, RegisterConfig, StripeId};
 use fab_volume::RegisterClient;
-use fab_wire::{encode_client_request_into, ClientError, ClientOp, Message};
+use fab_wire::{
+    encode_admin_request_into, encode_client_request_into, AdminOp, AdminResponse, ClientError,
+    ClientOp, Message,
+};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -261,6 +264,84 @@ impl NetClient {
     /// See [`NetClient::try_invoke`].
     pub fn try_scrub(&mut self, stripe: StripeId) -> Result<OpResult, NetClientError> {
         self.try_invoke(&ClientOp::Scrub { stripe })
+    }
+
+    /// One admin request/reply exchange against brick `target`. Any
+    /// failure invalidates the cached connection (same contract as
+    /// `try_brick`).
+    fn try_admin_brick(
+        &mut self,
+        target: usize,
+        op: &AdminOp,
+    ) -> Result<Result<AdminResponse, ClientError>, ()> {
+        let addr = *self.cluster.get(target).ok_or(())?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.encode_buf.clear();
+        encode_admin_request_into(id, op, &mut self.encode_buf);
+        let frame = std::mem::take(&mut self.encode_buf);
+        let attempt_timeout = self.attempt_timeout;
+
+        let slot = self.conns.get_mut(target).ok_or(())?;
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                .map_err(|_| ())?;
+            let _ = stream.set_nodelay(true);
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().ok_or(())?;
+        let _ = stream.set_read_timeout(Some(attempt_timeout));
+        let _ = stream.set_write_timeout(Some(attempt_timeout));
+        let outcome = (|| {
+            stream.write_all(&frame).map_err(|_| ())?;
+            loop {
+                match read_frame(stream) {
+                    Ok((Message::AdminReply { id: got, result }, _)) if got == id => {
+                        return Ok(result);
+                    }
+                    // A stale client or admin reply on a reused connection.
+                    Ok((Message::AdminReply { .. } | Message::ClientReply { .. }, _)) => continue,
+                    Ok(_) => return Err(()), // peers never talk to clients
+                    Err(RecvError::Closed | RecvError::Io(_) | RecvError::Wire(_)) => {
+                        return Err(());
+                    }
+                }
+            }
+        })();
+        if outcome.is_err() {
+            *slot = None; // poisoned: mid-stream state is unknowable
+        }
+        self.encode_buf = frame; // keep the capacity for the next request
+        outcome
+    }
+
+    /// Runs one admin operation against a *specific* brick (repair is
+    /// orchestrated by the node it was started on, so admin traffic does
+    /// not rotate). Retries `max_rounds` times with a short pause so a
+    /// restarting brick gets a chance to come back.
+    ///
+    /// # Errors
+    ///
+    /// [`NetClientError::Rejected`] if the brick refuses the request;
+    /// [`NetClientError::Unavailable`] when the retry budget is exhausted.
+    pub fn try_admin(
+        &mut self,
+        target: usize,
+        op: &AdminOp,
+    ) -> Result<AdminResponse, NetClientError> {
+        for round in 0..self.max_rounds {
+            match self.try_admin_brick(target, op) {
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(ClientError::InvalidRequest)) => {
+                    return Err(NetClientError::Rejected(ClientError::InvalidRequest));
+                }
+                Ok(Err(_)) | Err(()) => {}
+            }
+            if round + 1 < self.max_rounds {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        Err(NetClientError::Unavailable)
     }
 }
 

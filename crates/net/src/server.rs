@@ -23,11 +23,14 @@ use fab_core::{
     Completion, Coordinator, Effects, Envelope, OpResult, Payload, RegisterConfig, Replica,
     StripeId,
 };
+use fab_repair::{plan_brick_rebuild, plan_full_scrub, DriverConfig, InProcRepair};
 use fab_simnet::{Backoff, FaultPlan};
 use fab_store::{BrickStore, CommitPipeline, StripeState};
 use fab_timestamp::ProcessId;
+use fab_volume::{Layout, VolumeGeometry};
 use fab_wire::{
-    encode_client_reply_into, encode_peer_message_into, ClientError, ClientOp, Message,
+    encode_admin_reply_into, encode_client_reply_into, encode_peer_message_into, AdminOp,
+    AdminResponse, ClientError, ClientOp, Message, RepairProgress,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +130,12 @@ enum Event {
     Client {
         id: u64,
         op: ClientOp,
+        writer: ClientWriter,
+    },
+    /// An operator request (repair orchestration).
+    Admin {
+        id: u64,
+        op: AdminOp,
         writer: ClientWriter,
     },
     /// Stop the event loop.
@@ -318,6 +327,39 @@ fn send_reply(
     pool.put(frame);
 }
 
+/// Encodes and writes one admin reply; errors are ignored (a vanished
+/// operator needs no answer).
+fn send_admin_reply(
+    writer: &ClientWriter,
+    client_counters: &PeerCounters,
+    pool: &BufferPool,
+    id: u64,
+    result: &Result<AdminResponse, ClientError>,
+) {
+    let mut frame = pool.take();
+    encode_admin_reply_into(id, result, &mut frame);
+    if let Ok(mut stream) = writer.0.lock() {
+        if stream.write_all(&frame).is_ok() {
+            client_counters.record_sent(frame.len());
+        } else {
+            client_counters.record_drop();
+        }
+    }
+    pool.put(frame);
+}
+
+/// The brick's view of repair orchestration: everything needed to spawn
+/// a background rebuild on demand, plus the running driver (if any).
+struct RepairControl {
+    /// All `n` brick addresses — repair workers are ordinary [`crate::NetClient`]s.
+    cluster: Vec<SocketAddr>,
+    /// Durable cursor location (`None` without a store: a volatile brick
+    /// restarts its repair from scratch, which is safe — just slower).
+    cursor_path: Option<PathBuf>,
+    /// The running (or last finished) repair.
+    repair: Option<InProcRepair>,
+}
+
 /// The brick's event-loop state (runs on its own thread).
 struct NodeServer {
     cfg: Arc<RegisterConfig>,
@@ -329,6 +371,7 @@ struct NodeServer {
     waiting: HashMap<u64, (u64, ClientWriter)>,
     client_counters: Arc<PeerCounters>,
     durable: Durable,
+    repair: RepairControl,
     /// Set when the durable store fails: the brick stops participating
     /// (indistinguishable from a crash, which the protocol tolerates).
     failed: bool,
@@ -363,6 +406,9 @@ impl NodeServer {
             if let Some(event) = event {
                 match event {
                     Event::Shutdown => {
+                        if let Some(r) = &self.repair.repair {
+                            r.abort(); // the orchestrator thread winds down on its own
+                        }
                         self.refuse_waiting();
                         return;
                     }
@@ -376,8 +422,18 @@ impl NodeServer {
                             &Err(ClientError::Unavailable),
                         );
                     }
+                    Event::Admin { id, writer, .. } if self.failed => {
+                        send_admin_reply(
+                            &writer,
+                            &self.client_counters,
+                            &self.io.links.pool,
+                            id,
+                            &Err(ClientError::Unavailable),
+                        );
+                    }
                     Event::Net { from, env } => self.on_net(from, &env),
                     Event::Client { id, op, writer } => self.on_client(id, op, &writer),
+                    Event::Admin { id, op, writer } => self.on_admin(id, op, &writer),
                 }
             }
             if !self.failed {
@@ -559,6 +615,112 @@ impl NodeServer {
         }
     }
 
+    /// Serves one admin operation. Start spawns the repair orchestrator on
+    /// its own thread (the event loop never blocks on repair work); status
+    /// and abort are answered from lock-free atomics.
+    fn on_admin(&mut self, id: u64, op: AdminOp, writer: &ClientWriter) {
+        let result = self.handle_admin(&op);
+        send_admin_reply(
+            writer,
+            &self.client_counters,
+            &self.io.links.pool,
+            id,
+            &result,
+        );
+    }
+
+    fn handle_admin(&mut self, op: &AdminOp) -> Result<AdminResponse, ClientError> {
+        match *op {
+            AdminOp::RepairStart {
+                brick,
+                stripe_count,
+                stripes_per_sec,
+                bytes_per_sec,
+                max_inflight,
+                scrub_all,
+            } => {
+                if let Some(r) = &self.repair.repair {
+                    if !r.is_done() {
+                        // Idempotent: a second start while one runs is a
+                        // no-op acknowledgement, not a second driver.
+                        return Ok(AdminResponse::Started);
+                    }
+                }
+                if stripe_count == 0 {
+                    return Err(ClientError::InvalidRequest);
+                }
+                let geom = VolumeGeometry::new(
+                    stripe_count,
+                    self.cfg.m(),
+                    self.cfg.block_size(),
+                    Layout::Interleaved,
+                );
+                let n = u32::try_from(self.cfg.n()).unwrap_or(u32::MAX);
+                let map = fab_repair::SegmentMap::full(n).map_err(|_| ClientError::InvalidRequest)?;
+                let plan = if scrub_all {
+                    plan_full_scrub(&geom, &map)
+                } else {
+                    plan_brick_rebuild(&geom, &map, brick)
+                        .map_err(|_| ClientError::InvalidRequest)?
+                };
+                let workers = (max_inflight as usize).clamp(1, 8);
+                let cfg = DriverConfig {
+                    stripes_per_sec,
+                    bytes_per_sec,
+                    max_inflight: workers,
+                    ..DriverConfig::default()
+                };
+                let clients: Vec<crate::NetClient> = (0..workers)
+                    .map(|_| {
+                        crate::NetClient::connect(
+                            self.repair.cluster.clone(),
+                            (*self.cfg).clone(),
+                        )
+                    })
+                    .collect();
+                let spawned = InProcRepair::spawn(
+                    plan,
+                    cfg,
+                    clients,
+                    self.repair.cursor_path.clone(),
+                    None,
+                )
+                .map_err(|_| ClientError::Unavailable)?;
+                self.repair.repair = Some(spawned);
+                Ok(AdminResponse::Started)
+            }
+            AdminOp::RepairStatus => {
+                let progress = match &self.repair.repair {
+                    None => RepairProgress::default(),
+                    Some(r) => {
+                        let s = r.status();
+                        RepairProgress {
+                            planned: s.planned,
+                            repaired: s.repaired,
+                            skipped: s.skipped,
+                            retried: s.retried,
+                            failed: s.failed,
+                            bytes_reconstructed: s.bytes_reconstructed,
+                            throttle_waits: s.throttle_waits,
+                            watermark: s.watermark,
+                            scrub_p50_micros: s.scrub_p50_micros,
+                            scrub_p99_micros: s.scrub_p99_micros,
+                            running: !r.is_done(),
+                            complete: r.is_complete(),
+                        }
+                    }
+                };
+                Ok(AdminResponse::Status(progress))
+            }
+            AdminOp::RepairAbort => {
+                if let Some(r) = &self.repair.repair {
+                    r.abort();
+                }
+                Ok(AdminResponse::Aborted)
+            }
+        }
+    }
+
     fn deliver_completions(&mut self) {
         for Completion { op, result, .. } in self.coordinator.drain_completions() {
             if let Some((id, writer)) = self.waiting.remove(&op) {
@@ -616,7 +778,14 @@ fn handle_connection(
                     return;
                 }
             }
-            Ok((Message::ClientReply { .. }, _)) => {
+            Ok((Message::AdminRequest { id, op }, len)) => {
+                client_counters.record_recv(len);
+                let writer = writer.clone();
+                if tx.send(Event::Admin { id, op, writer }).is_err() {
+                    return;
+                }
+            }
+            Ok((Message::ClientReply { .. } | Message::AdminReply { .. }, _)) => {
                 // A server never receives replies: schema violation.
                 client_counters.record_decode_error();
                 return;
@@ -753,6 +922,9 @@ impl BrickNode {
         let register = Arc::new(register);
         let addr = listener.local_addr()?;
 
+        let cursor_path = store_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("repair-{}.cursor", node.value())));
         let durable = match store_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir)?;
@@ -821,6 +993,11 @@ impl BrickNode {
             waiting: HashMap::new(),
             client_counters: client_counters.clone(),
             durable,
+            repair: RepairControl {
+                cluster: cluster.clone(),
+                cursor_path,
+                repair: None,
+            },
             failed: false,
         };
         server.load_from_store();

@@ -14,6 +14,7 @@ use fab_checker::{History, OpRecord, ValueId, NIL};
 use fab_core::{OpResult, RegisterConfig, StripeId, StripeValue};
 use fab_net::{BrickNode, NetClient, NodeConfig};
 use fab_timestamp::ProcessId;
+use fab_wire::{AdminOp, AdminResponse, RepairProgress};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -313,6 +314,216 @@ fn five_brick_cluster_survives_kill_and_restart() {
         .map(|node| node.metrics().peers.iter().map(|c| c.reconnects).sum::<u64>())
         .sum();
     assert!(reconnects > 0, "no reconnect was ever recorded");
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
+fn repair_status(admin: &mut NetClient, node: usize) -> RepairProgress {
+    match admin.try_admin(node, &AdminOp::RepairStatus) {
+        Ok(AdminResponse::Status(p)) => p,
+        other => panic!("repair-status reply: {other:?}"),
+    }
+}
+
+/// Brick replacement end to end over real sockets: kill a brick, wipe its
+/// durable store (a fresh disk), restart it empty, and rebuild it with the
+/// admin-driven repair orchestrator while foreground clients keep writing.
+/// Mid-rebuild the orchestrating node itself is crashed and restarted; the
+/// re-issued repair resumes from the durable cursor in its store dir rather
+/// than starting over. Afterwards the observed history must be strictly
+/// linearizable and the replaced brick's store must hold rebuilt state.
+#[test]
+#[ignore = "multi-second wall clock; run explicitly (tools/ci.sh stage 10)"]
+fn five_brick_kill_wipe_repair_rebuilds() {
+    let (n, m, block) = (5usize, 3usize, 64usize);
+    let stripes = 24usize;
+    let store_root =
+        std::env::temp_dir().join(format!("fab-repair-loopback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let (mut listeners, addrs) = bind_cluster(n);
+    let cfg = RegisterConfig::new(m, n, block).unwrap();
+    let spawn_node = |i: usize, listener: TcpListener| -> BrickNode {
+        let node_cfg = NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone())
+            .with_store_dir(store_root.join(format!("node-{i}")));
+        BrickNode::spawn(node_cfg, listener).unwrap()
+    };
+    let mut nodes: Vec<Option<BrickNode>> = listeners
+        .drain(..)
+        .enumerate()
+        .map(|(i, l)| Some(spawn_node(i, l)))
+        .collect();
+
+    let trace = Arc::new(SharedTrace {
+        epoch: Instant::now(),
+        histories: (0..stripes).map(|_| Mutex::new(History::new())).collect(),
+        next_value: AtomicU64::new(1),
+        stop: AtomicBool::new(false),
+    });
+
+    // Seed most stripes with committed writes so the wiped brick has real
+    // state to lose (the gaps exercise the planner's skip path).
+    let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+    for s in 0..stripes {
+        if s % 5 == 4 {
+            continue;
+        }
+        let id = trace.next_value.fetch_add(1, Ordering::Relaxed);
+        let start = trace.now();
+        let result = client
+            .try_write_stripe(StripeId(s as u64), stripe_for(id, m, block))
+            .unwrap();
+        let end = trace.now();
+        assert_eq!(result, OpResult::Written, "seed write to stripe {s}");
+        trace.histories[s]
+            .lock()
+            .unwrap()
+            .push(OpRecord::write(id, start, end).committed());
+    }
+
+    // The disk dies: kill the brick and wipe its durable store, then bring
+    // the replacement up empty on the same socket.
+    let victim = 4usize;
+    let listener = nodes[victim]
+        .take()
+        .unwrap()
+        .shutdown()
+        .expect("shutdown returns the still-bound listener");
+    std::fs::remove_dir_all(store_root.join(format!("node-{victim}"))).unwrap();
+    nodes[victim] = Some(spawn_node(victim, listener));
+
+    // Foreground load keeps running throughout the rebuild.
+    let workers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let trace = trace.clone();
+            let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+            client.attempt_timeout = Duration::from_millis(500);
+            client.max_rounds = 12;
+            std::thread::spawn(move || worker(&trace, client, w + 1))
+        })
+        .collect();
+
+    // Start a throttled rebuild orchestrated by node 0 (the throttle keeps
+    // the run long enough to crash the orchestrator mid-flight).
+    let start_op = AdminOp::RepairStart {
+        brick: victim as u32,
+        stripe_count: stripes as u64,
+        stripes_per_sec: 6,
+        bytes_per_sec: 0,
+        max_inflight: 2,
+        scrub_all: false,
+    };
+    let mut admin = NetClient::connect(addrs.clone(), cfg.clone());
+    assert!(matches!(
+        admin.try_admin(0, &start_op).unwrap(),
+        AdminResponse::Started
+    ));
+
+    // Wait until the durable cursor has demonstrably advanced...
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let watermark_seen = loop {
+        let p = repair_status(&mut admin, 0);
+        if p.watermark >= 3 {
+            break p.watermark;
+        }
+        assert!(Instant::now() < deadline, "repair watermark never advanced");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        watermark_seen < stripes as u64,
+        "repair finished before the orchestrator crash; lower the throttle"
+    );
+
+    // ...then crash the orchestrating node mid-repair and restart it. Its
+    // store dir (and the repair cursor inside it) survives the crash.
+    let l0 = nodes[0].take().unwrap().shutdown().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    nodes[0] = Some(spawn_node(0, l0));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Re-issue the same repair: the identical plan hashes the same, so the
+    // fresh driver resumes from the durable watermark instead of restarting.
+    assert!(matches!(
+        admin.try_admin(0, &start_op).unwrap(),
+        AdminResponse::Started
+    ));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let final_status = loop {
+        let p = repair_status(&mut admin, 0);
+        if !p.running {
+            break p;
+        }
+        assert!(Instant::now() < deadline, "repair never completed: {p:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        final_status.complete,
+        "repair stopped incomplete: {final_status:?}"
+    );
+    assert_eq!(final_status.failed, 0, "{final_status:?}");
+    assert_eq!(final_status.watermark, stripes as u64, "{final_status:?}");
+    // Resume proof: the second run did not redo the prefix the cursor
+    // already covered, so it finished fewer stripes than the whole plan.
+    assert!(
+        final_status.repaired + final_status.skipped < stripes as u64,
+        "driver restarted from scratch instead of the cursor: {final_status:?}"
+    );
+
+    trace.stop.store(true, Ordering::Relaxed);
+    let mut total_writes = 0;
+    let mut total_reads = 0;
+    for w in workers {
+        let (writes, reads) = w.join().unwrap();
+        total_writes += writes;
+        total_reads += reads;
+    }
+    assert!(
+        total_writes >= 10 && total_reads >= 10,
+        "workload made no progress: {total_writes} writes, {total_reads} reads"
+    );
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Every stripe reads back a definite value and the per-stripe histories
+    // are strictly linearizable — the rebuild never forged or lost a write.
+    let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+    for s in 0..stripes {
+        let mut observed = None;
+        for _ in 0..40 {
+            let start = trace.now();
+            let result = client.try_read_stripe(StripeId(s as u64)).unwrap();
+            let end = trace.now();
+            if let Some(id) = value_of(&result) {
+                trace.histories[s].lock().unwrap().push(OpRecord::read(id, start, end));
+                observed = Some(id);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(observed.is_some(), "stripe {s}: final read never succeeded");
+    }
+    for (s, history) in trace.histories.iter().enumerate() {
+        let history = history.lock().unwrap();
+        assert!(!history.is_empty());
+        if let Err(v) = history.check() {
+            panic!("stripe {s}: history not strictly linearizable: {v:?}");
+        }
+    }
+
+    // The replaced brick's fresh store now holds rebuilt segments.
+    let victim_log = store_root
+        .join(format!("node-{victim}"))
+        .join(format!("brick-{victim}.log"));
+    let rebuilt = std::fs::metadata(&victim_log).map(|md| md.len()).unwrap_or(0);
+    assert!(rebuilt > 0, "replaced brick's store is still empty");
+
+    // An abort after completion is a harmless no-op.
+    assert!(matches!(
+        admin.try_admin(0, &AdminOp::RepairAbort).unwrap(),
+        AdminResponse::Aborted
+    ));
 
     for node in nodes.into_iter().flatten() {
         node.shutdown();

@@ -1,0 +1,288 @@
+//! Repair planning: which stripes must be scrubbed after a brick is
+//! replaced, and in what order.
+//!
+//! A FAB cluster scatters each stripe's n segments over a *segment
+//! group* of bricks ([`SegmentMap`]). When a brick's disk is replaced
+//! (wiped), every stripe whose group includes that brick has lost one
+//! segment and runs degraded until a scrub reconstructs the stripe and
+//! re-stores a fresh segment on the newcomer (§3 of the paper). The
+//! [`RepairPlan`] enumerates exactly those stripes; the driver then
+//! paces the scrubs against foreground traffic.
+
+use fab_core::StripeId;
+use fab_volume::VolumeGeometry;
+
+/// How stripes are placed on bricks.
+///
+/// Stripe `s`'s segment group is the `group_size` bricks starting at
+/// `s % num_bricks`, wrapping around — a rotated round-robin placement
+/// that spreads rebuild load over the whole cluster. When `group_size ==
+/// num_bricks` (the common small-cluster case in this repo, where every
+/// brick hosts a segment of every stripe) the group is the full cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMap {
+    /// Bricks in the cluster.
+    pub num_bricks: u32,
+    /// Bricks per segment group (the register code's n).
+    pub group_size: u32,
+}
+
+/// Errors constructing a [`SegmentMap`] or a [`RepairPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// `group_size` must be in `1..=num_bricks`.
+    BadGroupSize {
+        /// Cluster size.
+        num_bricks: u32,
+        /// Requested group size.
+        group_size: u32,
+    },
+    /// The target brick id is not a cluster member.
+    UnknownBrick {
+        /// Cluster size.
+        num_bricks: u32,
+        /// Requested brick.
+        brick: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadGroupSize {
+                num_bricks,
+                group_size,
+            } => write!(
+                f,
+                "segment group size {group_size} invalid for {num_bricks} bricks"
+            ),
+            PlanError::UnknownBrick { num_bricks, brick } => {
+                write!(f, "brick {brick} not in cluster of {num_bricks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl SegmentMap {
+    /// A placement over `num_bricks` bricks with `group_size`-brick
+    /// segment groups.
+    pub fn new(num_bricks: u32, group_size: u32) -> Result<Self, PlanError> {
+        if group_size == 0 || group_size > num_bricks {
+            return Err(PlanError::BadGroupSize {
+                num_bricks,
+                group_size,
+            });
+        }
+        Ok(SegmentMap {
+            num_bricks,
+            group_size,
+        })
+    }
+
+    /// A full-cluster placement: every brick hosts a segment of every
+    /// stripe (the layout of this repo's n-brick register clusters).
+    pub fn full(num_bricks: u32) -> Result<Self, PlanError> {
+        SegmentMap::new(num_bricks, num_bricks)
+    }
+
+    /// The bricks hosting `stripe`'s segments, in segment order.
+    pub fn group(&self, stripe: StripeId) -> Vec<u32> {
+        let start = (stripe.0 % u64::from(self.num_bricks)) as u32;
+        (0..self.group_size)
+            .map(|k| (start + k) % self.num_bricks)
+            .collect()
+    }
+
+    /// Whether `brick` hosts a segment of `stripe`.
+    pub fn contains(&self, stripe: StripeId, brick: u32) -> bool {
+        if brick >= self.num_bricks {
+            return false;
+        }
+        let start = (stripe.0 % u64::from(self.num_bricks)) as u32;
+        // Distance from the group start to `brick`, wrapping.
+        let dist = (brick + self.num_bricks - start) % self.num_bricks;
+        dist < self.group_size
+    }
+}
+
+/// An ordered list of stripes to scrub, with enough identity to detect
+/// a stale cursor file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Stripes to scrub, ascending. The durable cursor's watermark is an
+    /// index into this order, so the order must be a pure function of
+    /// the plan inputs.
+    pub stripes: Vec<StripeId>,
+    /// Bytes of logical data reconstructed per repaired stripe
+    /// (`m * block_size`), used for byte-rate throttling and stats.
+    pub bytes_per_stripe: u64,
+    /// Fingerprint of the plan inputs. A cursor checkpointed under a
+    /// different hash is ignored on load: resuming an old plan's
+    /// watermark into a new plan would silently skip stripes.
+    pub hash: u64,
+}
+
+/// FNV-1a, the cursor/plan fingerprint hash. Stability across runs and
+/// processes is what matters here, not collision resistance.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn plan_hash(geom: &VolumeGeometry, map: &SegmentMap, target: u64) -> u64 {
+    fnv1a(&[
+        geom.stripe_base,
+        geom.stripe_count,
+        geom.m as u64,
+        geom.block_size as u64,
+        u64::from(map.num_bricks),
+        u64::from(map.group_size),
+        target,
+    ])
+}
+
+/// Plans the rebuild of a replaced/wiped brick: every stripe of the
+/// volume whose segment group includes `brick`, each exactly once, in
+/// ascending stripe order.
+pub fn plan_brick_rebuild(
+    geom: &VolumeGeometry,
+    map: &SegmentMap,
+    brick: u32,
+) -> Result<RepairPlan, PlanError> {
+    if brick >= map.num_bricks {
+        return Err(PlanError::UnknownBrick {
+            num_bricks: map.num_bricks,
+            brick,
+        });
+    }
+    let stripes = (geom.stripe_base..geom.stripe_base + geom.stripe_count)
+        .map(StripeId)
+        .filter(|&s| map.contains(s, brick))
+        .collect();
+    Ok(RepairPlan {
+        stripes,
+        bytes_per_stripe: geom.m as u64 * geom.block_size as u64,
+        hash: plan_hash(geom, map, u64::from(brick)),
+    })
+}
+
+/// Plans a full-volume scrub: every stripe of the volume, in ascending
+/// order, regardless of placement (background integrity pass).
+pub fn plan_full_scrub(geom: &VolumeGeometry, map: &SegmentMap) -> RepairPlan {
+    let stripes = (geom.stripe_base..geom.stripe_base + geom.stripe_count)
+        .map(StripeId)
+        .collect();
+    RepairPlan {
+        stripes,
+        bytes_per_stripe: geom.m as u64 * geom.block_size as u64,
+        hash: plan_hash(geom, map, u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_volume::Layout;
+
+    fn geom(stripes: u64) -> VolumeGeometry {
+        VolumeGeometry::new(stripes, 3, 64, Layout::Interleaved)
+    }
+
+    #[test]
+    fn full_map_includes_every_brick_in_every_stripe() {
+        let map = SegmentMap::full(5).unwrap();
+        for s in 0..20 {
+            for b in 0..5 {
+                assert!(map.contains(StripeId(s), b));
+            }
+            assert_eq!(map.group(StripeId(s)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn rotated_groups_wrap_and_agree_with_contains() {
+        let map = SegmentMap::new(7, 3).unwrap();
+        assert_eq!(map.group(StripeId(5)), vec![5, 6, 0]);
+        for s in 0..30u64 {
+            let group = map.group(StripeId(s));
+            for b in 0..7u32 {
+                assert_eq!(
+                    group.contains(&b),
+                    map.contains(StripeId(s), b),
+                    "stripe {s} brick {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brick_rebuild_plan_is_exact() {
+        let map = SegmentMap::new(7, 3).unwrap();
+        let g = geom(40);
+        let plan = plan_brick_rebuild(&g, &map, 2).unwrap();
+        // Exactly the stripes containing brick 2, ascending, no dups.
+        let expect: Vec<StripeId> = (0..40)
+            .map(StripeId)
+            .filter(|&s| map.contains(s, 2))
+            .collect();
+        assert_eq!(plan.stripes, expect);
+        assert!(plan.stripes.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(plan.bytes_per_stripe, 3 * 64);
+    }
+
+    #[test]
+    fn full_cluster_rebuild_covers_whole_volume() {
+        let map = SegmentMap::full(5).unwrap();
+        let g = geom(12);
+        let plan = plan_brick_rebuild(&g, &map, 4).unwrap();
+        assert_eq!(plan.stripes.len(), 12);
+        let scrub = plan_full_scrub(&g, &map);
+        assert_eq!(scrub.stripes, (0..12).map(StripeId).collect::<Vec<_>>());
+        assert_ne!(plan.hash, scrub.hash, "rebuild and scrub are distinct plans");
+    }
+
+    #[test]
+    fn stripe_base_is_respected() {
+        let map = SegmentMap::full(4).unwrap();
+        let g = VolumeGeometry::new(6, 2, 32, Layout::Linear).with_base(100);
+        let plan = plan_brick_rebuild(&g, &map, 0).unwrap();
+        assert!(plan.stripes.iter().all(|s| (100..106).contains(&s.0)));
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        assert!(matches!(
+            SegmentMap::new(4, 5),
+            Err(PlanError::BadGroupSize { .. })
+        ));
+        assert!(matches!(
+            SegmentMap::new(4, 0),
+            Err(PlanError::BadGroupSize { .. })
+        ));
+        let map = SegmentMap::full(4).unwrap();
+        assert!(matches!(
+            plan_brick_rebuild(&geom(4), &map, 9),
+            Err(PlanError::UnknownBrick { .. })
+        ));
+    }
+
+    #[test]
+    fn hash_distinguishes_plan_inputs() {
+        let map = SegmentMap::full(5).unwrap();
+        let a = plan_brick_rebuild(&geom(10), &map, 1).unwrap();
+        let b = plan_brick_rebuild(&geom(10), &map, 2).unwrap();
+        let c = plan_brick_rebuild(&geom(11), &map, 1).unwrap();
+        assert_ne!(a.hash, b.hash);
+        assert_ne!(a.hash, c.hash);
+        let again = plan_brick_rebuild(&geom(10), &map, 1).unwrap();
+        assert_eq!(a.hash, again.hash, "hash is a pure function of inputs");
+    }
+}

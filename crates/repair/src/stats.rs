@@ -1,0 +1,187 @@
+//! Repair observability: lock-free counters updated by the driver and
+//! its workers, snapshotted into a [`RepairStats`] for `repair-status`
+//! replies and the `repair_throughput` bench.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets (`2^0 .. 2^63` microseconds).
+const BUCKETS: usize = 64;
+
+/// Live repair counters. All fields are atomics so the driver thread,
+/// scrub workers, and a status-serving event loop can share one
+/// `Arc<RepairCounters>` without locks (lock-free by construction — no
+/// lock-order obligations on the `fab-net` event loop).
+#[derive(Debug)]
+pub struct RepairCounters {
+    /// Stripes in the plan.
+    pub planned: AtomicU64,
+    /// Stripes reconstructed and re-stored (scrub returned data).
+    pub repaired: AtomicU64,
+    /// Stripes that were never written — scrub was a clean no-op.
+    pub skipped: AtomicU64,
+    /// Scrub attempts retried after an abort (conflict with foreground
+    /// writes, or recovery contention).
+    pub retried: AtomicU64,
+    /// Stripes given up on after the retry budget (outside the fault
+    /// model; reported, never silently dropped).
+    pub failed: AtomicU64,
+    /// Logical bytes reconstructed (`m * block_size` per repaired stripe).
+    pub bytes_reconstructed: AtomicU64,
+    /// Times the driver had to wait on the token-bucket throttle.
+    pub throttle_waits: AtomicU64,
+    /// Contiguous-prefix progress through the plan (stripes).
+    pub watermark: AtomicU64,
+    /// Log2 histogram of per-scrub latency in microseconds.
+    hist: [AtomicU64; BUCKETS],
+}
+
+impl Default for RepairCounters {
+    fn default() -> Self {
+        RepairCounters::new()
+    }
+}
+
+impl RepairCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        RepairCounters {
+            planned: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            bytes_reconstructed: AtomicU64::new(0),
+            throttle_waits: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one scrub's wall-clock latency.
+    pub fn record_scrub_micros(&self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros()) as usize;
+        let Some(slot) = self.hist.get(bucket.min(BUCKETS - 1)) else {
+            return;
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot. Individual fields are read relaxed; a
+    /// snapshot taken while scrubs are in flight is approximate, which
+    /// is fine for status reporting.
+    pub fn snapshot(&self) -> RepairStats {
+        let hist: Vec<u64> = self
+            .hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        RepairStats {
+            planned: self.planned.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            bytes_reconstructed: self.bytes_reconstructed.load(Ordering::Relaxed),
+            throttle_waits: self.throttle_waits.load(Ordering::Relaxed),
+            watermark: self.watermark.load(Ordering::Relaxed),
+            scrub_p50_micros: percentile(&hist, 50),
+            scrub_p99_micros: percentile(&hist, 99),
+        }
+    }
+}
+
+/// Approximate percentile from the log2 histogram: the upper bound of
+/// the bucket containing the p-th sample.
+fn percentile(hist: &[u64], p: u64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Index of the p-th percentile sample, 1-based, rounding up.
+    let target = (total * p).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            // Bucket i holds latencies in [2^(i-1), 2^i); report 2^i.
+            return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+        }
+    }
+    u64::MAX
+}
+
+/// A point-in-time view of a repair run, the payload of the
+/// `RepairStatus` admin reply and of `BENCH_repair.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Stripes in the plan.
+    pub planned: u64,
+    /// Stripes reconstructed and re-stored.
+    pub repaired: u64,
+    /// Never-written stripes (clean no-op scrubs).
+    pub skipped: u64,
+    /// Retried scrub attempts.
+    pub retried: u64,
+    /// Stripes exhausted of retries.
+    pub failed: u64,
+    /// Logical bytes reconstructed.
+    pub bytes_reconstructed: u64,
+    /// Throttle-induced waits.
+    pub throttle_waits: u64,
+    /// Durable-cursor watermark (contiguous plan prefix done).
+    pub watermark: u64,
+    /// Median per-scrub latency (log2-bucket upper bound), microseconds.
+    pub scrub_p50_micros: u64,
+    /// 99th-percentile per-scrub latency, microseconds.
+    pub scrub_p99_micros: u64,
+}
+
+impl RepairStats {
+    /// Stripes in a terminal state.
+    pub fn finished(&self) -> u64 {
+        self.repaired + self.skipped + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_round_trip() {
+        let c = RepairCounters::new();
+        c.planned.store(10, Ordering::Relaxed);
+        c.repaired.fetch_add(4, Ordering::Relaxed);
+        c.skipped.fetch_add(2, Ordering::Relaxed);
+        c.bytes_reconstructed.fetch_add(4096, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.planned, 10);
+        assert_eq!(s.finished(), 6);
+        assert_eq!(s.bytes_reconstructed, 4096);
+    }
+
+    #[test]
+    fn percentiles_come_from_log2_buckets() {
+        let c = RepairCounters::new();
+        // 99 fast scrubs (~100us) and one slow outlier (~1s).
+        for _ in 0..99 {
+            c.record_scrub_micros(100);
+        }
+        c.record_scrub_micros(1_000_000);
+        let s = c.snapshot();
+        assert!(s.scrub_p50_micros >= 100 && s.scrub_p50_micros <= 256);
+        assert!(s.scrub_p99_micros >= 100, "p99 {}", s.scrub_p99_micros);
+        assert!(
+            s.scrub_p99_micros < 1 << 21,
+            "p99 {} should not include the single outlier",
+            s.scrub_p99_micros
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = RepairCounters::new().snapshot();
+        assert_eq!(s.scrub_p50_micros, 0);
+        assert_eq!(s.scrub_p99_micros, 0);
+    }
+}

@@ -44,6 +44,22 @@ pub struct RunStats {
     pub heals: u64,
     /// Per-stripe histories checked.
     pub histories_checked: u64,
+    /// Brick disks wiped by the repair phase.
+    pub wipes: u64,
+    /// Data-bearing stripes the repair phase reconstructed.
+    pub repair_repaired: u64,
+    /// Never-written stripes the repair phase skipped.
+    pub repair_skipped: u64,
+    /// Stripes whose repair retry budget ran out (hostile schedules can
+    /// legitimately exhaust it; completion and fast-path probes are the
+    /// correctness checks).
+    pub repair_failed: u64,
+    /// Whether the repair driver ran to completion (false when the
+    /// orchestrator itself was crashed by the fault schedule, or the plan
+    /// had no repair phase).
+    pub repair_completed: bool,
+    /// Post-repair fast-path probe reads that completed.
+    pub fastpath_probes: u64,
     /// Simulator events processed.
     pub events: u64,
     /// Replica requests observed by the probes.
@@ -160,6 +176,37 @@ pub fn run_plan(plan: &CampaignPlan) -> RunReport {
         }
     }
 
+    // Repair phase: crash the brick, wipe its disk, restart it empty,
+    // then have the next brick plan and drive the rebuild mid-workload.
+    if let Some(rp) = plan.repair {
+        if u64::from(rp.brick) >= plan.n as u64 {
+            return RunReport {
+                violations: vec![format!(
+                    "plan-config: repair brick {} out of range (n = {})",
+                    rp.brick, plan.n
+                )],
+                stats,
+            };
+        }
+        stats.wipes += 1;
+        let target = ProcessId::new(rp.brick);
+        sim.schedule_crash(rp.at, target);
+        sim.schedule_recovery(rp.at + 1, target);
+        sim.schedule_call(rp.at + 2, target, |b: &mut TortureBrick, _ctx| b.wipe());
+        let orchestrator = ProcessId::new((rp.brick + 1) % plan.n as u32);
+        let (brick, stripes, n) = (rp.brick, plan.stripes, plan.n as u32);
+        // The fast-path probe convicts only on benign campaigns: with
+        // drops, duplicates, or faults in play, a post-repair read can
+        // legitimately hit a divergent replica and recover. The margin
+        // outlasts any straggler message from a completed op.
+        let judge =
+            plan.faults.is_empty() && plan.net.drop_ppm == 0 && plan.net.dup_ppm == 0;
+        let margin = plan.net.max_delay * 4 + 32;
+        sim.schedule_call(rp.at + 3, orchestrator, move |b, ctx| {
+            b.start_repair(ctx, brick, stripes, m, block_size, n, judge, margin);
+        });
+    }
+
     // Stabilization epilogue (never shrunk): recover everyone, heal all
     // partitions, so retransmitting coordinators can finish and the event
     // queue drains.
@@ -195,6 +242,11 @@ pub fn run_plan(plan: &CampaignPlan) -> RunReport {
     // Judge the journal.
     let journal = journal.borrow();
     stats.requests_probed = journal.requests_probed;
+    stats.repair_repaired = journal.repair_repaired;
+    stats.repair_skipped = journal.repair_skipped;
+    stats.repair_failed = journal.repair_failed;
+    stats.repair_completed = journal.repair_completed;
+    stats.fastpath_probes = journal.fastpath_probes;
     violations.extend(journal.violations.iter().cloned());
     judge_histories(plan, &journal, &mut stats, &mut violations);
     judge_quorum_accounting(&cfg, &journal, &mut violations);
@@ -382,6 +434,95 @@ mod tests {
             .expect("some seed has a crash fault");
         let report = run_plan(&plan);
         assert!(report.stats.crashes >= 1);
+    }
+
+    #[test]
+    fn repair_phase_rebuilds_wiped_brick_and_reads_fast_path() {
+        use crate::plan::{NetModel, OpKind, PlannedOp, RepairPhase};
+        // A hand-built campaign: two stripes written early, one never
+        // written, brick 1's disk replaced at t=2000, rebuild driven by
+        // brick 2, reads racing the rebuild. No other faults, so the
+        // rebuild must run to completion and every repaired stripe must
+        // read fast-path afterwards.
+        let plan = CampaignPlan {
+            seed: 424_242,
+            m: 2,
+            n: 4,
+            block_size: 16,
+            stripes: 3,
+            horizon: 6000,
+            skews: vec![0; 4],
+            net: NetModel {
+                min_delay: 1,
+                max_delay: 5,
+                drop_ppm: 0,
+                dup_ppm: 0,
+            },
+            ops: vec![
+                PlannedOp {
+                    at: 50,
+                    coordinator: 0,
+                    stripe: 0,
+                    kind: OpKind::WriteStripe { id: 1 },
+                },
+                PlannedOp {
+                    at: 120,
+                    coordinator: 3,
+                    stripe: 1,
+                    kind: OpKind::WriteStripe { id: 2 },
+                },
+                PlannedOp {
+                    at: 2100,
+                    coordinator: 0,
+                    stripe: 0,
+                    kind: OpKind::ReadStripe,
+                },
+                PlannedOp {
+                    at: 2200,
+                    coordinator: 3,
+                    stripe: 1,
+                    kind: OpKind::ReadStripe,
+                },
+            ],
+            faults: vec![],
+            repair: Some(RepairPhase { at: 2000, brick: 1 }),
+        };
+        let report = run_plan(&plan);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let s = &report.stats;
+        assert_eq!(s.wipes, 1);
+        assert!(s.repair_completed, "driver never reached Done: {s:?}");
+        assert_eq!(s.repair_failed, 0);
+        // Stripes 0 and 1 held data; stripe 2 was never written.
+        assert_eq!(s.repair_repaired, 2, "{s:?}");
+        assert_eq!(s.repair_skipped, 1, "{s:?}");
+        // Every repaired stripe was probed and read fast-path.
+        assert_eq!(s.fastpath_probes, 2, "{s:?}");
+        // Determinism with the phase on: bit-identical reruns.
+        let again = run_plan(&plan);
+        assert_eq!(report.stats, again.stats);
+        assert_eq!(report.stats.fingerprint, again.stats.fingerprint);
+    }
+
+    #[test]
+    fn repair_phase_round_trips_through_text_replay() {
+        let plan = (0..64)
+            .map(generate)
+            .find(|p| p.repair.is_some())
+            .expect("some seed has a repair phase");
+        let replayed = CampaignPlan::parse(&plan.to_text()).expect("parse");
+        let (a, b) = (run_plan(&plan), run_plan(&replayed));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.violation_kinds(), b.violation_kinds());
+    }
+
+    #[test]
+    fn out_of_range_repair_brick_is_a_plan_error() {
+        let mut plan = generate(1);
+        plan.repair = Some(crate::plan::RepairPhase { at: 100, brick: 99 });
+        let report = run_plan(&plan);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].starts_with("plan-config"));
     }
 
     #[test]

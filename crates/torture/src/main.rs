@@ -123,6 +123,11 @@ struct Totals {
     histories_checked: u64,
     events: u64,
     requests_probed: u64,
+    wipes: u64,
+    repairs_completed: u64,
+    repair_stripes_repaired: u64,
+    repair_stripes_skipped: u64,
+    fastpath_probes: u64,
     /// XOR-fold of per-run fingerprints: order-independent digest of
     /// the whole campaign, stable across reruns of the same seed base.
     fingerprint: u64,
@@ -151,6 +156,11 @@ impl Totals {
         self.histories_checked += s.histories_checked;
         self.events += s.events;
         self.requests_probed += s.requests_probed;
+        self.wipes += s.wipes;
+        self.repairs_completed += u64::from(s.repair_completed);
+        self.repair_stripes_repaired += s.repair_repaired;
+        self.repair_stripes_skipped += s.repair_skipped;
+        self.fastpath_probes += s.fastpath_probes;
         self.fingerprint ^= s.fingerprint.rotate_left((self.runs % 63) as u32);
         self.violations += report.violations.len() as u64;
     }
@@ -250,6 +260,19 @@ fn write_bench(path: &Path, opts: &Options, totals: &Totals, fault_kinds: &BTree
         s.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
     }
     s.push_str("\n  },\n");
+    s.push_str("  \"repair\": {\n");
+    s.push_str(&format!("    \"wipes\": {},\n", totals.wipes));
+    s.push_str(&format!("    \"completed\": {},\n", totals.repairs_completed));
+    s.push_str(&format!(
+        "    \"stripes_repaired\": {},\n",
+        totals.repair_stripes_repaired
+    ));
+    s.push_str(&format!(
+        "    \"stripes_skipped\": {},\n",
+        totals.repair_stripes_skipped
+    ));
+    s.push_str(&format!("    \"fastpath_probes\": {}\n", totals.fastpath_probes));
+    s.push_str("  },\n");
     s.push_str(&format!("  \"histories_checked\": {},\n", totals.histories_checked));
     s.push_str(&format!("  \"sim_events\": {},\n", totals.events));
     s.push_str(&format!("  \"requests_probed\": {},\n", totals.requests_probed));

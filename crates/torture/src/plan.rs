@@ -142,6 +142,19 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// An optional brick-replacement phase: at `at`, `brick` is crashed, its
+/// persistent state wiped (a replaced disk), and the brick restarted
+/// empty; the next brick then runs the [`fab_repair::RepairDriver`] to
+/// completion mid-workload, after which the engine probes that reads of
+/// repaired stripes take the fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairPhase {
+    /// Virtual time of the crash-wipe.
+    pub at: u64,
+    /// The brick whose disk is replaced.
+    pub brick: u32,
+}
+
 /// A complete, self-contained torture run description.
 ///
 /// The engine additionally applies a *stabilization epilogue* that is not
@@ -170,6 +183,8 @@ pub struct CampaignPlan {
     pub ops: Vec<PlannedOp>,
     /// Fault schedule, sorted by time.
     pub faults: Vec<FaultEvent>,
+    /// Optional brick-replacement + background-rebuild phase.
+    pub repair: Option<RepairPhase>,
 }
 
 /// Cluster shapes the generator rotates through, mid-size shapes twice as
@@ -269,6 +284,18 @@ pub fn generate(seed: u64) -> CampaignPlan {
         .collect();
     faults.sort_by_key(|f| f.at);
 
+    // One third of campaigns replace a brick mid-workload and rebuild it
+    // with the repair driver. The phase starts in the first half of the
+    // run so the rebuild races real foreground traffic and later faults.
+    let repair = if rng.chance(1, 3) {
+        Some(RepairPhase {
+            at: rng.range(10, horizon / 2),
+            brick: rng.below(n as u64) as u32,
+        })
+    } else {
+        None
+    };
+
     CampaignPlan {
         seed,
         m,
@@ -280,6 +307,7 @@ pub fn generate(seed: u64) -> CampaignPlan {
         net,
         ops,
         faults,
+        repair,
     }
 }
 
@@ -307,6 +335,9 @@ impl CampaignPlan {
             "net {} {} {} {}",
             self.net.min_delay, self.net.max_delay, self.net.drop_ppm, self.net.dup_ppm
         );
+        if let Some(r) = self.repair {
+            let _ = writeln!(s, "repair {} {}", r.at, r.brick);
+        }
         for op in &self.ops {
             let kind = match op.kind {
                 OpKind::ReadStripe => "read-stripe".to_string(),
@@ -372,6 +403,7 @@ impl CampaignPlan {
             },
             ops: Vec::new(),
             faults: Vec::new(),
+            repair: None,
         };
         for (idx, raw) in lines {
             let line = raw.trim();
@@ -417,6 +449,15 @@ impl CampaignPlan {
                         drop_ppm: rest[2].parse().map_err(|_| err("bad drop_ppm"))?,
                         dup_ppm: rest[3].parse().map_err(|_| err("bad dup_ppm"))?,
                     };
+                }
+                "repair" => {
+                    if rest.len() != 2 {
+                        return Err(err("want `repair <at> <brick>`"));
+                    }
+                    plan.repair = Some(RepairPhase {
+                        at: rest[0].parse().map_err(|_| err("bad at"))?,
+                        brick: rest[1].parse().map_err(|_| err("bad brick"))?,
+                    });
                 }
                 "op" => {
                     if rest.len() < 4 {
@@ -536,6 +577,10 @@ mod tests {
             for f in &p.faults {
                 assert!(f.at < p.horizon);
             }
+            if let Some(r) = p.repair {
+                assert!(r.at < p.horizon, "seed {seed}: repair after epilogue");
+                assert!(u64::from(r.brick) < p.n as u64, "seed {seed}: bad repair brick");
+            }
             // Write ids are unique and non-zero.
             let ids: Vec<u64> = p.ops.iter().filter_map(|o| o.kind.write_id()).collect();
             let mut dedup = ids.clone();
@@ -566,6 +611,25 @@ mod tests {
         assert!(CampaignPlan::parse(&text).is_err());
         // Missing shape.
         assert!(CampaignPlan::parse("fab-torture-plan v1\nseed 1\n").is_err());
+    }
+
+    #[test]
+    fn repair_phase_round_trips_and_rejects_garbage() {
+        // Some generated seed carries a repair phase; it must survive the
+        // text format (also exercised by `text_round_trip` above).
+        let plan = (0..64)
+            .map(generate)
+            .find(|p| p.repair.is_some())
+            .expect("some seed has a repair phase");
+        let back = CampaignPlan::parse(&plan.to_text()).expect("round-trip parse");
+        assert_eq!(plan.repair, back.repair);
+
+        let mut text = generate(3).to_text();
+        text.push_str("repair 100\n");
+        assert!(CampaignPlan::parse(&text).is_err());
+        let mut text = generate(3).to_text();
+        text.push_str("repair 100 banana\n");
+        assert!(CampaignPlan::parse(&text).is_err());
     }
 
     #[test]

@@ -25,11 +25,14 @@
 
 use crate::plan::OpKind;
 use fab_core::{
-    Brick, Completion, Envelope, OpTrace, Payload, ProtocolError, RegisterConfig, Reply, Request,
-    StripeId,
+    Brick, Completion, Envelope, OpResult, OpTrace, Payload, ProtocolError, RegisterConfig, Reply,
+    Request, StripeId,
 };
+use fab_repair::{plan_brick_rebuild, Action, DriverConfig, RepairDriver, SegmentMap};
+use fab_simnet::fault::Backoff;
 use fab_simnet::{Actor, Context, TimerId};
 use fab_timestamp::{ProcessId, Timestamp};
+use fab_volume::{Layout, VolumeGeometry};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -72,6 +75,16 @@ pub struct Journal {
     pub violations: Vec<String>,
     /// Requests handled by replicas (probe coverage counter).
     pub requests_probed: u64,
+    /// Data-bearing stripes the repair phase reconstructed.
+    pub repair_repaired: u64,
+    /// Never-written stripes the repair phase skipped as clean no-ops.
+    pub repair_skipped: u64,
+    /// Stripes whose repair retry budget ran out.
+    pub repair_failed: u64,
+    /// Whether the repair driver reached `Done`.
+    pub repair_completed: bool,
+    /// Post-repair fast-path probe reads that completed.
+    pub fastpath_probes: u64,
 }
 
 impl Journal {
@@ -107,6 +120,92 @@ impl Journal {
         self.last_ord.insert(key, ord);
         self.last_max.insert(key, max);
     }
+
+    /// Forgets the monotonicity watermarks of a wiped brick: a replaced
+    /// disk legitimately restarts from timestamp zero.
+    pub fn brick_wiped(&mut self, pid: u32) {
+        self.last_ord.retain(|(p, _), _| *p != pid);
+        self.last_max.retain(|(p, _), _| *p != pid);
+    }
+
+    /// Whether a recovery-path probe read of `stripe` is inconclusive
+    /// rather than a violation. Even a cleanly committed write only
+    /// guarantees a quorum has matching ord/val timestamps — its last
+    /// replica messages can still be in flight when the probe read lands,
+    /// and an aborted op can leave a replica's ord-ts ahead for good. So
+    /// the probe only convicts when every op on the stripe completed
+    /// without aborting, and every *effectful* op (write, scrub, or a
+    /// read that recovered) finished at least `margin` ticks before the
+    /// probe was invoked — long enough for straggler messages to drain
+    /// on a lossless network.
+    fn fastpath_inconclusive(
+        &self,
+        stripe: u64,
+        probe_pid: u32,
+        probe_op: u64,
+        probe_invoked_at: u64,
+        margin: u64,
+    ) -> bool {
+        let kinds: BTreeMap<(u32, u64), OpKind> = self
+            .invocations
+            .iter()
+            .filter(|inv| inv.stripe == stripe)
+            .map(|inv| ((inv.pid, inv.op), inv.kind))
+            .collect();
+        let done: BTreeSet<(u32, u64)> = self
+            .completions
+            .iter()
+            .filter(|(_, c)| c.stripe.0 == stripe)
+            .map(|(p, c)| (*p, c.op))
+            .collect();
+        if kinds.keys().any(|k| !done.contains(k)) {
+            return true;
+        }
+        self.completions.iter().any(|(p, c)| {
+            if c.stripe.0 != stripe || (*p, c.op) == (probe_pid, probe_op) {
+                return false;
+            }
+            if matches!(c.result, OpResult::Aborted(_)) {
+                return true;
+            }
+            let effectful = c.recovered
+                || kinds.get(&(*p, c.op)).is_some_and(|k| {
+                    k.write_id().is_some() || matches!(k, OpKind::Scrub)
+                });
+            effectful && c.completed_at.saturating_add(margin) > probe_invoked_at
+        })
+    }
+}
+
+/// The volatile state of an in-progress repair phase on the orchestrating
+/// brick: the sans-io driver plus the op-id plumbing that routes scrub
+/// completions back into it. Lost on crash, like any coordinator state.
+#[derive(Debug)]
+struct RepairRuntime {
+    driver: RepairDriver,
+    /// Outstanding scrub op ids → their stripes.
+    pending: BTreeMap<u64, StripeId>,
+    /// Outstanding fast-path probe read op ids → their stripes.
+    probe_pending: BTreeMap<u64, StripeId>,
+    /// Data-bearing stripes repaired so far (probed once the driver is done).
+    repaired: Vec<StripeId>,
+    /// The driver's currently armed wait timer, if any.
+    timer: Option<TimerId>,
+    /// Set when a scrub result arrived and the driver should be polled.
+    dirty: bool,
+    /// Whether recovery-path probe reads are judged as violations (only
+    /// sound on a lossless, fault-free campaign).
+    judge: bool,
+    /// Ticks to wait after the driver finishes before probing, and the
+    /// quiet period an effectful op must clear for a probe to convict.
+    margin: u64,
+    /// Armed delay between driver completion and the probe reads, so the
+    /// rebuild's own write-back stragglers drain first.
+    settle_timer: Option<TimerId>,
+    /// Stripes awaiting their deferred probe read.
+    probe_queue: Vec<StripeId>,
+    /// Set once the driver reported `Done` (guards re-entry).
+    finished: bool,
 }
 
 /// One instrumented brick: the production [`Brick`] plus probe hooks.
@@ -116,6 +215,8 @@ pub struct TortureBrick {
     journal: Rc<RefCell<Journal>>,
     /// Stripes this brick's replica side has served (for crash probing).
     touched: BTreeSet<StripeId>,
+    /// Repair-phase orchestration, when this brick runs the rebuild.
+    repair: Option<RepairRuntime>,
 }
 
 impl TortureBrick {
@@ -139,6 +240,161 @@ impl TortureBrick {
             inner,
             journal,
             touched: BTreeSet::new(),
+            repair: None,
+        }
+    }
+
+    /// Replaces this brick's disk: all replica state (persistent
+    /// included) is erased, as if the brick restarted on a fresh drive.
+    /// The journal's monotonicity watermarks for this brick are reset —
+    /// a new disk starts from timestamp zero by design.
+    pub fn wipe(&mut self) {
+        let pid = self.inner.pid().value();
+        self.inner.wipe();
+        self.journal.borrow_mut().brick_wiped(pid);
+    }
+
+    /// Starts the repair phase on this brick: plans a rebuild of `brick`
+    /// across `stripes` stripe registers and begins driving the sans-io
+    /// [`RepairDriver`] on simulated time. Backoff delays are in sim
+    /// ticks, scaled to the campaign horizon rather than wall-clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_repair(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        brick: u32,
+        stripes: u64,
+        m: usize,
+        block_size: usize,
+        n: u32,
+        judge: bool,
+        margin: u64,
+    ) {
+        if self.repair.is_some() {
+            return;
+        }
+        let geom = VolumeGeometry::new(stripes, m, block_size, Layout::Interleaved);
+        let Ok(map) = SegmentMap::full(n) else { return };
+        let Ok(plan) = plan_brick_rebuild(&geom, &map, brick) else {
+            return;
+        };
+        let cfg = DriverConfig {
+            stripes_per_sec: 0,
+            bytes_per_sec: 0,
+            max_inflight: 2,
+            max_attempts: 8,
+            backoff: Backoff {
+                base_micros: 40,
+                factor: 2,
+                max_micros: 500,
+            },
+        };
+        self.repair = Some(RepairRuntime {
+            driver: RepairDriver::new(plan, cfg),
+            pending: BTreeMap::new(),
+            probe_pending: BTreeMap::new(),
+            repaired: Vec::new(),
+            timer: None,
+            dirty: false,
+            judge,
+            margin,
+            settle_timer: None,
+            probe_queue: Vec::new(),
+            finished: false,
+        });
+        self.pump_repair(ctx);
+    }
+
+    /// Polls the repair driver until it blocks (throttle wait, in-flight
+    /// limit) or finishes, issuing scrubs through the wrapped
+    /// coordinator. Scrub invocations are journaled like workload ops, so
+    /// the linearizability check covers the rebuild's own reads.
+    fn pump_repair(&mut self, ctx: &mut Context<'_, Envelope>) {
+        loop {
+            let now = ctx.now();
+            let action = match self.repair.as_mut() {
+                Some(rt) => rt.driver.poll(now),
+                None => return,
+            };
+            match action {
+                Action::Scrub(stripe) => {
+                    let op = self.inner.scrub(ctx, stripe);
+                    let pid = self.inner.pid().value();
+                    self.journal.borrow_mut().invocations.push(Invocation {
+                        pid,
+                        op,
+                        at: now,
+                        stripe: stripe.0,
+                        kind: OpKind::Scrub,
+                    });
+                    if let Some(rt) = self.repair.as_mut() {
+                        rt.pending.insert(op, stripe);
+                    }
+                }
+                Action::Wait { until_micros } => {
+                    let delay = until_micros.saturating_sub(now).max(1);
+                    let timer = ctx.set_timer(delay);
+                    if let Some(rt) = self.repair.as_mut() {
+                        rt.timer = Some(timer);
+                    }
+                    return;
+                }
+                Action::Idle => return,
+                Action::Done => {
+                    self.finish_repair(ctx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Records the terminal repair stats and arms the probe settle timer:
+    /// fast-path probe reads are issued `margin` ticks later, so the
+    /// rebuild's own write-back stragglers drain before the reads land.
+    fn finish_repair(&mut self, ctx: &mut Context<'_, Envelope>) {
+        let Some(rt) = self.repair.as_mut() else { return };
+        if rt.finished {
+            return;
+        }
+        rt.finished = true;
+        let snapshot = rt.driver.counters().snapshot();
+        rt.probe_queue = std::mem::take(&mut rt.repaired);
+        {
+            let mut j = self.journal.borrow_mut();
+            j.repair_repaired = snapshot.repaired;
+            j.repair_skipped = snapshot.skipped;
+            j.repair_failed = snapshot.failed;
+            j.repair_completed = true;
+        }
+        if !rt.probe_queue.is_empty() {
+            let delay = rt.margin.max(1);
+            rt.settle_timer = Some(ctx.set_timer(delay));
+        }
+    }
+
+    /// Issues the deferred fast-path probe reads: one `read-stripe` per
+    /// repaired (data-bearing) stripe. [`TortureBrick::drain`] judges the
+    /// completions: on a benign campaign a settled stripe must be read
+    /// without the recovery path.
+    fn issue_probes(&mut self, ctx: &mut Context<'_, Envelope>) {
+        let queue = match self.repair.as_mut() {
+            Some(rt) => std::mem::take(&mut rt.probe_queue),
+            None => return,
+        };
+        let now = ctx.now();
+        let pid = self.inner.pid().value();
+        for stripe in queue {
+            let op = self.inner.read_stripe(ctx, stripe);
+            self.journal.borrow_mut().invocations.push(Invocation {
+                pid,
+                op,
+                at: now,
+                stripe: stripe.0,
+                kind: OpKind::ReadStripe,
+            });
+            if let Some(rt) = self.repair.as_mut() {
+                rt.probe_pending.insert(op, stripe);
+            }
         }
     }
 
@@ -188,22 +444,76 @@ impl TortureBrick {
                 kind,
             });
         }
-        self.drain();
+        self.drain(ctx.now());
+        self.repair_tick(ctx);
     }
 
     /// Moves completions and finished traces from the wrapped brick into
     /// the journal (completions drained from the brick's mailbox, traces
-    /// from the coordinator).
-    fn drain(&mut self) {
+    /// from the coordinator). Completions of repair-issued scrubs are fed
+    /// back into the driver first; completions of fast-path probe reads
+    /// are judged here.
+    fn drain(&mut self, now: u64) {
         let pid = self.inner.pid().value();
         let completions = std::mem::take(&mut self.inner.completions);
         let traces = self.inner.coordinator.take_traces();
         if completions.is_empty() && traces.is_empty() {
             return;
         }
+        // (stripe, returned-a-value, recovered, op id, invoked-at tick)
+        let mut probe_done: Vec<(u64, bool, bool, u64, u64)> = Vec::new();
+        let mut probe_policy = (false, 0u64);
+        if let Some(rt) = self.repair.as_mut() {
+            probe_policy = (rt.judge, rt.margin);
+            for c in &completions {
+                if let Some(stripe) = rt.pending.remove(&c.op) {
+                    rt.driver.on_scrub_result(stripe, &c.result, now);
+                    rt.dirty = true;
+                    if matches!(&c.result, OpResult::Stripe(fab_core::StripeValue::Data(_))) {
+                        rt.repaired.push(stripe);
+                    }
+                } else if let Some(stripe) = rt.probe_pending.remove(&c.op) {
+                    let returned_value = matches!(c.result, OpResult::Stripe(_));
+                    probe_done.push((stripe.0, returned_value, c.recovered, c.op, c.invoked_at));
+                }
+            }
+        }
         let mut j = self.journal.borrow_mut();
+        // Extend first so the probe reads' own completions (this batch)
+        // are visible to the settledness check below.
         j.completions.extend(completions.into_iter().map(|c| (pid, c)));
         j.traces.extend(traces.into_iter().map(|t| (pid, t)));
+        let (judge, margin) = probe_policy;
+        for (stripe, returned_value, recovered, op, invoked_at) in probe_done {
+            // An aborted probe read observed nothing; judge only reads
+            // that returned a value. A recovery-path read convicts only
+            // on a benign campaign (lossless net, no faults) when the
+            // stripe is settled — anything else is inconclusive.
+            if returned_value {
+                j.fastpath_probes += 1;
+                if recovered
+                    && judge
+                    && !j.fastpath_inconclusive(stripe, pid, op, invoked_at, margin)
+                {
+                    j.violation(
+                        "repair-fast-path",
+                        &format!(
+                            "p{pid}: post-repair read of stripe{stripe} took the recovery path"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-polls the repair driver if new scrub results arrived.
+    fn repair_tick(&mut self, ctx: &mut Context<'_, Envelope>) {
+        if self.repair.as_ref().is_some_and(|rt| rt.dirty) {
+            if let Some(rt) = self.repair.as_mut() {
+                rt.dirty = false;
+            }
+            self.pump_repair(ctx);
+        }
     }
 
     /// Probes replica state right after it handled `req` (and before the
@@ -281,18 +591,48 @@ impl Actor for TortureBrick {
             // Coordinator side: delegate unchanged, then harvest.
             Payload::Reply(_) => {
                 self.inner.on_message(ctx, from, env);
-                self.drain();
+                self.drain(ctx.now());
+                self.repair_tick(ctx);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Envelope>, timer: TimerId) {
+        // A repair wait timer belongs to the driver, not the wrapped brick.
+        if self
+            .repair
+            .as_ref()
+            .is_some_and(|rt| rt.timer == Some(timer))
+        {
+            if let Some(rt) = self.repair.as_mut() {
+                rt.timer = None;
+            }
+            self.pump_repair(ctx);
+            return;
+        }
+        // The probe settle timer: the rebuild finished `margin` ticks ago,
+        // so its stragglers have drained — read the repaired stripes back.
+        if self
+            .repair
+            .as_ref()
+            .is_some_and(|rt| rt.settle_timer == Some(timer))
+        {
+            if let Some(rt) = self.repair.as_mut() {
+                rt.settle_timer = None;
+            }
+            self.issue_probes(ctx);
+            return;
+        }
         self.inner.on_timer(ctx, timer);
-        self.drain();
+        self.drain(ctx.now());
+        self.repair_tick(ctx);
     }
 
     fn on_crash(&mut self) {
         self.inner.on_crash();
+        // Orchestration state is volatile: a crashed driver is gone (the
+        // durable-cursor resume path is exercised by the inproc tests).
+        self.repair = None;
         // Persistence probe: replica timestamps must survive the crash.
         let pid = self.inner.pid().value();
         let stripes: Vec<StripeId> = self.touched.iter().copied().collect();

@@ -19,6 +19,8 @@ pub struct ShrinkStats {
     pub removed_faults: usize,
     /// Workload operations removed.
     pub removed_ops: usize,
+    /// Whether the repair phase was removed.
+    pub removed_repair: bool,
     /// Fixpoint passes over the plan.
     pub passes: u32,
 }
@@ -35,6 +37,22 @@ where
     loop {
         stats.passes += 1;
         let mut progress = false;
+
+        // The repair phase first: it is a single toggle, and dropping it
+        // often makes the remaining schedule trivial to shrink.
+        if current.repair.is_some() {
+            if stats.runs >= budget {
+                return (current, stats);
+            }
+            let mut candidate = current.clone();
+            candidate.repair = None;
+            stats.runs += 1;
+            if judge(&candidate) {
+                current = candidate;
+                stats.removed_repair = true;
+                progress = true;
+            }
+        }
 
         // Faults first: they are usually what makes a schedule hostile,
         // and removing one often unlocks removing the ops it targeted.

@@ -1,7 +1,7 @@
 //! Body encodings: the kind-specific binary forms carried inside frames.
 //!
-//! Three message families cross FAB sockets (§7 of DESIGN.md carries the
-//! full byte-layout table):
+//! Five message families cross FAB sockets (§7 and §10 of DESIGN.md carry
+//! the full byte-layout tables):
 //!
 //! * **Peer** — brick↔brick protocol traffic: the sender's process id
 //!   followed by a [`fab_core::Envelope`] (the requests and replies of
@@ -10,6 +10,10 @@
 //! * **ClientRequest** — a register operation ([`ClientOp`]) tagged with a
 //!   client-chosen correlation id.
 //! * **ClientReply** — the matching [`fab_core::OpResult`] (or a
+//!   [`ClientError`]) echoing the correlation id.
+//! * **AdminRequest** — an operator operation ([`AdminOp`]: repair
+//!   start/status/abort) tagged with a correlation id.
+//! * **AdminReply** — the matching [`AdminResponse`] (or a
 //!   [`ClientError`]) echoing the correlation id.
 //!
 //! All decode paths treat input as untrusted: every length and count is
@@ -52,6 +56,20 @@ pub enum Message {
         /// Outcome: a register result, or a typed rejection.
         result: Result<OpResult, ClientError>,
     },
+    /// Operator→brick administrative request (repair orchestration).
+    AdminRequest {
+        /// Client-chosen correlation id, echoed by the reply.
+        id: u64,
+        /// The requested administrative operation.
+        op: AdminOp,
+    },
+    /// Brick→operator administrative reply.
+    AdminReply {
+        /// The request's correlation id.
+        id: u64,
+        /// Outcome: an admin response, or a typed rejection.
+        result: Result<AdminResponse, ClientError>,
+    },
 }
 
 impl Message {
@@ -62,6 +80,8 @@ impl Message {
             Message::Peer { .. } => FrameKind::Peer,
             Message::ClientRequest { .. } => FrameKind::ClientRequest,
             Message::ClientReply { .. } => FrameKind::ClientReply,
+            Message::AdminRequest { .. } => FrameKind::AdminRequest,
+            Message::AdminReply { .. } => FrameKind::AdminReply,
         }
     }
 }
@@ -156,6 +176,84 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+/// An operator-requested administrative operation (the socket form of the
+/// `fab-cli repair` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Start a background rebuild on the receiving brick's node.
+    RepairStart {
+        /// The replaced/wiped brick to rebuild (ignored when `scrub_all`).
+        brick: u32,
+        /// Number of stripes in the volume to plan over.
+        stripe_count: u64,
+        /// Throttle: stripes per second (0 = unthrottled).
+        stripes_per_sec: u64,
+        /// Throttle: reconstructed bytes per second (0 = unthrottled).
+        bytes_per_sec: u64,
+        /// Bound on concurrently in-flight scrubs.
+        max_inflight: u32,
+        /// Full-volume scrub instead of a single brick's stripes.
+        scrub_all: bool,
+    },
+    /// Snapshot the running (or last finished) repair's progress.
+    RepairStatus,
+    /// Abort the running repair at the next scrub boundary.
+    RepairAbort,
+}
+
+impl AdminOp {
+    /// Short operation name for logs and traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdminOp::RepairStart { .. } => "repair-start",
+            AdminOp::RepairStatus => "repair-status",
+            AdminOp::RepairAbort => "repair-abort",
+        }
+    }
+}
+
+/// A point-in-time view of a repair run as carried on the wire (the
+/// socket form of `fab_repair::RepairStats` plus liveness flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairProgress {
+    /// Stripes in the plan.
+    pub planned: u64,
+    /// Stripes reconstructed and re-stored.
+    pub repaired: u64,
+    /// Never-written stripes (clean no-op scrubs).
+    pub skipped: u64,
+    /// Retried scrub attempts.
+    pub retried: u64,
+    /// Stripes exhausted of retries.
+    pub failed: u64,
+    /// Logical bytes reconstructed.
+    pub bytes_reconstructed: u64,
+    /// Throttle-induced waits.
+    pub throttle_waits: u64,
+    /// Durable-cursor watermark (contiguous plan prefix done).
+    pub watermark: u64,
+    /// Median per-scrub latency, microseconds.
+    pub scrub_p50_micros: u64,
+    /// 99th-percentile per-scrub latency, microseconds.
+    pub scrub_p99_micros: u64,
+    /// A repair driver is currently running.
+    pub running: bool,
+    /// The last driver run covered its whole plan.
+    pub complete: bool,
+}
+
+/// A brick's answer to an [`AdminOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminResponse {
+    /// The repair was started (or one was already running).
+    Started,
+    /// Progress snapshot for `RepairStatus`.
+    Status(RepairProgress),
+    /// The abort flag was raised.
+    Aborted,
+}
 
 // -------------------------------------------------------------- encoding --
 
@@ -501,6 +599,94 @@ pub fn encode_client_reply_body(id: u64, result: &Result<OpResult, ClientError>)
     out
 }
 
+fn put_admin_op(out: &mut Vec<u8>, op: &AdminOp) {
+    match op {
+        AdminOp::RepairStart {
+            brick,
+            stripe_count,
+            stripes_per_sec,
+            bytes_per_sec,
+            max_inflight,
+            scrub_all,
+        } => {
+            put_u8(out, 0);
+            put_u32(out, *brick);
+            put_u64(out, *stripe_count);
+            put_u64(out, *stripes_per_sec);
+            put_u64(out, *bytes_per_sec);
+            put_u32(out, *max_inflight);
+            put_bool(out, *scrub_all);
+        }
+        AdminOp::RepairStatus => put_u8(out, 1),
+        AdminOp::RepairAbort => put_u8(out, 2),
+    }
+}
+
+fn put_admin_response(out: &mut Vec<u8>, resp: &AdminResponse) {
+    match resp {
+        AdminResponse::Started => put_u8(out, 0),
+        AdminResponse::Status(p) => {
+            put_u8(out, 1);
+            put_u64(out, p.planned);
+            put_u64(out, p.repaired);
+            put_u64(out, p.skipped);
+            put_u64(out, p.retried);
+            put_u64(out, p.failed);
+            put_u64(out, p.bytes_reconstructed);
+            put_u64(out, p.throttle_waits);
+            put_u64(out, p.watermark);
+            put_u64(out, p.scrub_p50_micros);
+            put_u64(out, p.scrub_p99_micros);
+            put_bool(out, p.running);
+            put_bool(out, p.complete);
+        }
+        AdminResponse::Aborted => put_u8(out, 2),
+    }
+}
+
+fn put_admin_request_body(out: &mut Vec<u8>, id: u64, op: &AdminOp) {
+    put_u64(out, id);
+    put_admin_op(out, op);
+}
+
+/// Encodes an admin request into an AdminRequest frame body.
+#[must_use]
+pub fn encode_admin_request_body(id: u64, op: &AdminOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    put_admin_request_body(&mut out, id, op);
+    out
+}
+
+fn put_admin_reply_body(out: &mut Vec<u8>, id: u64, result: &Result<AdminResponse, ClientError>) {
+    put_u64(out, id);
+    match result {
+        Ok(resp) => {
+            put_u8(out, 0);
+            put_admin_response(out, resp);
+        }
+        Err(e) => {
+            put_u8(out, 1);
+            put_u8(
+                out,
+                match e {
+                    ClientError::InvalidRequest => 0,
+                    ClientError::Unavailable => 1,
+                    #[allow(unreachable_patterns)]
+                    _ => 1,
+                },
+            );
+        }
+    }
+}
+
+/// Encodes an admin reply into an AdminReply frame body.
+#[must_use]
+pub fn encode_admin_reply_body(id: u64, result: &Result<AdminResponse, ClientError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    put_admin_reply_body(&mut out, id, result);
+    out
+}
+
 /// Encodes a full frame (header + body) for any message.
 #[must_use]
 pub fn encode_message(msg: &Message) -> Vec<u8> {
@@ -539,6 +725,24 @@ pub fn encode_client_reply_into(
     frame.finish(FrameKind::ClientReply, out);
 }
 
+/// Appends a complete AdminRequest frame to `out` without allocating.
+pub fn encode_admin_request_into(id: u64, op: &AdminOp, out: &mut Vec<u8>) {
+    let frame = FrameBuilder::begin(out);
+    put_admin_request_body(out, id, op);
+    frame.finish(FrameKind::AdminRequest, out);
+}
+
+/// Appends a complete AdminReply frame to `out` without allocating.
+pub fn encode_admin_reply_into(
+    id: u64,
+    result: &Result<AdminResponse, ClientError>,
+    out: &mut Vec<u8>,
+) {
+    let frame = FrameBuilder::begin(out);
+    put_admin_reply_body(out, id, result);
+    frame.finish(FrameKind::AdminReply, out);
+}
+
 /// Appends a complete frame for any message to `out` without allocating.
 ///
 /// Byte-identical to [`encode_message`] appended at `out`'s current tail.
@@ -547,6 +751,8 @@ pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
         Message::Peer { from, env } => encode_peer_message_into(*from, env, out),
         Message::ClientRequest { id, op } => encode_client_request_into(*id, op, out),
         Message::ClientReply { id, result } => encode_client_reply_into(*id, result, out),
+        Message::AdminRequest { id, op } => encode_admin_request_into(*id, op, out),
+        Message::AdminReply { id, result } => encode_admin_reply_into(*id, result, out),
     }
 }
 
@@ -958,6 +1164,96 @@ pub fn decode_client_reply_body(
     Ok((id, result))
 }
 
+fn get_admin_op(r: &mut Reader<'_>) -> Result<AdminOp, WireError> {
+    match r.u8()? {
+        0 => Ok(AdminOp::RepairStart {
+            brick: r.u32()?,
+            stripe_count: r.u64()?,
+            stripes_per_sec: r.u64()?,
+            bytes_per_sec: r.u64()?,
+            max_inflight: r.u32()?,
+            scrub_all: r.bool("RepairStart::scrub_all")?,
+        }),
+        1 => Ok(AdminOp::RepairStatus),
+        2 => Ok(AdminOp::RepairAbort),
+        tag => Err(WireError::BadTag {
+            what: "AdminOp",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+fn get_admin_response(r: &mut Reader<'_>) -> Result<AdminResponse, WireError> {
+    match r.u8()? {
+        0 => Ok(AdminResponse::Started),
+        1 => Ok(AdminResponse::Status(RepairProgress {
+            planned: r.u64()?,
+            repaired: r.u64()?,
+            skipped: r.u64()?,
+            retried: r.u64()?,
+            failed: r.u64()?,
+            bytes_reconstructed: r.u64()?,
+            throttle_waits: r.u64()?,
+            watermark: r.u64()?,
+            scrub_p50_micros: r.u64()?,
+            scrub_p99_micros: r.u64()?,
+            running: r.bool("Status::running")?,
+            complete: r.bool("Status::complete")?,
+        })),
+        2 => Ok(AdminResponse::Aborted),
+        tag => Err(WireError::BadTag {
+            what: "AdminResponse",
+            tag: u32::from(tag),
+        }),
+    }
+}
+
+/// Decodes an AdminRequest frame body.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input.
+pub fn decode_admin_request_body(body: &[u8]) -> Result<(u64, AdminOp), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let op = get_admin_op(&mut r)?;
+    r.finish()?;
+    Ok((id, op))
+}
+
+/// Decodes an AdminReply frame body.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed input.
+pub fn decode_admin_reply_body(
+    body: &[u8],
+) -> Result<(u64, Result<AdminResponse, ClientError>), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let result = match r.u8()? {
+        0 => Ok(get_admin_response(&mut r)?),
+        1 => Err(match r.u8()? {
+            0 => ClientError::InvalidRequest,
+            1 => ClientError::Unavailable,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ClientError",
+                    tag: u32::from(tag),
+                })
+            }
+        }),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "AdminReply::result",
+                tag: u32::from(tag),
+            })
+        }
+    };
+    r.finish()?;
+    Ok((id, result))
+}
+
 /// Decodes a frame body under its header kind.
 ///
 /// # Errors
@@ -976,6 +1272,14 @@ pub fn decode_body(kind: FrameKind, body: &[u8]) -> Result<Message, WireError> {
         FrameKind::ClientReply => {
             let (id, result) = decode_client_reply_body(body)?;
             Ok(Message::ClientReply { id, result })
+        }
+        FrameKind::AdminRequest => {
+            let (id, op) = decode_admin_request_body(body)?;
+            Ok(Message::AdminRequest { id, op })
+        }
+        FrameKind::AdminReply => {
+            let (id, result) = decode_admin_reply_body(body)?;
+            Ok(Message::AdminReply { id, result })
         }
     }
 }
@@ -1198,5 +1502,177 @@ mod tests {
     fn client_op_names() {
         assert_eq!(ClientOp::ReadStripe { stripe: StripeId(0) }.name(), "read-stripe");
         assert_eq!(ClientOp::Scrub { stripe: StripeId(0) }.name(), "scrub");
+    }
+
+    fn sample_progress() -> RepairProgress {
+        RepairProgress {
+            planned: 100,
+            repaired: 60,
+            skipped: 30,
+            retried: 5,
+            failed: 1,
+            bytes_reconstructed: 4096,
+            throttle_waits: 17,
+            watermark: 88,
+            scrub_p50_micros: 128,
+            scrub_p99_micros: 2048,
+            running: true,
+            complete: false,
+        }
+    }
+
+    #[test]
+    fn admin_messages_round_trip() {
+        round_trip(&Message::AdminRequest {
+            id: 9,
+            op: AdminOp::RepairStart {
+                brick: 4,
+                stripe_count: 1024,
+                stripes_per_sec: 50,
+                bytes_per_sec: 1 << 20,
+                max_inflight: 8,
+                scrub_all: false,
+            },
+        });
+        round_trip(&Message::AdminRequest {
+            id: 10,
+            op: AdminOp::RepairStatus,
+        });
+        round_trip(&Message::AdminRequest {
+            id: 11,
+            op: AdminOp::RepairAbort,
+        });
+        round_trip(&Message::AdminReply {
+            id: 9,
+            result: Ok(AdminResponse::Started),
+        });
+        round_trip(&Message::AdminReply {
+            id: 10,
+            result: Ok(AdminResponse::Status(sample_progress())),
+        });
+        round_trip(&Message::AdminReply {
+            id: 11,
+            result: Ok(AdminResponse::Aborted),
+        });
+        round_trip(&Message::AdminReply {
+            id: 12,
+            result: Err(ClientError::Unavailable),
+        });
+    }
+
+    #[test]
+    fn admin_bad_tags_are_typed_errors() {
+        // Undefined admin op tag.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        put_u8(&mut body, 7);
+        assert!(matches!(
+            decode_admin_request_body(&body),
+            Err(WireError::BadTag { what: "AdminOp", .. })
+        ));
+        // Undefined response tag inside an ok reply.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        put_u8(&mut body, 0); // ok
+        put_u8(&mut body, 9); // bad AdminResponse tag
+        assert!(matches!(
+            decode_admin_reply_body(&body),
+            Err(WireError::BadTag {
+                what: "AdminResponse",
+                ..
+            })
+        ));
+        // A non-boolean scrub_all byte.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        put_admin_op(
+            &mut body,
+            &AdminOp::RepairStart {
+                brick: 0,
+                stripe_count: 1,
+                stripes_per_sec: 0,
+                bytes_per_sec: 0,
+                max_inflight: 1,
+                scrub_all: false,
+            },
+        );
+        let last = body.len() - 1;
+        if let Some(b) = body.get_mut(last) {
+            *b = 3;
+        }
+        assert!(matches!(
+            decode_admin_request_body(&body),
+            Err(WireError::BadTag {
+                what: "RepairStart::scrub_all",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn admin_trailing_bytes_are_rejected() {
+        let mut body = encode_admin_request_body(4, &AdminOp::RepairStatus);
+        body.push(0xCD);
+        assert_eq!(
+            decode_admin_request_body(&body),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+        let mut body = encode_admin_reply_body(4, &Ok(AdminResponse::Status(sample_progress())));
+        body.push(0x01);
+        assert_eq!(
+            decode_admin_reply_body(&body),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn admin_truncated_status_is_truncated_error() {
+        let full = encode_admin_reply_body(4, &Ok(AdminResponse::Status(sample_progress())));
+        // Chop mid-way through the fixed-size status payload.
+        let cut = full.get(..full.len() - 10).unwrap_or(&[]);
+        assert!(matches!(
+            decode_admin_reply_body(cut),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn admin_encode_into_is_byte_identical() {
+        let msgs = [
+            Message::AdminRequest {
+                id: 21,
+                op: AdminOp::RepairStart {
+                    brick: 2,
+                    stripe_count: 64,
+                    stripes_per_sec: 0,
+                    bytes_per_sec: 0,
+                    max_inflight: 4,
+                    scrub_all: true,
+                },
+            },
+            Message::AdminReply {
+                id: 21,
+                result: Ok(AdminResponse::Status(sample_progress())),
+            },
+        ];
+        let mut buf = vec![0x55];
+        let mut at = buf.len();
+        for msg in &msgs {
+            encode_message_into(msg, &mut buf);
+            let one = encode_message(msg);
+            assert_eq!(&buf[at..], &one[..], "encode_into diverged for {msg:?}");
+            at = buf.len();
+        }
+        // Body encoders match their framed forms too.
+        let body = encode_admin_request_body(3, &AdminOp::RepairAbort);
+        let mut framed = Vec::new();
+        encode_admin_request_into(3, &AdminOp::RepairAbort, &mut framed);
+        assert_eq!(framed, crate::frame::encode_frame(FrameKind::AdminRequest, &body));
+    }
+
+    #[test]
+    fn admin_op_names() {
+        assert_eq!(AdminOp::RepairStatus.name(), "repair-status");
+        assert_eq!(AdminOp::RepairAbort.name(), "repair-abort");
     }
 }

@@ -9,7 +9,8 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic            b"FABW"
 //!      4     2  protocol version (currently 1)
-//!      6     2  message kind     (1 = peer, 2 = client req, 3 = reply)
+//!      6     2  message kind     (1 = peer, 2 = client req, 3 = reply,
+//!                                  4 = admin req, 5 = admin reply)
 //!      8     4  body length      bytes following the header
 //!     12     4  CRC32 (IEEE)     over the body bytes only
 //!     16     …  body             kind-specific encoding (`codec`)
@@ -52,6 +53,10 @@ pub enum FrameKind {
     ClientRequest = 2,
     /// Brick→client operation reply.
     ClientReply = 3,
+    /// Client→brick administrative request (repair orchestration).
+    AdminRequest = 4,
+    /// Brick→client administrative reply.
+    AdminReply = 5,
 }
 
 impl FrameKind {
@@ -65,6 +70,8 @@ impl FrameKind {
             1 => Ok(FrameKind::Peer),
             2 => Ok(FrameKind::ClientRequest),
             3 => Ok(FrameKind::ClientReply),
+            4 => Ok(FrameKind::AdminRequest),
+            5 => Ok(FrameKind::AdminReply),
             found => Err(WireError::UnknownKind { found }),
         }
     }

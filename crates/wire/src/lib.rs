@@ -56,10 +56,13 @@ pub mod error;
 pub mod frame;
 
 pub use codec::{
-    decode_body, decode_client_reply_body, decode_client_request_body, decode_message,
-    decode_peer_body, encode_client_reply_body, encode_client_reply_into,
-    encode_client_request_body, encode_client_request_into, encode_message, encode_message_into,
-    encode_peer_body, encode_peer_message_into, ClientError, ClientOp, Message,
+    decode_admin_reply_body, decode_admin_request_body, decode_body, decode_client_reply_body,
+    decode_client_request_body, decode_message, decode_peer_body, encode_admin_reply_body,
+    encode_admin_reply_into, encode_admin_request_body, encode_admin_request_into,
+    encode_client_reply_body, encode_client_reply_into, encode_client_request_body,
+    encode_client_request_into, encode_message, encode_message_into, encode_peer_body,
+    encode_peer_message_into, AdminOp, AdminResponse, ClientError, ClientOp, Message,
+    RepairProgress,
 };
 pub use error::WireError;
 pub use frame::{

@@ -133,6 +133,53 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
         encode_frame(FrameKind::ClientReply, &bad_reply),
     ));
 
+    // An admin request with an undefined op tag.
+    let mut bad_admin = Vec::new();
+    bad_admin.extend_from_slice(&5u64.to_le_bytes()); // correlation id
+    bad_admin.push(0x77); // undefined AdminOp tag
+    entries.push((
+        "bad-admin-op-tag",
+        encode_frame(FrameKind::AdminRequest, &bad_admin),
+    ));
+
+    // A RepairStart body cut off mid-field.
+    let mut short_admin = Vec::new();
+    short_admin.extend_from_slice(&5u64.to_le_bytes()); // correlation id
+    short_admin.push(0); // AdminOp::RepairStart
+    short_admin.extend_from_slice(&4u32.to_le_bytes()); // brick
+    short_admin.extend_from_slice(&64u64.to_le_bytes()); // stripe_count
+    // ...and nothing else: throttles, inflight, scrub_all all missing.
+    entries.push((
+        "truncated-admin-start",
+        encode_frame(FrameKind::AdminRequest, &short_admin),
+    ));
+
+    // A RepairStart whose scrub_all byte is not a boolean.
+    let mut bad_bool = Vec::new();
+    bad_bool.extend_from_slice(&5u64.to_le_bytes()); // correlation id
+    bad_bool.push(0); // AdminOp::RepairStart
+    bad_bool.extend_from_slice(&4u32.to_le_bytes()); // brick
+    bad_bool.extend_from_slice(&64u64.to_le_bytes()); // stripe_count
+    bad_bool.extend_from_slice(&0u64.to_le_bytes()); // stripes_per_sec
+    bad_bool.extend_from_slice(&0u64.to_le_bytes()); // bytes_per_sec
+    bad_bool.extend_from_slice(&4u32.to_le_bytes()); // max_inflight
+    bad_bool.push(9); // scrub_all: not 0/1
+    entries.push((
+        "bad-admin-bool",
+        encode_frame(FrameKind::AdminRequest, &bad_bool),
+    ));
+
+    // An admin status reply with trailing junk after the fixed payload.
+    let mut admin_trailing = Vec::new();
+    admin_trailing.extend_from_slice(&6u64.to_le_bytes()); // correlation id
+    admin_trailing.push(0); // Ok
+    admin_trailing.push(0); // AdminResponse::Started
+    admin_trailing.extend_from_slice(b"\xCA\xFE");
+    entries.push((
+        "admin-trailing-bytes",
+        encode_frame(FrameKind::AdminReply, &admin_trailing),
+    ));
+
     entries
 }
 
@@ -210,6 +257,14 @@ fn corpus_entries_fail_for_their_intended_reason() {
     expect("bad-payload-tag", |e| matches!(e, WireError::BadTag { .. }));
     expect("count-bomb", |e| matches!(e, WireError::BadCount { .. }));
     expect("bad-opresult-tag", |e| matches!(e, WireError::BadTag { .. }));
+    expect("bad-admin-op-tag", |e| matches!(e, WireError::BadTag { .. }));
+    expect("truncated-admin-start", |e| {
+        matches!(e, WireError::Truncated { .. })
+    });
+    expect("bad-admin-bool", |e| matches!(e, WireError::BadTag { .. }));
+    expect("admin-trailing-bytes", |e| {
+        matches!(e, WireError::TrailingBytes { .. })
+    });
 }
 
 /// Sanity: the reference frame itself is valid (the corpus mutations are

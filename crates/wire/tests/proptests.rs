@@ -17,8 +17,9 @@ use fab_core::{
 };
 use fab_timestamp::{ProcessId, Timestamp};
 use fab_wire::{
-    decode_message, encode_frame, encode_frame_into, encode_message, encode_message_into,
-    ClientError, ClientOp, FrameBuilder, FrameKind, Message, WireError,
+    decode_message, encode_frame, encode_frame_into, encode_message, encode_message_into, AdminOp,
+    AdminResponse, ClientError, ClientOp, FrameBuilder, FrameKind, Message, RepairProgress,
+    WireError,
 };
 use proptest::prelude::*;
 
@@ -170,6 +171,68 @@ fn arb_op_result() -> impl Strategy<Value = OpResult> {
     ]
 }
 
+fn arb_admin_op() -> impl Strategy<Value = AdminOp> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(brick, stripe_count, stripes_per_sec, bytes_per_sec, max_inflight, scrub_all)| {
+                    AdminOp::RepairStart {
+                        brick,
+                        stripe_count,
+                        stripes_per_sec,
+                        bytes_per_sec,
+                        max_inflight,
+                        scrub_all,
+                    }
+                }
+            ),
+        Just(AdminOp::RepairStatus),
+        Just(AdminOp::RepairAbort),
+    ]
+}
+
+fn arb_admin_response() -> impl Strategy<Value = AdminResponse> {
+    prop_oneof![
+        Just(AdminResponse::Started),
+        (
+            proptest::collection::vec(any::<u64>(), 10),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(f, running, complete)| {
+                AdminResponse::Status(RepairProgress {
+                    planned: f[0],
+                    repaired: f[1],
+                    skipped: f[2],
+                    retried: f[3],
+                    failed: f[4],
+                    bytes_reconstructed: f[5],
+                    throttle_waits: f[6],
+                    watermark: f[7],
+                    scrub_p50_micros: f[8],
+                    scrub_p99_micros: f[9],
+                    running,
+                    complete,
+                })
+            }),
+        Just(AdminResponse::Aborted),
+    ]
+}
+
+fn arb_client_error() -> impl Strategy<Value = ClientError> {
+    prop_oneof![
+        Just(ClientError::InvalidRequest),
+        Just(ClientError::Unavailable)
+    ]
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (arb_pid(), arb_envelope()).prop_map(|(from, env)| Message::Peer { from, env }),
@@ -178,14 +241,19 @@ fn arb_message() -> impl Strategy<Value = Message> {
             any::<u64>(),
             prop_oneof![
                 arb_op_result().prop_map(Ok),
-                prop_oneof![
-                    Just(ClientError::InvalidRequest),
-                    Just(ClientError::Unavailable)
-                ]
-                .prop_map(Err),
+                arb_client_error().prop_map(Err),
             ]
         )
             .prop_map(|(id, result)| Message::ClientReply { id, result }),
+        (any::<u64>(), arb_admin_op()).prop_map(|(id, op)| Message::AdminRequest { id, op }),
+        (
+            any::<u64>(),
+            prop_oneof![
+                arb_admin_response().prop_map(Ok),
+                arb_client_error().prop_map(Err),
+            ]
+        )
+            .prop_map(|(id, result)| Message::AdminReply { id, result }),
     ]
 }
 
@@ -275,13 +343,15 @@ proptest! {
     /// the body decoders: any outcome is fine except a panic.
     #[test]
     fn random_bodies_with_valid_checksums_never_panic(
-        kind in 0u16..4,
+        kind in 0u16..6,
         body in proptest::collection::vec(any::<u8>(), 0..256)
     ) {
         let kind = match kind {
             0 => fab_wire::FrameKind::Peer,
             1 => fab_wire::FrameKind::ClientRequest,
-            _ => fab_wire::FrameKind::ClientReply,
+            2 => fab_wire::FrameKind::ClientReply,
+            3 => fab_wire::FrameKind::AdminRequest,
+            _ => fab_wire::FrameKind::AdminReply,
         };
         let frame = encode_frame(kind, &body);
         let _ = decode_message(&frame); // must return, Ok or Err

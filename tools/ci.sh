@@ -29,6 +29,12 @@
 #                               pool, built with --cfg loom (swaps std sync
 #                               primitives for the workspace model checker;
 #                               see TESTING.md tier 6)
+#  10. brick repair e2e        — n=5/m=3 loopback cluster: kill a brick, wipe
+#                               its store, rebuild it through the admin
+#                               repair protocol with a mid-repair
+#                               orchestrator crash (durable-cursor resume),
+#                               then the repair-throughput smoke (throttle
+#                               must engage, foreground I/O must stay live)
 #
 # Optional: when `cargo-llvm-cov` is installed, COVERAGE=1 ./tools/ci.sh
 # appends a line-coverage summary after the gates (informational, non-gating).
@@ -50,7 +56,8 @@ run cargo clippy --workspace --all-targets -- -D warnings
 # Stage 6: the multi-process-shaped integration test is `#[ignore]`d so plain
 # `cargo test` stays fast; run it here as its own stage under a hard timeout
 # (a deadlocked transport must fail CI, not hang it).
-run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored
+run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored \
+    five_brick_cluster_survives_kill_and_restart
 
 # Stage 7: bounded torture campaigns. A fixed seed base keeps the gate
 # reproducible; --check-determinism runs every seed twice and compares
@@ -75,6 +82,15 @@ run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
     cargo test -q -p fab-store --test loom
 run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
     cargo test -q -p fab-net --test loom
+
+# Stage 10: decentralized rebuild, end to end. The loopback test replaces a
+# brick's disk and proves the admin-driven repair restores every stripe —
+# including a node-0 crash mid-repair with the rebuild resuming from its
+# durable cursor. The bench smoke then asserts the throttle actually
+# engages and foreground I/O keeps completing during a rebuild.
+run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored \
+    five_brick_kill_wipe_repair_rebuilds
+run timeout 300 cargo run --release -p fab-bench --bin repair_throughput -- --smoke
 
 # Informational line-coverage summary (requires `cargo llvm-cov`; opt-in so
 # the default gate stays fast and works in toolchains without the component).

@@ -217,6 +217,20 @@ fn commit_pipeline(p: &str) -> bool {
     p == "crates/store/src/commit.rs"
 }
 
+/// The repair subsystem: a panic in the planner, driver, or cursor kills a
+/// rebuild mid-flight and strands the degraded stripe set, so it is held
+/// to the protocol bar (typed errors, never panics).
+fn in_repair(p: &str) -> bool {
+    p.starts_with("crates/repair/src/")
+}
+
+/// The sans-io slice of fab-repair (everything but the threaded in-process
+/// harness, which legitimately reads wall clocks): the torture engine
+/// replays the driver on simulated time, so it must stay deterministic.
+fn repair_sans_io(p: &str) -> bool {
+    in_repair(p) && p != "crates/repair/src/inproc.rs"
+}
+
 // ---------------------------------------------------------------- helpers --
 
 fn push(
@@ -266,7 +280,8 @@ fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !(in_core(&file.path)
         || in_simnet(&file.path)
         || untrusted_input(&file.path)
-        || commit_pipeline(&file.path))
+        || commit_pipeline(&file.path)
+        || in_repair(&file.path))
     {
         return;
     }
@@ -327,6 +342,9 @@ fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             | "crates/net/src/transport.rs"
             | "crates/net/src/server.rs"
             | "crates/store/src/commit.rs"
+            | "crates/repair/src/planner.rs"
+            | "crates/repair/src/driver.rs"
+            | "crates/repair/src/cursor.rs"
     );
     if !scoped {
         return;
@@ -385,7 +403,7 @@ fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- L2 -------
 
 fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !simnet_driven(&file.path) {
+    if !(simnet_driven(&file.path) || repair_sans_io(&file.path)) {
         return;
     }
     let cases: &[(&str, &str)] = &[
@@ -1318,6 +1336,27 @@ fn decode_frame(buf: &[u8]) -> Message {
         assert!(run_lint("no-panic", "crates/net/src/bin/fabd.rs", src).is_empty());
     }
 
+    #[test]
+    fn l1_covers_repair_subsystem() {
+        // A panic in the rebuild path strands the degraded stripe set; the
+        // whole crate (threaded harness included) is held to the protocol bar.
+        let src = "\
+fn on_scrub_result(&mut self, stripe: StripeId) {
+    let entry = self.entries.get_mut(&stripe).unwrap();
+    if entry.attempts > self.cfg.max_attempts { panic!(\"retry overflow\"); }
+}
+";
+        for path in [
+            "crates/repair/src/driver.rs",
+            "crates/repair/src/planner.rs",
+            "crates/repair/src/cursor.rs",
+            "crates/repair/src/inproc.rs",
+        ] {
+            let d = run_lint("no-panic", path, src);
+            assert_eq!(d.len(), 2, "{path}: {d:?}");
+        }
+    }
+
     // ------------------------------------------------------------ L1b ------
 
     #[test]
@@ -1367,6 +1406,30 @@ fn read_frame(stream: &mut TcpStream) -> Result<Message, RecvError> {
     }
 
     #[test]
+    fn l1b_covers_repair_protocol_files() {
+        // The cursor decoder replays bytes from disk (possibly torn), and
+        // the driver's result handler consumes scrub outcomes: both carry
+        // the no-raw-indexing discipline. The stats module does not.
+        let src = "\
+fn read_record(buf: &[u8]) -> Result<Checkpoint, CursorError> {
+    let n = buf.len() - TRAILER_LEN;
+    let crc = buf[n];
+    Ok(parse(crc))
+}
+";
+        for path in [
+            "crates/repair/src/cursor.rs",
+            "crates/repair/src/driver.rs",
+            "crates/repair/src/planner.rs",
+        ] {
+            let d = run_lint("no-untrusted-index", path, src);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
+            assert!(d[0].msg.contains("read_record"));
+        }
+        assert!(run_lint("no-untrusted-index", "crates/repair/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
     fn l1b_allows_literals_ranges_and_non_handlers() {
         let src = "\
 fn on_write(&mut self) {
@@ -1407,6 +1470,17 @@ fn f() {
             run_lint("determinism", "crates/runtime/src/lib.rs", src2).is_empty(),
             "runtime crate may use real clocks/maps"
         );
+    }
+
+    #[test]
+    fn l2_covers_sans_io_repair_but_not_the_threaded_harness() {
+        // The torture engine replays the repair driver on simulated time, so
+        // the sans-io files must be deterministic; the in-process harness
+        // runs on real threads and may read wall clocks.
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let d = run_lint("determinism", "crates/repair/src/driver.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(run_lint("determinism", "crates/repair/src/inproc.rs", src).is_empty());
     }
 
     // ------------------------------------------------------------ L3 -------
