@@ -80,8 +80,16 @@ fn stripe(seed: u8) -> Vec<Bytes> {
 }
 
 /// Boots a fresh cluster, runs `concurrency` clients for `ops` writes
-/// each, tears the cluster down, and returns the sample.
-fn run_point(mode: CommitMode, mode_name: &'static str, concurrency: usize, ops: usize) -> Sample {
+/// each, tears the cluster down, and returns the sample. `metrics`
+/// toggles the nodes' `fab-obs` registries — the on/off delta is the
+/// observability overhead the smoke gate bounds.
+fn run_point(
+    mode: CommitMode,
+    mode_name: &'static str,
+    concurrency: usize,
+    ops: usize,
+    metrics: bool,
+) -> Sample {
     let store_root = std::env::temp_dir().join(format!(
         "fab-e2e-{}-{mode_name}-{concurrency}",
         std::process::id()
@@ -96,7 +104,8 @@ fn run_point(mode: CommitMode, mode_name: &'static str, concurrency: usize, ops:
         .map(|(i, l)| {
             let node_cfg = NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone())
                 .with_store_dir(store_root.join(format!("node-{i}")))
-                .with_commit_mode(mode);
+                .with_commit_mode(mode)
+                .with_metrics(metrics);
             BrickNode::spawn(node_cfg, l).expect("spawn brick")
         })
         .collect();
@@ -177,7 +186,7 @@ fn run_point(mode: CommitMode, mode_name: &'static str, concurrency: usize, ops:
     }
 }
 
-fn render(samples: &[Sample], speedup_at_hi: f64) -> String {
+fn render(samples: &[Sample], speedup_at_hi: f64, metrics_overhead_pct: f64) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"arch\": \"{}\",", std::env::consts::ARCH);
@@ -189,6 +198,12 @@ fn render(samples: &[Sample], speedup_at_hi: f64) -> String {
         "  \"group_vs_per_record_speedup_at_{}\": {:.2},",
         CONCURRENCY[CONCURRENCY.len() - 1],
         speedup_at_hi
+    );
+    let _ = writeln!(
+        json,
+        "  \"metrics_overhead_pct_at_{}\": {:.2},",
+        CONCURRENCY[CONCURRENCY.len() - 1],
+        metrics_overhead_pct
     );
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -231,12 +246,14 @@ fn main() {
             "per_record",
             SMOKE_CONCURRENCY,
             SMOKE_OPS_PER_CLIENT,
+            true,
         );
         let grp = run_point(
             CommitMode::Group,
             "group",
             SMOKE_CONCURRENCY,
             SMOKE_OPS_PER_CLIENT,
+            true,
         );
         eprintln!(
             "smoke @{}: per_record {:.0} ops/s (p99 {}us), group {:.0} ops/s (p99 {}us), \
@@ -249,6 +266,42 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("ok: group >= per-record");
+
+        // Observability overhead gate: metrics-on must stay within 10% of
+        // metrics-off throughput. Loopback runs are noisy, so a miss is
+        // retried with fresh clusters before it convicts.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let off = run_point(
+                CommitMode::Group,
+                "group_metrics_off",
+                SMOKE_CONCURRENCY,
+                SMOKE_OPS_PER_CLIENT,
+                false,
+            );
+            let on = run_point(
+                CommitMode::Group,
+                "group",
+                SMOKE_CONCURRENCY,
+                SMOKE_OPS_PER_CLIENT,
+                true,
+            );
+            let overhead_pct = 100.0 * (1.0 - on.ops_per_s / off.ops_per_s.max(1e-9));
+            eprintln!(
+                "smoke metrics overhead (attempt {attempts}): off {:.0} ops/s, on {:.0} ops/s \
+                 ({overhead_pct:+.1}%)",
+                off.ops_per_s, on.ops_per_s
+            );
+            if on.ops_per_s >= 0.90 * off.ops_per_s {
+                eprintln!("ok: metrics within 10% of metrics-off");
+                break;
+            }
+            if attempts >= 3 {
+                eprintln!("FAIL: metrics overhead above 10% across {attempts} attempts");
+                std::process::exit(1);
+            }
+        }
         return;
     }
 
@@ -259,7 +312,7 @@ fn main() {
             (CommitMode::PerRecord, "per_record"),
             (CommitMode::Group, "group"),
         ] {
-            let s = run_point(mode, name, conc, OPS_PER_CLIENT);
+            let s = run_point(mode, name, conc, OPS_PER_CLIENT, true);
             eprintln!(
                 "{:>10} @{:>2}: {:>7.0} ops/s  p50 {:>5}us  p99 {:>6}us  factor {:.1}",
                 s.mode, s.concurrency, s.ops_per_s, s.p50_us, s.p99_us, s.group_commit_factor
@@ -269,6 +322,22 @@ fn main() {
     }
 
     let hi = CONCURRENCY[CONCURRENCY.len() - 1];
+    // One metrics-off point at the highest concurrency: the delta against
+    // the metrics-on group sample is the observability overhead.
+    let off = run_point(
+        CommitMode::Group,
+        "group_metrics_off",
+        hi,
+        OPS_PER_CLIENT,
+        false,
+    );
+    eprintln!(
+        "{:>10} @{:>2}: {:>7.0} ops/s  p50 {:>5}us  p99 {:>6}us  factor {:.1}",
+        "group-off", off.concurrency, off.ops_per_s, off.p50_us, off.p99_us,
+        off.group_commit_factor
+    );
+    samples.push(off);
+
     let of = |mode: &str, conc: usize| {
         samples
             .iter()
@@ -276,8 +345,10 @@ fn main() {
             .map_or(0.0, |s| s.ops_per_s)
     };
     let speedup = of("group", hi) / of("per_record", hi).max(1e-9);
+    let metrics_overhead_pct =
+        100.0 * (1.0 - of("group", hi) / of("group_metrics_off", hi).max(1e-9));
 
-    let json = render(&samples, speedup);
+    let json = render(&samples, speedup, metrics_overhead_pct);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {}", out_path.display());

@@ -913,6 +913,90 @@ mod tests {
     }
 
     #[test]
+    fn coordinator_metrics_reconcile_with_completions() {
+        use crate::obs::OpMetrics;
+        let mut c = cluster(2, 4);
+        let reg = fab_obs::Registry::new();
+        let metrics = OpMetrics::register(&reg);
+        for i in 0..4u32 {
+            c.sim_mut()
+                .actor_mut(pid(i))
+                .coordinator
+                .set_metrics(Arc::clone(&metrics));
+        }
+        let s = StripeId(0);
+        assert_eq!(
+            c.write_stripe(pid(0), s, blocks(2, 7, 16)),
+            OpResult::Written
+        );
+        assert_eq!(
+            c.write_block(pid(1), s, 0, Bytes::from(vec![9u8; 16])),
+            OpResult::Written
+        );
+        let fast = c.read_stripe_completion(pid(2), s);
+        assert!(!fast.recovered, "ideal-network read should be fast path");
+        c.scrub(pid(3), s);
+        // Wipe a brick and read again: whatever path that read takes,
+        // the instruments must agree with the completion's own flag —
+        // the same reconciliation the torture probe runs at scale.
+        c.wipe(pid(3));
+        let post = c.read_stripe_completion(pid(0), s);
+        let (fastpath, recovered) = metrics.reads();
+        let expect_recovered = u64::from(post.recovered);
+        assert_eq!(recovered, expect_recovered);
+        assert_eq!(fastpath, 2 - expect_recovered);
+        assert_eq!(metrics.writes_committed(), 2);
+        assert_eq!(metrics.scrubs_completed(), 1);
+        assert_eq!(metrics.aborts(), 0);
+        let snap = reg.export();
+        assert_eq!(snap.counter("op_writes_committed"), Some(2));
+        let hist_count = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, h)| h.count)
+        };
+        // Both write kinds pass through a final store phase, so both
+        // record the order/store split.
+        assert_eq!(hist_count("op_write_micros"), 2);
+        assert_eq!(hist_count("op_write_order_micros"), 2);
+        assert_eq!(hist_count("op_write_store_micros"), 2);
+        // Every completed op records its round count.
+        assert_eq!(hist_count("op_quorum_rounds"), 5);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_fingerprint() {
+        use crate::obs::OpMetrics;
+        // L2 determinism: recording metrics never feeds back into the
+        // protocol, so a harsh-network run's fingerprint is bit-identical
+        // with instruments installed or absent.
+        let run = |with_metrics: bool| {
+            let mut c = SimCluster::new(
+                RegisterConfig::new(2, 4, 16).unwrap(),
+                SimConfig::harsh(23),
+            );
+            if with_metrics {
+                let reg = fab_obs::Registry::new();
+                let metrics = OpMetrics::register(&reg);
+                for i in 0..4u32 {
+                    c.sim_mut()
+                        .actor_mut(pid(i))
+                        .coordinator
+                        .set_metrics(Arc::clone(&metrics));
+                }
+            }
+            let s = StripeId(0);
+            for i in 0..4u8 {
+                c.write_stripe(pid(u32::from(i % 4)), s, blocks(2, i, 16));
+            }
+            let r = c.read_stripe(pid(0), s);
+            (c.sim().fingerprint(), format!("{r:?}"))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn scrub_of_never_written_stripe_is_a_clean_noop() {
         // A full-brick rebuild visits every stripe the brick could
         // host, most of which were never written. The scrub must

@@ -28,6 +28,7 @@
 use crate::config::{GcPolicy, RegisterConfig, WriteStrategy};
 use crate::effects::{sample_processes, Effects};
 use crate::error::ProtocolError;
+use crate::obs::OpMetrics;
 use crate::messages::{
     BlockTarget, BlockUpdate, Envelope, ModifyPayload, Payload, Reply, Request, StripeId,
 };
@@ -221,6 +222,11 @@ struct Op {
     grace_timer: Option<u64>,
     grace_expired: bool,
     recovered: bool,
+    /// When the op first entered its final store phase (`StoreStripe` /
+    /// `FastWriteModify`) — the order/store latency split for metrics.
+    order_done_at: Option<u64>,
+    /// Quorum rounds this op has run (1 = still in its first phase).
+    rounds_used: u64,
 }
 
 /// The per-brick operation coordinator.
@@ -248,6 +254,9 @@ pub struct Coordinator {
     /// Invariant violations survived instead of panicked; drained by
     /// [`Coordinator::take_protocol_errors`].
     errors: Vec<ProtocolError>,
+    /// Optional op-lifecycle instruments, recorded at the single
+    /// completion site so every driver gets identical semantics.
+    metrics: Option<Arc<OpMetrics>>,
 }
 
 impl Coordinator {
@@ -268,6 +277,7 @@ impl Coordinator {
             traces: BTreeMap::new(),
             finished_traces: Vec::new(),
             errors: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -284,6 +294,14 @@ impl Coordinator {
     /// non-empty result as a bug report.
     pub fn take_protocol_errors(&mut self) -> Vec<ProtocolError> {
         std::mem::take(&mut self.errors)
+    }
+
+    /// Installs op-lifecycle instruments (see [`OpMetrics`]). Recording
+    /// happens at the coordinator's single completion site and never
+    /// feeds back into protocol behavior, so a simulation's fingerprint
+    /// is bit-identical with metrics installed or not.
+    pub fn set_metrics(&mut self, metrics: Arc<OpMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Enables or disables per-operation tracing. Traces of finished
@@ -622,6 +640,8 @@ impl Coordinator {
             grace_timer: None,
             grace_expired: false,
             recovered,
+            order_done_at: None,
+            rounds_used: 1,
         };
         self.rounds.insert(round, id);
         if self.tracing {
@@ -1306,6 +1326,12 @@ impl Coordinator {
         self.rounds.insert(round, op_id);
         op.round = round;
         op.phase = phase;
+        op.rounds_used += 1;
+        if op.order_done_at.is_none()
+            && matches!(op.phase, Phase::StoreStripe { .. } | Phase::FastWriteModify)
+        {
+            op.order_done_at = Some(fx.now());
+        }
         op.outgoing = outgoing;
         op.tracker = QuorumTracker::new(self.cfg.quorum());
         op.replies = vec![None; self.cfg.n()];
@@ -1406,6 +1432,25 @@ impl Coordinator {
                 };
                 trace.push(fx.now(), TraceEvent::Completed { outcome });
                 self.finished_traces.push(trace);
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            let now = fx.now();
+            let latency = now.saturating_sub(op.invoked_at);
+            metrics.record_rounds(op.rounds_used);
+            match &result {
+                OpResult::Aborted(_) => metrics.record_abort(),
+                _ => match &op.kind {
+                    OpKind::ReadStripe | OpKind::ReadBlocks { .. } => {
+                        metrics.record_read(op.recovered, latency);
+                    }
+                    OpKind::WriteStripe { .. } | OpKind::WriteBlocks { .. } => {
+                        let order = op.order_done_at.map(|t| t.saturating_sub(op.invoked_at));
+                        let store = op.order_done_at.map(|t| now.saturating_sub(t));
+                        metrics.record_write(latency, order, store);
+                    }
+                    OpKind::Scrub => metrics.record_scrub(),
+                },
             }
         }
         self.completions.push(Completion {

@@ -60,6 +60,7 @@ pub mod effects;
 pub mod error;
 pub mod log;
 pub mod messages;
+pub mod obs;
 pub mod replica;
 pub mod trace;
 pub mod value;
@@ -73,6 +74,7 @@ pub use log::Log;
 pub use messages::{
     BlockTarget, BlockUpdate, Envelope, ModifyPayload, Payload, Reply, Request, StripeId,
 };
+pub use obs::OpMetrics;
 pub use replica::{DiskMetrics, PersistEvent, Replica};
 pub use trace::{OpTrace, TraceEvent};
 pub use value::{BlockValue, StripeValue};

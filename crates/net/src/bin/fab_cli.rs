@@ -13,12 +13,18 @@
 //!   repair --all --stripes N     full-volume scrub
 //!   repair-status                progress of the running repair
 //!   repair-abort                 stop the running repair
+//!   stats                        one node's metrics registry dump
 //! ```
 //!
 //! Repair verbs accept `--stripes-per-sec R`, `--bytes-per-sec B`, and
 //! `--max-inflight K` throttles, and `--node I` to pick the brick that
 //! orchestrates (default 0). `repair-status`/`repair-abort` must target
 //! the same node the repair was started on.
+//!
+//! `stats [--node I] [--watch]` dumps the target brick's metrics
+//! registry in a text exposition format (one `counter|gauge|histogram
+//! name value...` line per instrument); `--watch` re-polls every two
+//! seconds until interrupted.
 //!
 //! `--cluster`, `--m`, and `--block-size` must match the running `fabd`
 //! processes. Any brick can coordinate any operation; the client rotates
@@ -44,7 +50,8 @@ commands:
   repair BRICK --stripes N [--stripes-per-sec R] [--bytes-per-sec B] [--max-inflight K] [--node I]
   repair --all --stripes N [throttles...] [--node I]
   repair-status [--node I]
-  repair-abort  [--node I]";
+  repair-abort  [--node I]
+  stats [--node I] [--watch]";
 
 /// A parsed invocation: connection parameters plus one command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +89,7 @@ enum Command {
     },
     RepairStatus { node: usize },
     RepairAbort { node: usize },
+    Stats { node: usize, watch: bool },
 }
 
 fn pad(text: &str, len: usize) -> Bytes {
@@ -142,6 +150,7 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
     let mut bytes_per_sec = 0u64;
     let mut max_inflight = 4u32;
     let mut all = false;
+    let mut watch = false;
     let mut node = 0usize;
     let mut rest: Vec<&String> = Vec::new();
     let mut it = argv.iter();
@@ -202,6 +211,7 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("--max-inflight: {e}"))?;
             }
             "--all" => all = true,
+            "--watch" => watch = true,
             "--node" => {
                 node = it
                     .next()
@@ -256,6 +266,7 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
         }
         [cmd] if cmd.as_str() == "repair-status" => Command::RepairStatus { node },
         [cmd] if cmd.as_str() == "repair-abort" => Command::RepairAbort { node },
+        [cmd] if cmd.as_str() == "stats" => Command::Stats { node, watch },
         [cmd, stripe, text] if cmd.as_str() == "write-stripe" => Command::WriteStripe {
             stripe: stripe_arg(stripe)?,
             text: (*text).clone(),
@@ -309,6 +320,24 @@ fn print_progress(p: &RepairProgress) {
         "  scrub latency: p50 {}us, p99 {}us",
         p.scrub_p50_micros, p.scrub_p99_micros
     );
+}
+
+/// Renders a [`StatsReport`] in the same text exposition format as
+/// `fab_obs::Snapshot::render`, prefixed with the answering node.
+fn print_stats(report: &fab_wire::StatsReport) {
+    println!("node {}", report.node);
+    for e in &report.counters {
+        println!("counter {} {}", e.name, e.value);
+    }
+    for e in &report.gauges {
+        println!("gauge {} {}", e.name, e.value);
+    }
+    for h in &report.histograms {
+        println!(
+            "histogram {} count={} p50={} p95={} p99={}",
+            h.name, h.count, h.p50, h.p95, h.p99
+        );
+    }
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -374,6 +403,20 @@ fn run(argv: &[String]) -> Result<(), String> {
                 Ok(other) => Err(format!("unexpected reply: {other:?}")),
                 Err(e) => Err(e.to_string()),
             };
+        }
+        Command::Stats { node, watch } => {
+            loop {
+                match client.try_admin(node, &AdminOp::StatsSnapshot) {
+                    Ok(AdminResponse::Stats(report)) => print_stats(&report),
+                    Ok(other) => return Err(format!("unexpected reply: {other:?}")),
+                    Err(e) => return Err(e.to_string()),
+                }
+                if !watch {
+                    return Ok(());
+                }
+                println!();
+                std::thread::sleep(std::time::Duration::from_secs(2));
+            }
         }
         Command::WriteStripe { stripe, text } => {
             // Spread the text across the stripe's m·block_size bytes.
@@ -594,6 +637,32 @@ mod tests {
         assert_eq!(cli.command, Command::RepairStatus { node: 2 });
         let cli = parse_args(&with_base(&["repair-abort"])).expect("parse");
         assert_eq!(cli.command, Command::RepairAbort { node: 0 });
+    }
+
+    #[test]
+    fn parses_stats_verb() {
+        let cli = parse_args(&with_base(&["stats"])).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Stats {
+                node: 0,
+                watch: false
+            }
+        );
+        let cli = parse_args(&with_base(&["stats", "--node", "2", "--watch"])).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Stats {
+                node: 2,
+                watch: true
+            }
+        );
+        // The node bound applies to stats like every admin verb.
+        let err = parse_args(&with_base(&["stats", "--node", "9"])).unwrap_err();
+        assert!(err.contains("--node"), "{err}");
+        // Trailing operands are malformed.
+        let err = parse_args(&with_base(&["stats", "extra"])).unwrap_err();
+        assert!(err.contains("command"), "{err}");
     }
 
     #[test]

@@ -30,7 +30,8 @@ use fab_timestamp::ProcessId;
 use fab_volume::{Layout, VolumeGeometry};
 use fab_wire::{
     encode_admin_reply_into, encode_client_reply_into, encode_peer_message_into, AdminOp,
-    AdminResponse, ClientError, ClientOp, Message, RepairProgress,
+    AdminResponse, ClientError, ClientOp, Message, RepairProgress, StatsEntry,
+    StatsHistogramEntry, StatsReport,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +89,10 @@ pub struct NodeConfig {
     /// Fsync scheduling for the durable store (ignored without a
     /// `store_dir`). Defaults to [`CommitMode::Group`].
     pub commit_mode: CommitMode,
+    /// Install the `fab-obs` metrics registry (op-lifecycle instruments
+    /// plus the `stats-snapshot` admin frame). On by default; the
+    /// overhead smoke benchmark flips it off to measure the delta.
+    pub metrics: bool,
 }
 
 impl NodeConfig {
@@ -100,6 +105,7 @@ impl NodeConfig {
             store_dir: None,
             backoff: Backoff::default(),
             commit_mode: CommitMode::default(),
+            metrics: true,
         }
     }
 
@@ -112,6 +118,12 @@ impl NodeConfig {
     /// Sets the fsync scheduling mode for the durable store.
     pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
         self.commit_mode = mode;
+        self
+    }
+
+    /// Enables or disables the metrics registry (on by default).
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
         self
     }
 }
@@ -372,6 +384,8 @@ struct NodeServer {
     client_counters: Arc<PeerCounters>,
     durable: Durable,
     repair: RepairControl,
+    /// The node's metrics registry (`None` when the config disabled it).
+    obs: Option<Arc<fab_obs::Registry>>,
     /// Set when the durable store fails: the brick stops participating
     /// (indistinguishable from a crash, which the protocol tolerates).
     failed: bool,
@@ -718,6 +732,116 @@ impl NodeServer {
                 }
                 Ok(AdminResponse::Aborted)
             }
+            AdminOp::StatsSnapshot => Ok(AdminResponse::Stats(self.stats_report())),
+        }
+    }
+
+    /// Assembles the node's full metrics exposition: the `fab-obs`
+    /// registry (op lifecycle, store, repair instruments) plus transport
+    /// counters bridged under `net_*` names. Entries are name-sorted so
+    /// the wire form matches `fab_obs::Snapshot`'s stable order.
+    fn stats_report(&self) -> StatsReport {
+        let mut counters: Vec<StatsEntry> = Vec::new();
+        let mut gauges: Vec<StatsEntry> = Vec::new();
+        let mut histograms: Vec<StatsHistogramEntry> = Vec::new();
+        let counter = |counters: &mut Vec<StatsEntry>, name: &str, value: u64| {
+            counters.push(StatsEntry {
+                name: name.to_string(),
+                value,
+            });
+        };
+        if let Some(reg) = &self.obs {
+            let snap = reg.export();
+            for (name, value) in &snap.counters {
+                counter(&mut counters, name, *value);
+            }
+            for (name, value) in &snap.gauges {
+                counter(&mut gauges, name, *value);
+            }
+            for (name, h) in &snap.histograms {
+                histograms.push(StatsHistogramEntry {
+                    name: (*name).to_string(),
+                    count: h.count,
+                    p50: h.p50,
+                    p95: h.p95,
+                    p99: h.p99,
+                });
+            }
+        }
+        // Transport: per-peer counters summed into one node-level view.
+        let mut peers = crate::transport::CounterSnapshot::default();
+        let mut max_frames_per_write = 0u64;
+        for c in &self.io.links.counters {
+            let s = c.snapshot();
+            peers.frames_sent += s.frames_sent;
+            peers.bytes_sent += s.bytes_sent;
+            peers.frames_recv += s.frames_recv;
+            peers.bytes_recv += s.bytes_recv;
+            peers.decode_errors += s.decode_errors;
+            peers.reconnects += s.reconnects;
+            peers.dropped += s.dropped;
+            peers.writes += s.writes;
+            peers.batched_writes += s.batched_writes;
+            max_frames_per_write = max_frames_per_write.max(s.max_frames_per_write);
+        }
+        counter(&mut counters, "net_frames_sent", peers.frames_sent);
+        counter(&mut counters, "net_bytes_sent", peers.bytes_sent);
+        counter(&mut counters, "net_frames_recv", peers.frames_recv);
+        counter(&mut counters, "net_bytes_recv", peers.bytes_recv);
+        counter(&mut counters, "net_decode_errors", peers.decode_errors);
+        counter(&mut counters, "net_reconnects", peers.reconnects);
+        counter(&mut counters, "net_dropped", peers.dropped);
+        counter(&mut counters, "net_writes", peers.writes);
+        counter(&mut counters, "net_batched_writes", peers.batched_writes);
+        counter(&mut gauges, "net_max_frames_per_write", max_frames_per_write);
+        let clients = self.client_counters.snapshot();
+        counter(&mut counters, "net_client_frames_sent", clients.frames_sent);
+        counter(&mut counters, "net_client_frames_recv", clients.frames_recv);
+        counter(&mut counters, "net_client_bytes_sent", clients.bytes_sent);
+        counter(&mut counters, "net_client_bytes_recv", clients.bytes_recv);
+        let (hits, misses) = self.io.links.pool.stats();
+        counter(&mut counters, "net_pool_hits", hits);
+        counter(&mut counters, "net_pool_misses", misses);
+        counter(&mut gauges, "net_inbox_depth", self.inbox.len() as u64);
+        // Group-commit pipeline. When metrics are on, the pipeline's
+        // instruments are registered and already rode the registry snapshot
+        // above; bridge by hand only for unregistered pipelines.
+        if self.obs.is_none() {
+            if let Durable::Group(pipeline) = &self.durable {
+                let s = pipeline.stats_handle().stats();
+                counter(&mut counters, "store_submitted", s.submitted);
+                counter(&mut counters, "store_committed", s.committed);
+                counter(&mut counters, "store_failed", s.failed);
+                counter(&mut counters, "store_syncs", s.syncs);
+                counter(&mut gauges, "store_max_batch", s.max_batch);
+            }
+        }
+        // Repair driver (running or last finished).
+        if let Some(r) = &self.repair.repair {
+            let s = r.status();
+            counter(&mut counters, "repair_repaired", s.repaired);
+            counter(&mut counters, "repair_skipped", s.skipped);
+            counter(&mut counters, "repair_retried", s.retried);
+            counter(&mut counters, "repair_failed", s.failed);
+            counter(
+                &mut counters,
+                "repair_bytes_reconstructed",
+                s.bytes_reconstructed,
+            );
+            counter(&mut counters, "repair_throttle_waits", s.throttle_waits);
+            counter(&mut gauges, "repair_planned", s.planned);
+            counter(&mut gauges, "repair_watermark", s.watermark);
+            counter(&mut gauges, "repair_scrub_p50_micros", s.scrub_p50_micros);
+            counter(&mut gauges, "repair_scrub_p99_micros", s.scrub_p99_micros);
+        }
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        StatsReport {
+            node: self.io.pid.value(),
+            counters,
+            gauges,
+            histograms,
         }
     }
 
@@ -865,6 +989,7 @@ pub struct BrickNode {
     client_counters: Arc<PeerCounters>,
     pool: Arc<BufferPool>,
     commit_stats: Option<fab_store::CommitStatsHandle>,
+    obs: Option<Arc<fab_obs::Registry>>,
     node: ProcessId,
 }
 
@@ -904,6 +1029,7 @@ impl BrickNode {
             store_dir,
             backoff,
             commit_mode,
+            metrics,
         } = cfg;
         if cluster.len() != register.n() || node.index() >= cluster.len() {
             return Err(std::io::Error::new(
@@ -922,6 +1048,7 @@ impl BrickNode {
         let register = Arc::new(register);
         let addr = listener.local_addr()?;
 
+        let obs = metrics.then(|| Arc::new(fab_obs::Registry::new()));
         let cursor_path = store_dir
             .as_ref()
             .map(|dir| dir.join(format!("repair-{}.cursor", node.value())));
@@ -932,9 +1059,14 @@ impl BrickNode {
                 let store = BrickStore::open(path).map_err(std::io::Error::other)?;
                 match commit_mode {
                     CommitMode::PerRecord => Durable::PerRecord(store),
-                    CommitMode::Group => {
-                        Durable::Group(CommitPipeline::spawn(store, COMPACT_THRESHOLD))
-                    }
+                    CommitMode::Group => Durable::Group(match &obs {
+                        // Registered: store_* instruments ride the node's
+                        // stats-snapshot exposition automatically.
+                        Some(reg) => {
+                            CommitPipeline::spawn_registered(store, COMPACT_THRESHOLD, reg)
+                        }
+                        None => CommitPipeline::spawn(store, COMPACT_THRESHOLD),
+                    }),
                 }
             }
             None => Durable::None,
@@ -974,10 +1106,14 @@ impl BrickNode {
             pool,
         });
 
+        let mut coordinator = Coordinator::new(node, register.clone());
+        if let Some(reg) = &obs {
+            coordinator.set_metrics(fab_core::OpMetrics::register(reg));
+        }
         let mut server = NodeServer {
             cfg: register.clone(),
             replicas: HashMap::new(),
-            coordinator: Coordinator::new(node, register.clone()),
+            coordinator,
             io: NodeIo {
                 pid: node,
                 links,
@@ -998,6 +1134,7 @@ impl BrickNode {
                 cursor_path,
                 repair: None,
             },
+            obs: obs.clone(),
             failed: false,
         };
         server.load_from_store();
@@ -1032,8 +1169,18 @@ impl BrickNode {
             client_counters,
             pool: pool_handle,
             commit_stats,
+            obs,
             node,
         })
+    }
+
+    /// The node's metrics registry (`None` when the config disabled it).
+    /// The live exposition — including transport counters — is served by
+    /// the `stats-snapshot` admin frame; this handle covers in-process
+    /// tests and embedding.
+    #[must_use]
+    pub fn obs_registry(&self) -> Option<Arc<fab_obs::Registry>> {
+        self.obs.clone()
     }
 
     /// The address this brick is listening on.

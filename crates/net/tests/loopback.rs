@@ -530,3 +530,200 @@ fn five_brick_kill_wipe_repair_rebuilds() {
     }
     let _ = std::fs::remove_dir_all(&store_root);
 }
+
+/// Fetches one node's metrics snapshot over the admin socket.
+fn stats_snapshot(admin: &mut NetClient, node: usize) -> fab_wire::StatsReport {
+    match admin.try_admin(node, &AdminOp::StatsSnapshot).unwrap() {
+        AdminResponse::Stats(report) => report,
+        other => panic!("node {node}: expected Stats reply, got {other:?}"),
+    }
+}
+
+/// Sums a counter across every node's report (absent entries count 0).
+fn summed(reports: &[fab_wire::StatsReport], name: &str) -> u64 {
+    reports.iter().filter_map(|r| r.counter(name)).sum()
+}
+
+#[test]
+#[ignore = "multi-second wall clock; run explicitly (tools/ci.sh stage 11)"]
+fn five_brick_stats_snapshot_reconciles_over_loopback() {
+    let (n, m, block) = (5usize, 3usize, 64usize);
+    let stripes = 16usize;
+    let store_root =
+        std::env::temp_dir().join(format!("fab-stats-loopback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let (mut listeners, addrs) = bind_cluster(n);
+    let cfg = RegisterConfig::new(m, n, block).unwrap();
+    // Defaults exercise the metrics-on path: NodeConfig enables the
+    // registry unless explicitly opted out.
+    let spawn_node = |i: usize, listener: TcpListener| -> BrickNode {
+        let node_cfg = NodeConfig::new(ProcessId::new(i as u32), addrs.clone(), cfg.clone())
+            .with_store_dir(store_root.join(format!("node-{i}")));
+        BrickNode::spawn(node_cfg, listener).unwrap()
+    };
+    let mut nodes: Vec<Option<BrickNode>> = listeners
+        .drain(..)
+        .enumerate()
+        .map(|(i, l)| Some(spawn_node(i, l)))
+        .collect();
+
+    let mut client = NetClient::connect(addrs.clone(), cfg.clone());
+    client.attempt_timeout = Duration::from_millis(500);
+    client.max_rounds = 12;
+    let mut admin = NetClient::connect(addrs.clone(), cfg.clone());
+
+    // Phase 1: a clean workload. Every stripe written once and read back;
+    // the cluster-wide op counters must cover what the client observed.
+    let mut writes_acked = 0u64;
+    let mut reads_done = 0u64;
+    for s in 0..stripes {
+        let result = client
+            .try_write_stripe(StripeId(s as u64), stripe_for(s as u64 + 1, m, block))
+            .unwrap();
+        assert_eq!(result, OpResult::Written, "seed write to stripe {s}");
+        writes_acked += 1;
+    }
+    for s in 0..stripes {
+        let result = client.try_read_stripe(StripeId(s as u64)).unwrap();
+        assert_eq!(value_of(&result), Some(s as u64 + 1), "read of stripe {s}");
+        reads_done += 1;
+    }
+
+    let reports: Vec<_> = (0..n).map(|i| stats_snapshot(&mut admin, i)).collect();
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(report.node, i as u32, "report carries the answering node");
+        // The wire form mirrors `fab_obs::Snapshot`: name-sorted entries.
+        for pair in report.counters.windows(2) {
+            assert!(pair[0].name <= pair[1].name, "counters are name-sorted");
+        }
+    }
+    assert!(
+        summed(&reports, "op_writes_committed") >= writes_acked,
+        "cluster committed-write counters cover every client-acked write"
+    );
+    let reads_total =
+        summed(&reports, "op_reads_fastpath") + summed(&reports, "op_reads_recovered");
+    assert!(
+        reads_total >= reads_done,
+        "cluster read counters cover every client read"
+    );
+    assert!(
+        reports.iter().any(|r| r
+            .histograms
+            .iter()
+            .any(|h| h.name == "op_write_micros" && h.count > 0)),
+        "some coordinator recorded write latencies"
+    );
+    assert!(
+        summed(&reports, "store_syncs") > 0,
+        "group-commit pipelines surface fsync counts through the registry"
+    );
+
+    // Phase 2: kill a brick, advance the data past it, bring it back. The
+    // stale replica forces recovery reads, and the peer links that heal
+    // show up as reconnects — both must be visible in the snapshots.
+    let victim = 1usize;
+    let listener = nodes[victim]
+        .take()
+        .unwrap()
+        .shutdown()
+        .expect("shutdown returns the still-bound listener");
+    for s in 0..stripes {
+        let result = client
+            .try_write_stripe(StripeId(s as u64), stripe_for(s as u64 + 101, m, block))
+            .unwrap();
+        assert_eq!(result, OpResult::Written, "degraded write to stripe {s}");
+        writes_acked += 1;
+    }
+    nodes[victim] = Some(spawn_node(victim, listener));
+
+    // A restart resets that node's in-memory registry, so the cluster-wide
+    // sum can drop below the client's all-time tally. Reconcile the
+    // post-restart window as a delta against this baseline instead.
+    let baseline: Vec<_> = (0..n).map(|i| stats_snapshot(&mut admin, i)).collect();
+    let baseline_reads =
+        summed(&baseline, "op_reads_fastpath") + summed(&baseline, "op_reads_recovered");
+    let baseline_writes = summed(&baseline, "op_writes_committed");
+    let recovered_before = summed(&baseline, "op_reads_recovered");
+    reads_done = 0;
+    writes_acked = 0;
+
+    let mut recovered_seen = false;
+    let mut reconnects_seen = false;
+    for _round in 0..40 {
+        for s in 0..stripes {
+            let result = client.try_read_stripe(StripeId(s as u64)).unwrap();
+            assert_eq!(
+                value_of(&result),
+                Some(s as u64 + 101),
+                "post-restart read of stripe {s}"
+            );
+            reads_done += 1;
+        }
+        let reports: Vec<_> = (0..n).map(|i| stats_snapshot(&mut admin, i)).collect();
+        recovered_seen = summed(&reports, "op_reads_recovered") > recovered_before;
+        reconnects_seen = summed(&reports, "net_reconnects") > 0;
+        if recovered_seen && reconnects_seen {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        recovered_seen,
+        "reads against the stale restarted replica surface as recovered reads"
+    );
+    assert!(
+        reconnects_seen,
+        "healed peer links surface as net_reconnects in stats snapshots"
+    );
+
+    // Counters are cumulative: a later snapshot never regresses.
+    let first = stats_snapshot(&mut admin, 0);
+    let second = stats_snapshot(&mut admin, 0);
+    for entry in &first.counters {
+        let later = second.counter(&entry.name).unwrap_or(0);
+        assert!(
+            later >= entry.value,
+            "counter {} regressed: {} -> {later}",
+            entry.name,
+            entry.value
+        );
+    }
+
+    // A last burst of writes in the stable post-restart window, then check
+    // the counter deltas cover everything the client saw in that window.
+    for s in 0..stripes {
+        // Aborts are legal transient outcomes (e.g. a timestamp conflict
+        // with a still-draining recovery); retry until the write commits.
+        let mut committed = false;
+        for _attempt in 0..20 {
+            let result = client
+                .try_write_stripe(StripeId(s as u64), stripe_for(s as u64 + 201, m, block))
+                .unwrap();
+            if result == OpResult::Written {
+                committed = true;
+                writes_acked += 1;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(committed, "final write to stripe {s} never committed");
+    }
+    let reports: Vec<_> = (0..n).map(|i| stats_snapshot(&mut admin, i)).collect();
+    assert!(
+        summed(&reports, "op_writes_committed") - baseline_writes >= writes_acked,
+        "committed-write counter delta covers every client-acked write"
+    );
+    assert!(
+        summed(&reports, "op_reads_fastpath") + summed(&reports, "op_reads_recovered")
+            - baseline_reads
+            >= reads_done,
+        "read counter delta covers every client read"
+    );
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+}

@@ -1,0 +1,59 @@
+//! Model check of the [`fab_obs::PairCounter`] no-tear guarantee.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (CI stage 9): the
+//! in-tree `loom` explores every serialized interleaving of the writer
+//! threads against a reader. The property under test is the one the
+//! torture reconciliation probe leans on: a snapshot of a pair counter
+//! is a *single* atomic load, so a reader can never observe the two
+//! halves of a coupled update out of step.
+#![cfg(loom)]
+
+use fab_obs::PairCounter;
+use std::sync::Arc;
+
+/// `inc_both` moves both halves in one indivisible step: whatever the
+/// schedule, a reader sees `first == second`. (Two separate atomics
+/// would let a reader land between the halves of an update.)
+#[test]
+fn coupled_increments_never_tear() {
+    loom::model(|| {
+        let pair = Arc::new(PairCounter::new());
+        let writer = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                pair.inc_both();
+                pair.inc_both();
+            })
+        };
+        let (a, b) = pair.get();
+        assert_eq!(a, b, "pair snapshot tore: ({a}, {b})");
+        assert!(a <= 2);
+        writer.join().unwrap();
+        let (a, b) = pair.get();
+        assert_eq!((a, b), (2, 2));
+    });
+}
+
+/// Independent halves racing from two threads still sum exactly: the
+/// reader's total comes from one load, so it is the pair's value at a
+/// single linearization point — never a mix of two instants.
+#[test]
+fn racing_halves_sum_exactly() {
+    loom::model(|| {
+        let pair = Arc::new(PairCounter::new());
+        let w1 = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || pair.inc_first())
+        };
+        let w2 = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || pair.inc_second())
+        };
+        let (a, b) = pair.get();
+        assert!(a <= 1 && b <= 1, "impossible intermediate ({a}, {b})");
+        w1.join().unwrap();
+        w2.join().unwrap();
+        assert_eq!(pair.get(), (1, 1));
+        assert_eq!(pair.total(), 2);
+    });
+}

@@ -232,7 +232,6 @@ impl RepairDriver {
     /// A driver publishing into caller-owned counters (shared with a
     /// status endpoint).
     pub fn with_counters(plan: RepairPlan, cfg: DriverConfig, counters: Arc<RepairCounters>) -> Self {
-        use std::sync::atomic::Ordering;
         let idx_of = plan
             .stripes
             .iter()
@@ -240,7 +239,7 @@ impl RepairDriver {
             .map(|(i, &s)| (s, i))
             .collect();
         let n = plan.stripes.len();
-        counters.planned.store(n as u64, Ordering::Relaxed);
+        counters.planned.set(n as u64);
         let stripe_bucket = TokenBucket::new(cfg.stripes_per_sec, cfg.stripes_per_sec.max(1));
         let byte_bucket = TokenBucket::new(
             cfg.bytes_per_sec,
@@ -282,7 +281,6 @@ impl RepairDriver {
     /// missed stripe is not.
     #[must_use]
     pub fn resume_from(mut self, watermark: u64) -> Self {
-        use std::sync::atomic::Ordering;
         let mark = usize::try_from(watermark)
             .unwrap_or(usize::MAX)
             .min(self.state.len());
@@ -292,7 +290,7 @@ impl RepairDriver {
         self.terminal = mark;
         self.watermark = mark;
         self.next_idx = mark;
-        self.counters.watermark.store(mark as u64, Ordering::Relaxed);
+        self.counters.watermark.set(mark as u64);
         self
     }
 
@@ -341,7 +339,6 @@ impl RepairDriver {
     /// Decides the next action as of `now` (microseconds, any monotonic
     /// origin — simulated or wall clock).
     pub fn poll(&mut self, now: u64) -> Action {
-        use std::sync::atomic::Ordering;
         if self.aborted {
             return Action::Done;
         }
@@ -375,7 +372,7 @@ impl RepairDriver {
                 .max(self.byte_bucket.ready_at(now, cost));
             self.priority.push_front(idx);
             self.queued.insert(idx);
-            self.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+            self.counters.throttle_waits.inc();
             return Action::Wait {
                 until_micros: until,
             };
@@ -397,7 +394,6 @@ impl RepairDriver {
     /// Results for stripes outside the plan, or not in flight, are
     /// ignored (stale completions after an abort).
     pub fn on_scrub_result(&mut self, stripe: StripeId, result: &OpResult, now: u64) {
-        use std::sync::atomic::Ordering;
         let Some(&idx) = self.idx_of.get(&stripe) else {
             return;
         };
@@ -407,14 +403,14 @@ impl RepairDriver {
         self.inflight = self.inflight.saturating_sub(1);
         let next = match result {
             OpResult::Stripe(StripeValue::Nil) => {
-                self.counters.skipped.fetch_add(1, Ordering::Relaxed);
+                self.counters.skipped.inc();
                 EntryState::Skipped
             }
             r if r.is_ok() => {
-                self.counters.repaired.fetch_add(1, Ordering::Relaxed);
+                self.counters.repaired.inc();
                 self.counters
                     .bytes_reconstructed
-                    .fetch_add(self.plan.bytes_per_stripe, Ordering::Relaxed);
+                    .add(self.plan.bytes_per_stripe);
                 EntryState::Repaired
             }
             _aborted => {
@@ -422,10 +418,10 @@ impl RepairDriver {
                 self.attempts.insert(idx, attempts);
                 if attempts >= self.cfg.max_attempts.max(1) {
                     self.retries.remove(&idx);
-                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    self.counters.failed.inc();
                     EntryState::Failed
                 } else {
-                    self.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    self.counters.retried.inc();
                     let delay = self.cfg.backoff.delay_micros(attempts.saturating_sub(1));
                     self.retries.insert(
                         idx,
@@ -447,7 +443,6 @@ impl RepairDriver {
     }
 
     fn advance_watermark(&mut self) {
-        use std::sync::atomic::Ordering;
         while self
             .state
             .get(self.watermark)
@@ -457,7 +452,7 @@ impl RepairDriver {
         }
         self.counters
             .watermark
-            .store(self.watermark as u64, Ordering::Relaxed);
+            .set(self.watermark as u64);
     }
 
     /// Pulls freshly reported degraded stripes to the queue front.

@@ -113,11 +113,56 @@ impl InProcRepair {
     where
         C: RegisterClient + Send + 'static,
     {
+        Self::spawn_inner(
+            plan,
+            cfg,
+            clients,
+            cursor_path,
+            health,
+            Arc::new(RepairCounters::new()),
+        )
+    }
+
+    /// [`InProcRepair::spawn`], but publishing progress through
+    /// instruments registered in `registry` under `repair_*` names.
+    /// Counters in the registry are cumulative across runs; the
+    /// `planned`/`watermark` gauges reflect the latest run.
+    pub fn spawn_registered<C>(
+        plan: RepairPlan,
+        cfg: DriverConfig,
+        clients: Vec<C>,
+        cursor_path: Option<PathBuf>,
+        health: Option<HealthMap>,
+        registry: &fab_obs::Registry,
+    ) -> std::io::Result<InProcRepair>
+    where
+        C: RegisterClient + Send + 'static,
+    {
+        Self::spawn_inner(
+            plan,
+            cfg,
+            clients,
+            cursor_path,
+            health,
+            Arc::new(RepairCounters::registered(registry)),
+        )
+    }
+
+    fn spawn_inner<C>(
+        plan: RepairPlan,
+        cfg: DriverConfig,
+        clients: Vec<C>,
+        cursor_path: Option<PathBuf>,
+        health: Option<HealthMap>,
+        counters: Arc<RepairCounters>,
+    ) -> std::io::Result<InProcRepair>
+    where
+        C: RegisterClient + Send + 'static,
+    {
         let cursor = match cursor_path {
             Some(path) => Some(RepairCursor::open(&path, plan.hash)?),
             None => None,
         };
-        let counters = Arc::new(RepairCounters::new());
         let mut driver = RepairDriver::with_counters(plan, cfg, Arc::clone(&counters));
         if let Some(c) = &cursor {
             driver = driver.resume_from(c.watermark());

@@ -1,38 +1,44 @@
 //! Repair observability: lock-free counters updated by the driver and
 //! its workers, snapshotted into a [`RepairStats`] for `repair-status`
 //! replies and the `repair_throughput` bench.
+//!
+//! The instruments are `fab-obs` types. A standalone
+//! [`RepairCounters::new`] keeps every field private to the repair run;
+//! [`RepairCounters::registered`] shares the same instruments with a
+//! node's [`fab_obs::Registry`] so they ride the `stats-snapshot` admin
+//! exposition under `repair_*` names without any bridging code.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Number of log2 latency buckets (`2^0 .. 2^63` microseconds).
-const BUCKETS: usize = 64;
+use fab_obs::{Counter, Gauge, Histogram, Registry};
 
-/// Live repair counters. All fields are atomics so the driver thread,
-/// scrub workers, and a status-serving event loop can share one
-/// `Arc<RepairCounters>` without locks (lock-free by construction — no
-/// lock-order obligations on the `fab-net` event loop).
+/// Live repair counters. All instruments are lock-free atomics so the
+/// driver thread, scrub workers, and a status-serving event loop can
+/// share one `Arc<RepairCounters>` without locks (lock-free by
+/// construction — no lock-order obligations on the `fab-net` event
+/// loop).
 #[derive(Debug)]
 pub struct RepairCounters {
     /// Stripes in the plan.
-    pub planned: AtomicU64,
+    pub planned: Arc<Gauge>,
     /// Stripes reconstructed and re-stored (scrub returned data).
-    pub repaired: AtomicU64,
+    pub repaired: Arc<Counter>,
     /// Stripes that were never written — scrub was a clean no-op.
-    pub skipped: AtomicU64,
+    pub skipped: Arc<Counter>,
     /// Scrub attempts retried after an abort (conflict with foreground
     /// writes, or recovery contention).
-    pub retried: AtomicU64,
+    pub retried: Arc<Counter>,
     /// Stripes given up on after the retry budget (outside the fault
     /// model; reported, never silently dropped).
-    pub failed: AtomicU64,
+    pub failed: Arc<Counter>,
     /// Logical bytes reconstructed (`m * block_size` per repaired stripe).
-    pub bytes_reconstructed: AtomicU64,
+    pub bytes_reconstructed: Arc<Counter>,
     /// Times the driver had to wait on the token-bucket throttle.
-    pub throttle_waits: AtomicU64,
+    pub throttle_waits: Arc<Counter>,
     /// Contiguous-prefix progress through the plan (stripes).
-    pub watermark: AtomicU64,
+    pub watermark: Arc<Gauge>,
     /// Log2 histogram of per-scrub latency in microseconds.
-    hist: [AtomicU64; BUCKETS],
+    scrub_micros: Arc<Histogram>,
 }
 
 impl Default for RepairCounters {
@@ -42,72 +48,61 @@ impl Default for RepairCounters {
 }
 
 impl RepairCounters {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters, private to this repair run.
     pub fn new() -> Self {
         RepairCounters {
-            planned: AtomicU64::new(0),
-            repaired: AtomicU64::new(0),
-            skipped: AtomicU64::new(0),
-            retried: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            bytes_reconstructed: AtomicU64::new(0),
-            throttle_waits: AtomicU64::new(0),
-            watermark: AtomicU64::new(0),
-            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            planned: Arc::new(Gauge::new()),
+            repaired: Arc::new(Counter::new()),
+            skipped: Arc::new(Counter::new()),
+            retried: Arc::new(Counter::new()),
+            failed: Arc::new(Counter::new()),
+            bytes_reconstructed: Arc::new(Counter::new()),
+            throttle_waits: Arc::new(Counter::new()),
+            watermark: Arc::new(Gauge::new()),
+            scrub_micros: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Counters whose instruments live in `registry` under `repair_*`
+    /// names, so a stats snapshot of the registry sees repair progress
+    /// with no copying.
+    pub fn registered(registry: &Registry) -> Self {
+        RepairCounters {
+            planned: registry.gauge("repair_planned"),
+            repaired: registry.counter("repair_repaired"),
+            skipped: registry.counter("repair_skipped"),
+            retried: registry.counter("repair_retried"),
+            failed: registry.counter("repair_failed"),
+            bytes_reconstructed: registry.counter("repair_bytes_reconstructed"),
+            throttle_waits: registry.counter("repair_throttle_waits"),
+            watermark: registry.gauge("repair_watermark"),
+            scrub_micros: registry.histogram("repair_scrub_micros"),
         }
     }
 
     /// Records one scrub's wall-clock latency.
     pub fn record_scrub_micros(&self, micros: u64) {
-        let bucket = (64 - micros.leading_zeros()) as usize;
-        let Some(slot) = self.hist.get(bucket.min(BUCKETS - 1)) else {
-            return;
-        };
-        slot.fetch_add(1, Ordering::Relaxed);
+        self.scrub_micros.record(micros);
     }
 
-    /// A point-in-time snapshot. Individual fields are read relaxed; a
-    /// snapshot taken while scrubs are in flight is approximate, which
-    /// is fine for status reporting.
+    /// A point-in-time snapshot. Individual instruments are read
+    /// relaxed; a snapshot taken while scrubs are in flight is
+    /// approximate, which is fine for status reporting.
     pub fn snapshot(&self) -> RepairStats {
-        let hist: Vec<u64> = self
-            .hist
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let scrub = self.scrub_micros.snapshot();
         RepairStats {
-            planned: self.planned.load(Ordering::Relaxed),
-            repaired: self.repaired.load(Ordering::Relaxed),
-            skipped: self.skipped.load(Ordering::Relaxed),
-            retried: self.retried.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            bytes_reconstructed: self.bytes_reconstructed.load(Ordering::Relaxed),
-            throttle_waits: self.throttle_waits.load(Ordering::Relaxed),
-            watermark: self.watermark.load(Ordering::Relaxed),
-            scrub_p50_micros: percentile(&hist, 50),
-            scrub_p99_micros: percentile(&hist, 99),
+            planned: self.planned.get(),
+            repaired: self.repaired.get(),
+            skipped: self.skipped.get(),
+            retried: self.retried.get(),
+            failed: self.failed.get(),
+            bytes_reconstructed: self.bytes_reconstructed.get(),
+            throttle_waits: self.throttle_waits.get(),
+            watermark: self.watermark.get(),
+            scrub_p50_micros: scrub.p50,
+            scrub_p99_micros: scrub.p99,
         }
     }
-}
-
-/// Approximate percentile from the log2 histogram: the upper bound of
-/// the bucket containing the p-th sample.
-fn percentile(hist: &[u64], p: u64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    // Index of the p-th percentile sample, 1-based, rounding up.
-    let target = (total * p).div_ceil(100).max(1);
-    let mut seen = 0u64;
-    for (i, &count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= target {
-            // Bucket i holds latencies in [2^(i-1), 2^i); report 2^i.
-            return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
-        }
-    }
-    u64::MAX
 }
 
 /// A point-in-time view of a repair run, the payload of the
@@ -150,10 +145,10 @@ mod tests {
     #[test]
     fn counters_snapshot_round_trip() {
         let c = RepairCounters::new();
-        c.planned.store(10, Ordering::Relaxed);
-        c.repaired.fetch_add(4, Ordering::Relaxed);
-        c.skipped.fetch_add(2, Ordering::Relaxed);
-        c.bytes_reconstructed.fetch_add(4096, Ordering::Relaxed);
+        c.planned.set(10);
+        c.repaired.add(4);
+        c.skipped.add(2);
+        c.bytes_reconstructed.add(4096);
         let s = c.snapshot();
         assert_eq!(s.planned, 10);
         assert_eq!(s.finished(), 6);
@@ -183,5 +178,41 @@ mod tests {
         let s = RepairCounters::new().snapshot();
         assert_eq!(s.scrub_p50_micros, 0);
         assert_eq!(s.scrub_p99_micros, 0);
+    }
+
+    #[test]
+    fn registered_counters_surface_in_the_registry_snapshot() {
+        let registry = Registry::new();
+        let c = RepairCounters::registered(&registry);
+        c.planned.set(7);
+        c.repaired.add(3);
+        c.record_scrub_micros(150);
+        let snap = registry.export();
+        assert_eq!(snap.counter("repair_repaired"), Some(3));
+        let planned = snap
+            .gauges
+            .iter()
+            .find(|(name, _)| *name == "repair_planned")
+            .map(|(_, v)| *v);
+        assert_eq!(planned, Some(7));
+        let scrub = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "repair_scrub_micros")
+            .map(|(_, h)| *h)
+            .expect("histogram registered");
+        assert_eq!(scrub.count, 1);
+        // Same instrument: recording through the counters is visible in
+        // later registry snapshots.
+        c.record_scrub_micros(150);
+        assert_eq!(
+            registry
+                .export()
+                .histograms
+                .iter()
+                .find(|(name, _)| *name == "repair_scrub_micros")
+                .map(|(_, h)| h.count),
+            Some(2)
+        );
     }
 }

@@ -415,6 +415,10 @@ pub struct RuntimeCluster {
     /// Per-brick commit-pipeline observers (empty slots for volatile
     /// clusters).
     commit_stats: Vec<Option<CommitStatsHandle>>,
+    /// Per-brick metrics registries: op-lifecycle instruments from the
+    /// coordinator plus (on durable clusters) the commit pipeline's
+    /// `store_*` instruments.
+    obs: Vec<Arc<fab_obs::Registry>>,
 }
 
 impl RuntimeCluster {
@@ -454,18 +458,23 @@ impl RuntimeCluster {
         let senders: Vec<Sender<Event>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let mut handles = Vec::with_capacity(n);
         let mut commit_stats = Vec::with_capacity(n);
+        let mut obs = Vec::with_capacity(n);
         for (i, (_, inbox)) in channels.into_iter().enumerate() {
             let pid = ProcessId::new(i as u32);
+            let registry = Arc::new(fab_obs::Registry::new());
             let pipeline = store_dir.map(|dir| {
                 let store = BrickStore::open(dir.join(format!("brick-{i}.log")))
                     .expect("open brick store");
-                CommitPipeline::spawn(store, COMPACT_THRESHOLD)
+                CommitPipeline::spawn_registered(store, COMPACT_THRESHOLD, &registry)
             });
             commit_stats.push(pipeline.as_ref().map(CommitPipeline::stats_handle));
+            let mut coordinator = Coordinator::new(pid, cfg.clone());
+            coordinator.set_metrics(fab_core::OpMetrics::register(&registry));
+            obs.push(registry);
             let mut server = BrickServer {
                 cfg: cfg.clone(),
                 replicas: HashMap::new(),
-                coordinator: Coordinator::new(pid, cfg.clone()),
+                coordinator,
                 io: NetIo {
                     pid,
                     peers: senders.clone(),
@@ -496,7 +505,16 @@ impl RuntimeCluster {
             faults,
             next_coordinator: AtomicU32::new(0),
             commit_stats,
+            obs,
         }
+    }
+
+    /// Brick `pid`'s metrics registry: coordinator op-lifecycle
+    /// instruments (`op_*`) plus, on durable clusters, the commit
+    /// pipeline's `store_*` instruments. `None` if `pid` is out of range.
+    #[must_use]
+    pub fn obs_registry(&self, pid: ProcessId) -> Option<Arc<fab_obs::Registry>> {
+        self.obs.get(pid.index()).cloned()
     }
 
     /// A snapshot of brick `pid`'s group-commit counters, or `None` for
@@ -936,6 +954,41 @@ mod tests {
     fn volatile_cluster_reports_no_commit_stats() {
         let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
         assert!(cluster.commit_stats(ProcessId::new(0)).is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn op_metrics_reconcile_with_client_completions() {
+        let cluster = RuntimeCluster::new(RegisterConfig::new(2, 4, 16).unwrap());
+        let mut client = cluster.client();
+        let data = blocks(2, 3, 16);
+        for _ in 0..3 {
+            assert_eq!(
+                client.write_stripe(StripeId(0), data.clone()).unwrap(),
+                OpResult::Written
+            );
+        }
+        for _ in 0..5 {
+            assert_eq!(
+                client.read_stripe(StripeId(0)).unwrap(),
+                OpResult::Stripe(StripeValue::Data(data.clone()))
+            );
+        }
+        // Client retries can only add completions on more bricks, never
+        // lose one: summed across bricks, the coordinators completed at
+        // least as many ops as the client observed, and every registry
+        // entry is well-formed.
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for i in 0..4 {
+            let reg = cluster.obs_registry(ProcessId::new(i)).unwrap();
+            let snap = reg.export();
+            reads += snap.counter("op_reads_fastpath").unwrap_or(0)
+                + snap.counter("op_reads_recovered").unwrap_or(0);
+            writes += snap.counter("op_writes_committed").unwrap_or(0);
+        }
+        assert!(reads >= 5, "reads counted {reads}");
+        assert!(writes >= 3, "writes counted {writes}");
+        assert!(cluster.obs_registry(ProcessId::new(99)).is_none());
         cluster.shutdown();
     }
 

@@ -36,7 +36,8 @@ use crate::sys::mpsc::{channel, Receiver, Sender};
 use crate::sys::thread;
 use crate::{BrickStore, StoreError, StripeState};
 use fab_core::{PersistEvent, StripeId};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use fab_obs::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Upper bound on logical records folded into one batch commit; bounds the
@@ -107,23 +108,59 @@ enum Job<S> {
     Shutdown(Option<Sender<S>>),
 }
 
-#[derive(Debug, Default)]
+/// The pipeline's instruments — `fab-obs` types, so a node can register
+/// them in its metrics registry ([`Counters::registered`]) and have them
+/// appear in `stats-snapshot` replies without any bridging.
+#[derive(Debug)]
 struct Counters {
-    submitted: AtomicU64,
-    committed: AtomicU64,
-    failed: AtomicU64,
-    syncs: AtomicU64,
-    max_batch: AtomicU64,
+    submitted: Arc<Counter>,
+    committed: Arc<Counter>,
+    failed: Arc<Counter>,
+    syncs: Arc<Counter>,
+    max_batch: Arc<Gauge>,
+    /// Per-batch `append_batch` (write + fsync) wall time, microseconds.
+    fsync_micros: Arc<Histogram>,
+    /// Records per group-commit batch.
+    batch_records: Arc<Histogram>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            submitted: Arc::new(Counter::new()),
+            committed: Arc::new(Counter::new()),
+            failed: Arc::new(Counter::new()),
+            syncs: Arc::new(Counter::new()),
+            max_batch: Arc::new(Gauge::new()),
+            fsync_micros: Arc::new(Histogram::new()),
+            batch_records: Arc::new(Histogram::new()),
+        }
+    }
 }
 
 impl Counters {
+    /// Instruments shared with `registry` under `store_*` names.
+    fn registered(registry: &fab_obs::Registry) -> Self {
+        Counters {
+            submitted: registry.counter("store_submitted"),
+            committed: registry.counter("store_committed"),
+            failed: registry.counter("store_failed"),
+            syncs: registry.counter("store_syncs"),
+            max_batch: registry.gauge("store_max_batch"),
+            fsync_micros: registry.histogram("store_fsync_micros"),
+            batch_records: registry.histogram("store_batch_records"),
+        }
+    }
+
     fn read(&self) -> CommitStats {
         CommitStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            committed: self.committed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            syncs: self.syncs.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            committed: self.committed.get(),
+            failed: self.failed.get(),
+            syncs: self.syncs.get(),
+            max_batch: self.max_batch.get(),
+            fsync_micros: self.fsync_micros.snapshot(),
+            batch_records: self.batch_records.snapshot(),
         }
     }
 }
@@ -166,6 +203,10 @@ pub struct CommitStats {
     pub syncs: u64,
     /// Largest records-per-sync batch observed.
     pub max_batch: u64,
+    /// Per-batch write+fsync wall time, microseconds.
+    pub fsync_micros: HistogramSnapshot,
+    /// Records per group-commit batch.
+    pub batch_records: HistogramSnapshot,
 }
 
 /// Handle to a committer thread that owns a [`CommitStore`] (a
@@ -196,8 +237,19 @@ impl<S: CommitStore> CommitPipeline<S> {
     /// compaction also rides off the caller's event loop (pass `u64::MAX`
     /// to disable).
     pub fn spawn(store: S, compact_threshold: u64) -> Self {
+        Self::spawn_inner(store, compact_threshold, Counters::default())
+    }
+
+    /// Like [`CommitPipeline::spawn`], but the pipeline's instruments are
+    /// registered in `registry` under `store_*` names, so they ride the
+    /// node's `stats-snapshot` exposition with no bridging.
+    pub fn spawn_registered(store: S, compact_threshold: u64, registry: &fab_obs::Registry) -> Self {
+        Self::spawn_inner(store, compact_threshold, Counters::registered(registry))
+    }
+
+    fn spawn_inner(store: S, compact_threshold: u64, counters: Counters) -> Self {
         let (tx, rx) = channel();
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(counters);
         let fenced = Arc::new(AtomicBool::new(false));
         let handle = thread::Builder::new()
             .name("fab-commit".into())
@@ -232,7 +284,7 @@ impl<S: CommitStore> CommitPipeline<S> {
         done: impl FnOnce(bool) + Send + 'static,
     ) {
         let n = records.len() as u64;
-        self.counters.submitted.fetch_add(n, Ordering::Relaxed);
+        self.counters.submitted.add(n);
         let job = Job::Append {
             records,
             done: Some(Box::new(done)),
@@ -245,9 +297,7 @@ impl<S: CommitStore> CommitPipeline<S> {
                 records,
             } = rejected.0
             {
-                self.counters
-                    .failed
-                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                self.counters.failed.add(records.len() as u64);
                 cb(false);
             }
         }
@@ -417,12 +467,17 @@ fn commit_batch<S: CommitStore>(
     let durable = if fenced.load(Ordering::Acquire) {
         false
     } else {
+        let started = std::time::Instant::now();
         match store.append_batch(records) {
             Ok(()) => {
                 if n > 0 {
-                    counters.syncs.fetch_add(1, Ordering::Relaxed);
-                    counters.committed.fetch_add(n, Ordering::Relaxed);
-                    counters.max_batch.fetch_max(n, Ordering::Relaxed);
+                    counters.syncs.inc();
+                    counters.committed.add(n);
+                    counters.max_batch.set_max(n);
+                    counters.batch_records.record(n);
+                    counters
+                        .fsync_micros
+                        .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 }
                 // Compaction rides the committer thread, off the callers'
                 // event loops. A failed compaction leaves the just-synced
@@ -439,7 +494,7 @@ fn commit_batch<S: CommitStore>(
         }
     };
     if !durable {
-        counters.failed.fetch_add(n, Ordering::Relaxed);
+        counters.failed.add(n);
     }
     records.clear();
     for cb in done.drain(..) {

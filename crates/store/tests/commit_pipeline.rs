@@ -155,3 +155,36 @@ fn failed_commit_fences_the_pipeline() {
     let stats = pipeline.stats();
     assert!(stats.failed > 0, "failed records counted");
 }
+
+#[test]
+fn registered_pipeline_shares_instruments_with_the_registry() {
+    let dir = tmpdir("obs");
+    let path = dir.join("brick.log");
+    let registry = fab_obs::Registry::new();
+    let pipeline =
+        CommitPipeline::spawn_registered(BrickStore::open(&path).unwrap(), u64::MAX, &registry);
+    for i in 0..5u64 {
+        let event = PersistEvent::Entry(ts(i + 1), BlockValue::Data(Bytes::from(marker(i))));
+        pipeline.append_wait(vec![(StripeId(0), event)]).unwrap();
+    }
+    // The registry sees the same counters the stats handle reports...
+    let stats = pipeline.stats();
+    let snap = registry.export();
+    assert_eq!(snap.counter("store_committed"), Some(stats.committed));
+    assert_eq!(snap.counter("store_submitted"), Some(5));
+    assert_eq!(snap.counter("store_syncs"), Some(stats.syncs));
+    // ...and the new histograms recorded one sample per batch.
+    assert_eq!(stats.batch_records.count, stats.syncs);
+    assert_eq!(stats.fsync_micros.count, stats.syncs);
+    assert!(stats.fsync_micros.p99 >= stats.fsync_micros.p50);
+    let hist = |name: &str| {
+        snap.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h.count)
+    };
+    assert_eq!(hist("store_fsync_micros"), Some(stats.syncs));
+    assert_eq!(hist("store_batch_records"), Some(stats.syncs));
+    pipeline.shutdown().expect("committer alive");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -60,6 +60,12 @@ pub struct RunStats {
     pub repair_completed: bool,
     /// Post-repair fast-path probe reads that completed.
     pub fastpath_probes: u64,
+    /// Reads that completed on the fast path, summed across bricks (from
+    /// the coordinators' `op_reads` pair counters, reconciled against the
+    /// journal).
+    pub reads_fastpath: u64,
+    /// Reads that completed through recovery, summed across bricks.
+    pub reads_recovered: u64,
     /// Simulator events processed.
     pub events: u64,
     /// Replica requests observed by the probes.
@@ -232,11 +238,15 @@ pub fn run_plan(plan: &CampaignPlan) -> RunReport {
     stats.events = sim.events_processed();
     stats.fingerprint = sim.fingerprint();
 
-    // Coordinator-internal invariant violations survived during the run.
+    // Coordinator-internal invariant violations survived during the run,
+    // and each brick's op-lifecycle metrics for reconciliation.
+    let mut metrics: Vec<(u32, Arc<fab_core::OpMetrics>)> = Vec::new();
     for p in 0..plan.n {
-        for e in sim.actor_mut(ProcessId::new(p as u32)).take_protocol_errors() {
+        let actor = sim.actor_mut(ProcessId::new(p as u32));
+        for e in actor.take_protocol_errors() {
             violations.push(format!("protocol-error: p{p}: {e}"));
         }
+        metrics.push((p as u32, actor.op_metrics().clone()));
     }
 
     // Judge the journal.
@@ -250,8 +260,112 @@ pub fn run_plan(plan: &CampaignPlan) -> RunReport {
     violations.extend(journal.violations.iter().cloned());
     judge_histories(plan, &journal, &mut stats, &mut violations);
     judge_quorum_accounting(&cfg, &journal, &mut violations);
+    judge_metrics(plan, &journal, &metrics, &mut stats, &mut violations);
 
     RunReport { violations, stats }
+}
+
+/// Per-brick journal-derived tallies of what the coordinator metrics
+/// *must* read at end of run: the journal records every completion the
+/// coordinator delivered, and [`fab_core::OpMetrics`] records at the same
+/// completion site, so the counts reconcile exactly — any drift means the
+/// metrics path dropped, double-counted, or misclassified an operation.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct MetricsTally {
+    reads_fastpath: u64,
+    reads_recovered: u64,
+    writes_committed: u64,
+    scrubs_completed: u64,
+    aborts: u64,
+}
+
+/// The metrics-invariant probe: reconciles each brick's [`fab_core::OpMetrics`]
+/// against the journal, and — on benign campaigns — convicts recovered
+/// reads of settled stripes, using the same settledness rule as the
+/// post-repair fast-path probe.
+fn judge_metrics(
+    plan: &CampaignPlan,
+    journal: &Journal,
+    metrics: &[(u32, Arc<fab_core::OpMetrics>)],
+    stats: &mut RunStats,
+    violations: &mut Vec<String>,
+) {
+    // Completion kinds: (pid, op) is unique per coordinator (op ids are
+    // never reused, crashes included).
+    let kinds: BTreeMap<(u32, u64), crate::plan::OpKind> = journal
+        .invocations
+        .iter()
+        .map(|inv| ((inv.pid, inv.op), inv.kind))
+        .collect();
+    let mut tallies: BTreeMap<u32, MetricsTally> = BTreeMap::new();
+    for (pid, c) in &journal.completions {
+        let Some(kind) = kinds.get(&(*pid, c.op)) else {
+            violations.push(format!(
+                "obs-reconcile: p{pid} op{op}: completion without invocation",
+                op = c.op
+            ));
+            continue;
+        };
+        let tally = tallies.entry(*pid).or_default();
+        if matches!(c.result, OpResult::Aborted(_)) {
+            tally.aborts += 1;
+        } else if kind.write_id().is_some() {
+            tally.writes_committed += 1;
+        } else if matches!(kind, crate::plan::OpKind::Scrub) {
+            tally.scrubs_completed += 1;
+        } else if c.recovered {
+            tally.reads_recovered += 1;
+        } else {
+            tally.reads_fastpath += 1;
+        }
+    }
+    for (pid, m) in metrics {
+        let (fastpath, recovered) = m.reads();
+        stats.reads_fastpath += fastpath;
+        stats.reads_recovered += recovered;
+        let measured = MetricsTally {
+            reads_fastpath: fastpath,
+            reads_recovered: recovered,
+            writes_committed: m.writes_committed(),
+            scrubs_completed: m.scrubs_completed(),
+            aborts: m.aborts(),
+        };
+        let expected = tallies.remove(pid).unwrap_or_default();
+        if measured != expected {
+            violations.push(format!(
+                "obs-reconcile: p{pid}: metrics {measured:?} != journal {expected:?}"
+            ));
+        }
+    }
+
+    // On a benign campaign (lossless network, no faults, no disk
+    // replacement) a recovered read of a *settled* stripe means the fast
+    // path regressed. The settledness rule is the post-repair probe's:
+    // every op on the stripe completed cleanly and every effectful op
+    // drained `margin` ticks before the read was invoked.
+    let benign = plan.faults.is_empty()
+        && plan.repair.is_none()
+        && plan.net.drop_ppm == 0
+        && plan.net.dup_ppm == 0;
+    if benign && stats.reads_recovered > 0 {
+        let margin = plan.net.max_delay * 4 + 32;
+        for (pid, c) in &journal.completions {
+            let is_read = kinds
+                .get(&(*pid, c.op))
+                .is_some_and(|k| k.write_id().is_none() && !matches!(k, crate::plan::OpKind::Scrub));
+            if is_read
+                && c.recovered
+                && !matches!(c.result, OpResult::Aborted(_))
+                && !journal.fastpath_inconclusive(c.stripe.0, *pid, c.op, c.invoked_at, margin)
+            {
+                violations.push(format!(
+                    "obs-recovered-read: p{pid} op{op}: recovered read of settled stripe{s}",
+                    op = c.op,
+                    s = c.stripe.0
+                ));
+            }
+        }
+    }
 }
 
 /// Reconstructs one strict-linearizability history per stripe from the
@@ -408,6 +522,39 @@ mod tests {
             assert!(report.stats.histories_checked >= 1);
             assert!(report.stats.requests_probed > 0);
         }
+    }
+
+    #[test]
+    fn metrics_reconcile_with_journal_across_200_campaigns() {
+        // The reconciliation probe runs inside every `run_plan`; a drift
+        // between coordinator metrics and journal ground truth anywhere
+        // in 200 generated campaigns (benign and hostile alike) surfaces
+        // as an `obs-reconcile`/`obs-recovered-read` violation. Every
+        // 20th campaign is re-run to pin the fingerprint bit-stable with
+        // the metrics path on.
+        let mut reads_total = 0u64;
+        for seed in 0..200u64 {
+            let plan = generate(seed);
+            let report = run_plan(&plan);
+            assert!(
+                !report
+                    .violations
+                    .iter()
+                    .any(|v| v.starts_with("obs-")),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            reads_total += report.stats.reads_fastpath + report.stats.reads_recovered;
+            if seed % 20 == 0 {
+                let again = run_plan(&plan);
+                assert_eq!(report.stats, again.stats, "seed {seed}");
+                assert_eq!(
+                    report.stats.fingerprint, again.stats.fingerprint,
+                    "seed {seed}"
+                );
+            }
+        }
+        assert!(reads_total > 0, "the corpus exercised no reads");
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Journal {
     /// read that recovered) finished at least `margin` ticks before the
     /// probe was invoked — long enough for straggler messages to drain
     /// on a lossless network.
-    fn fastpath_inconclusive(
+    pub(crate) fn fastpath_inconclusive(
         &self,
         stripe: u64,
         probe_pid: u32,
@@ -217,6 +217,10 @@ pub struct TortureBrick {
     touched: BTreeSet<StripeId>,
     /// Repair-phase orchestration, when this brick runs the rebuild.
     repair: Option<RepairRuntime>,
+    /// The coordinator's op-lifecycle instruments, installed at
+    /// construction. The engine reconciles these against journal ground
+    /// truth after the run — the metrics path runs under torture too.
+    metrics: Arc<fab_core::OpMetrics>,
 }
 
 impl TortureBrick {
@@ -236,12 +240,22 @@ impl TortureBrick {
             Brick::with_skew(pid, cfg, skew)
         };
         inner.coordinator.set_tracing(true);
+        let metrics = fab_core::OpMetrics::register(&fab_obs::Registry::new());
+        inner.coordinator.set_metrics(metrics.clone());
         TortureBrick {
             inner,
             journal,
             touched: BTreeSet::new(),
             repair: None,
+            metrics,
         }
+    }
+
+    /// The coordinator's op-lifecycle instruments, for end-of-run
+    /// reconciliation against the journal.
+    #[must_use]
+    pub fn op_metrics(&self) -> &Arc<fab_core::OpMetrics> {
+        &self.metrics
     }
 
     /// Replaces this brick's disk: all replica state (persistent

@@ -200,6 +200,9 @@ pub enum AdminOp {
     RepairStatus,
     /// Abort the running repair at the next scrub boundary.
     RepairAbort,
+    /// Snapshot the node's metrics registry (the socket form of
+    /// `fab-cli stats`).
+    StatsSnapshot,
 }
 
 impl AdminOp {
@@ -210,7 +213,57 @@ impl AdminOp {
             AdminOp::RepairStart { .. } => "repair-start",
             AdminOp::RepairStatus => "repair-status",
             AdminOp::RepairAbort => "repair-abort",
+            AdminOp::StatsSnapshot => "stats-snapshot",
         }
+    }
+}
+
+/// One named counter or gauge value in a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsEntry {
+    /// Instrument name (UTF-8; lossily decoded from the wire).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One named histogram snapshot in a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsHistogramEntry {
+    /// Instrument name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (log2-bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A node's metrics-registry snapshot as carried on the wire (the socket
+/// form of `fab_obs::Snapshot`, answered to [`AdminOp::StatsSnapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// The answering node's id.
+    pub node: u32,
+    /// Counter values, name-sorted (pair halves included).
+    pub counters: Vec<StatsEntry>,
+    /// Gauge levels, name-sorted.
+    pub gauges: Vec<StatsEntry>,
+    /// Histogram snapshots, name-sorted.
+    pub histograms: Vec<StatsHistogramEntry>,
+}
+
+impl StatsReport {
+    /// The counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
     }
 }
 
@@ -245,7 +298,7 @@ pub struct RepairProgress {
 }
 
 /// A brick's answer to an [`AdminOp`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdminResponse {
     /// The repair was started (or one was already running).
     Started,
@@ -253,6 +306,8 @@ pub enum AdminResponse {
     Status(RepairProgress),
     /// The abort flag was raised.
     Aborted,
+    /// Registry snapshot for `StatsSnapshot`.
+    Stats(StatsReport),
 }
 
 // -------------------------------------------------------------- encoding --
@@ -619,6 +674,34 @@ fn put_admin_op(out: &mut Vec<u8>, op: &AdminOp) {
         }
         AdminOp::RepairStatus => put_u8(out, 1),
         AdminOp::RepairAbort => put_u8(out, 2),
+        AdminOp::StatsSnapshot => put_u8(out, 3),
+    }
+}
+
+fn put_stats_report(out: &mut Vec<u8>, report: &StatsReport) {
+    put_u32(out, report.node);
+    // Entry counts are bounded by the registry's instrument namespace
+    // (a few dozen); debug-check, saturate in release like `put_bytes`.
+    debug_assert!(report.counters.len() <= u32::MAX as usize);
+    put_u32(out, u32::try_from(report.counters.len()).unwrap_or(u32::MAX));
+    for e in &report.counters {
+        put_bytes(out, e.name.as_bytes());
+        put_u64(out, e.value);
+    }
+    debug_assert!(report.gauges.len() <= u32::MAX as usize);
+    put_u32(out, u32::try_from(report.gauges.len()).unwrap_or(u32::MAX));
+    for e in &report.gauges {
+        put_bytes(out, e.name.as_bytes());
+        put_u64(out, e.value);
+    }
+    debug_assert!(report.histograms.len() <= u32::MAX as usize);
+    put_u32(out, u32::try_from(report.histograms.len()).unwrap_or(u32::MAX));
+    for h in &report.histograms {
+        put_bytes(out, h.name.as_bytes());
+        put_u64(out, h.count);
+        put_u64(out, h.p50);
+        put_u64(out, h.p95);
+        put_u64(out, h.p99);
     }
 }
 
@@ -641,6 +724,10 @@ fn put_admin_response(out: &mut Vec<u8>, resp: &AdminResponse) {
             put_bool(out, p.complete);
         }
         AdminResponse::Aborted => put_u8(out, 2),
+        AdminResponse::Stats(report) => {
+            put_u8(out, 3);
+            put_stats_report(out, report);
+        }
     }
 }
 
@@ -1176,11 +1263,59 @@ fn get_admin_op(r: &mut Reader<'_>) -> Result<AdminOp, WireError> {
         }),
         1 => Ok(AdminOp::RepairStatus),
         2 => Ok(AdminOp::RepairAbort),
+        3 => Ok(AdminOp::StatsSnapshot),
         tag => Err(WireError::BadTag {
             what: "AdminOp",
             tag: u32::from(tag),
         }),
     }
+}
+
+/// A metric name: length-prefixed bytes, lossily decoded as UTF-8 (a
+/// hostile name cannot make decoding fail — it just renders replacement
+/// characters).
+fn get_stats_name(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let raw = r.bytes()?;
+    Ok(String::from_utf8_lossy(&raw).into_owned())
+}
+
+fn get_stats_report(r: &mut Reader<'_>) -> Result<StatsReport, WireError> {
+    let node = r.u32()?;
+    // Smallest possible entry: empty name (4-byte length) + u64 value.
+    let n = r.count("StatsReport::counters", 12)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push(StatsEntry {
+            name: get_stats_name(r)?,
+            value: r.u64()?,
+        });
+    }
+    let n = r.count("StatsReport::gauges", 12)?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push(StatsEntry {
+            name: get_stats_name(r)?,
+            value: r.u64()?,
+        });
+    }
+    // Smallest histogram entry: empty name + four u64s.
+    let n = r.count("StatsReport::histograms", 36)?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        histograms.push(StatsHistogramEntry {
+            name: get_stats_name(r)?,
+            count: r.u64()?,
+            p50: r.u64()?,
+            p95: r.u64()?,
+            p99: r.u64()?,
+        });
+    }
+    Ok(StatsReport {
+        node,
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 fn get_admin_response(r: &mut Reader<'_>) -> Result<AdminResponse, WireError> {
@@ -1201,6 +1336,7 @@ fn get_admin_response(r: &mut Reader<'_>) -> Result<AdminResponse, WireError> {
             complete: r.bool("Status::complete")?,
         })),
         2 => Ok(AdminResponse::Aborted),
+        3 => Ok(AdminResponse::Stats(get_stats_report(r)?)),
         tag => Err(WireError::BadTag {
             what: "AdminResponse",
             tag: u32::from(tag),
@@ -1674,5 +1810,150 @@ mod tests {
     fn admin_op_names() {
         assert_eq!(AdminOp::RepairStatus.name(), "repair-status");
         assert_eq!(AdminOp::RepairAbort.name(), "repair-abort");
+        assert_eq!(AdminOp::StatsSnapshot.name(), "stats-snapshot");
+    }
+
+    fn sample_stats() -> StatsReport {
+        StatsReport {
+            node: 3,
+            counters: vec![
+                StatsEntry {
+                    name: "op_reads_fastpath".into(),
+                    value: 120,
+                },
+                StatsEntry {
+                    name: "op_reads_recovered".into(),
+                    value: 4,
+                },
+            ],
+            gauges: vec![StatsEntry {
+                name: "net_queue_depth".into(),
+                value: 7,
+            }],
+            histograms: vec![StatsHistogramEntry {
+                name: "op_write_micros".into(),
+                count: 55,
+                p50: 128,
+                p95: 512,
+                p99: 2048,
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        round_trip(&Message::AdminRequest {
+            id: 30,
+            op: AdminOp::StatsSnapshot,
+        });
+        round_trip(&Message::AdminReply {
+            id: 30,
+            result: Ok(AdminResponse::Stats(sample_stats())),
+        });
+        // Empty report (fresh node, nothing registered yet).
+        round_trip(&Message::AdminReply {
+            id: 31,
+            result: Ok(AdminResponse::Stats(StatsReport::default())),
+        });
+        let report = sample_stats();
+        assert_eq!(report.counter("op_reads_recovered"), Some(4));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn stats_truncated_report_is_truncated_error() {
+        let full = encode_admin_reply_body(30, &Ok(AdminResponse::Stats(sample_stats())));
+        // Chop mid-way through a histogram entry's quantiles.
+        let cut = full.get(..full.len() - 6).unwrap_or(&[]);
+        assert!(matches!(
+            decode_admin_reply_body(cut),
+            Err(WireError::Truncated { .. })
+        ));
+        // Chop inside the first counter's value (past the count guard:
+        // header 18 bytes + enough remaining to cover the declared
+        // minimum, but the first entry's u64 is short).
+        let cut = full.get(..43).unwrap_or(&[]);
+        assert!(matches!(
+            decode_admin_reply_body(cut),
+            Err(WireError::Truncated { .. })
+        ));
+        // Chopping right after the count prefix instead trips the
+        // cannot-possibly-hold guard before any allocation.
+        let cut = full.get(..24).unwrap_or(&[]);
+        assert!(matches!(
+            decode_admin_reply_body(cut),
+            Err(WireError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_lies_are_rejected_before_allocation() {
+        // A counter count the remaining body cannot hold must be refused
+        // by the `count` guard, not trusted into `Vec::with_capacity`.
+        let mut body = Vec::new();
+        put_u64(&mut body, 30); // id
+        put_u8(&mut body, 0); // ok
+        put_u8(&mut body, 3); // AdminResponse::Stats
+        put_u32(&mut body, 3); // node
+        put_u32(&mut body, u32::MAX); // declared counter count: a lie
+        assert!(matches!(
+            decode_admin_reply_body(&body),
+            Err(WireError::BadCount {
+                what: "StatsReport::counters",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stats_trailing_bytes_are_rejected() {
+        let mut body = encode_admin_request_body(30, &AdminOp::StatsSnapshot);
+        body.push(0xEE);
+        assert_eq!(
+            decode_admin_request_body(&body),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+        let mut body = encode_admin_reply_body(30, &Ok(AdminResponse::Stats(sample_stats())));
+        body.push(0xEE);
+        assert_eq!(
+            decode_admin_reply_body(&body),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn stats_hostile_names_decode_lossily() {
+        // A name that is not UTF-8 must not fail decoding — it decodes
+        // to replacement characters and the rest of the report survives.
+        let mut body = Vec::new();
+        put_u64(&mut body, 30);
+        put_u8(&mut body, 0); // ok
+        put_u8(&mut body, 3); // Stats
+        put_u32(&mut body, 1); // node
+        put_u32(&mut body, 1); // one counter
+        put_bytes(&mut body, &[0xFF, 0xFE, 0x41]); // invalid UTF-8 + 'A'
+        put_u64(&mut body, 9);
+        put_u32(&mut body, 0); // no gauges
+        put_u32(&mut body, 0); // no histograms
+        let (id, result) = decode_admin_reply_body(&body).expect("lossy name decodes");
+        assert_eq!(id, 30);
+        let Ok(AdminResponse::Stats(report)) = result else {
+            panic!("expected stats reply");
+        };
+        assert_eq!(report.counters.len(), 1);
+        assert_eq!(report.counters[0].value, 9);
+        assert!(report.counters[0].name.ends_with('A'));
+    }
+
+    #[test]
+    fn stats_encode_into_is_byte_identical() {
+        let msg = Message::AdminReply {
+            id: 30,
+            result: Ok(AdminResponse::Stats(sample_stats())),
+        };
+        let mut buf = vec![0xAA];
+        encode_message_into(&msg, &mut buf);
+        let one = encode_message(&msg);
+        assert_eq!(&buf[1..], &one[..]);
     }
 }

@@ -62,7 +62,7 @@ pub use codec::{
     encode_client_reply_body, encode_client_reply_into, encode_client_request_body,
     encode_client_request_into, encode_message, encode_message_into, encode_peer_body,
     encode_peer_message_into, AdminOp, AdminResponse, ClientError, ClientOp, Message,
-    RepairProgress,
+    RepairProgress, StatsEntry, StatsHistogramEntry, StatsReport,
 };
 pub use error::WireError;
 pub use frame::{

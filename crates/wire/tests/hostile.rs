@@ -180,6 +180,64 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
         encode_frame(FrameKind::AdminReply, &admin_trailing),
     ));
 
+    // A stats reply cut off inside its first counter's value.
+    let reference_stats = {
+        let report = fab_wire::StatsReport {
+            node: 3,
+            counters: vec![fab_wire::StatsEntry {
+                name: "op_reads_fastpath".to_string(),
+                value: 41,
+            }],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        fab_wire::encode_admin_reply_body(8, &Ok(fab_wire::AdminResponse::Stats(report)))
+    };
+    entries.push((
+        "truncated-stats",
+        encode_frame(FrameKind::AdminReply, &reference_stats[..reference_stats.len() - 3]),
+    ));
+
+    // A stats reply whose counter count claims ~4 billion entries with an
+    // empty body behind it — the stats flavor of the allocation bomb.
+    let mut stats_bomb = Vec::new();
+    stats_bomb.extend_from_slice(&8u64.to_le_bytes()); // correlation id
+    stats_bomb.push(0); // Ok
+    stats_bomb.push(3); // AdminResponse::Stats
+    stats_bomb.extend_from_slice(&3u32.to_le_bytes()); // node
+    stats_bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // counter count: lie
+    entries.push((
+        "stats-count-bomb",
+        encode_frame(FrameKind::AdminReply, &stats_bomb),
+    ));
+
+    // A counter name whose byte length claims more than the body holds.
+    let mut stats_name_lie = Vec::new();
+    stats_name_lie.extend_from_slice(&8u64.to_le_bytes()); // correlation id
+    stats_name_lie.push(0); // Ok
+    stats_name_lie.push(3); // AdminResponse::Stats
+    stats_name_lie.extend_from_slice(&3u32.to_le_bytes()); // node
+    stats_name_lie.extend_from_slice(&1u32.to_le_bytes()); // one counter
+    // Enough bytes remain to pass the per-entry count guard (>= 12), but
+    // the name's own length prefix claims far more than is present.
+    stats_name_lie.extend_from_slice(&500u32.to_le_bytes()); // name length: lie
+    stats_name_lie.extend_from_slice(b"op_padding"); // ...but 10 bytes present
+    entries.push((
+        "stats-name-length-lie",
+        encode_frame(FrameKind::AdminReply, &stats_name_lie),
+    ));
+
+    // A perfectly valid (empty) stats reply followed by junk.
+    let mut stats_trailing = fab_wire::encode_admin_reply_body(
+        9,
+        &Ok(fab_wire::AdminResponse::Stats(fab_wire::StatsReport::default())),
+    );
+    stats_trailing.extend_from_slice(b"\xFE\xED");
+    entries.push((
+        "stats-trailing-bytes",
+        encode_frame(FrameKind::AdminReply, &stats_trailing),
+    ));
+
     entries
 }
 
@@ -212,7 +270,7 @@ fn checked_in_corpus_is_always_rejected() {
             Ok((msg, _)) => panic!("{} decoded as {msg:?}", path.display()),
         }
     }
-    assert!(seen >= 12, "corpus too small: only {seen} files");
+    assert!(seen >= 16, "corpus too small: only {seen} files");
 }
 
 /// The in-memory generators agree with the checked-in files (catches a
@@ -263,6 +321,14 @@ fn corpus_entries_fail_for_their_intended_reason() {
     });
     expect("bad-admin-bool", |e| matches!(e, WireError::BadTag { .. }));
     expect("admin-trailing-bytes", |e| {
+        matches!(e, WireError::TrailingBytes { .. })
+    });
+    expect("truncated-stats", |e| matches!(e, WireError::Truncated { .. }));
+    expect("stats-count-bomb", |e| matches!(e, WireError::BadCount { .. }));
+    expect("stats-name-length-lie", |e| {
+        matches!(e, WireError::Truncated { .. })
+    });
+    expect("stats-trailing-bytes", |e| {
         matches!(e, WireError::TrailingBytes { .. })
     });
 }

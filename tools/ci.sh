@@ -35,6 +35,11 @@
 #                               orchestrator crash (durable-cursor resume),
 #                               then the repair-throughput smoke (throttle
 #                               must engage, foreground I/O must stay live)
+#  11. observability           — fab-obs unit suite, the loom no-tear model
+#                               check of the pair counter, and the loopback
+#                               stats e2e (kill/restart must surface as
+#                               reconnects + recovered reads in
+#                               AdminOp::StatsSnapshot replies)
 #
 # Optional: when `cargo-llvm-cov` is installed, COVERAGE=1 ./tools/ci.sh
 # appends a line-coverage summary after the gates (informational, non-gating).
@@ -91,6 +96,17 @@ run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
 run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored \
     five_brick_kill_wipe_repair_rebuilds
 run timeout 300 cargo run --release -p fab-bench --bin repair_throughput -- --smoke
+
+# Stage 11: observability. The fab-obs unit suite covers the instruments and
+# registry; the loom suite exhausts interleavings of the packed pair counter
+# (two halves in one word must never tear); the loopback e2e drives a real
+# n=5/m=3 cluster through a kill/restart and asserts the metrics visible in
+# AdminOp::StatsSnapshot replies reconcile with what the client observed.
+run timeout 300 cargo test -q -p fab-obs --lib
+run timeout 300 env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    cargo test -q -p fab-obs --test loom
+run timeout 300 cargo test -q -p fab-net --test loopback -- --ignored \
+    five_brick_stats_snapshot_reconciles_over_loopback
 
 # Informational line-coverage summary (requires `cargo llvm-cov`; opt-in so
 # the default gate stays fast and works in toolchains without the component).

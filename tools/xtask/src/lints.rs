@@ -64,7 +64,7 @@ pub fn registry() -> Vec<Lint> {
             id: "no-panic",
             rule: "L1",
             desc: "no unwrap/expect/panic!/unreachable!/todo! in fab-core/fab-simnet protocol code, \
-                   fab-wire decode paths, or fab-net reader/server threads",
+                   fab-wire decode paths, fab-net reader/server threads, or fab-obs instruments",
             check: Check::File(no_panic),
         },
         Lint {
@@ -231,6 +231,14 @@ fn repair_sans_io(p: &str) -> bool {
     in_repair(p) && p != "crates/repair/src/inproc.rs"
 }
 
+/// The observability substrate: instruments are recorded from protocol hot
+/// paths (a panic in `Counter::inc` kills a coordinator mid-op) and from
+/// the deterministic torture engine (a wall-clock or hash-order read would
+/// break seed replay), so fab-obs is held to both bars.
+fn in_obs(p: &str) -> bool {
+    p.starts_with("crates/obs/src/")
+}
+
 // ---------------------------------------------------------------- helpers --
 
 fn push(
@@ -281,7 +289,8 @@ fn no_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         || in_simnet(&file.path)
         || untrusted_input(&file.path)
         || commit_pipeline(&file.path)
-        || in_repair(&file.path))
+        || in_repair(&file.path)
+        || in_obs(&file.path))
     {
         return;
     }
@@ -403,7 +412,7 @@ fn no_untrusted_index(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- L2 -------
 
 fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !(simnet_driven(&file.path) || repair_sans_io(&file.path)) {
+    if !(simnet_driven(&file.path) || repair_sans_io(&file.path) || in_obs(&file.path)) {
         return;
     }
     let cases: &[(&str, &str)] = &[
@@ -1481,6 +1490,18 @@ fn f() {
         let d = run_lint("determinism", "crates/repair/src/driver.rs", src);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(run_lint("determinism", "crates/repair/src/inproc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_and_l2_cover_the_obs_substrate() {
+        // Instruments are recorded from protocol hot paths and replayed by
+        // the deterministic torture engine, so fab-obs is in both scopes.
+        let panicky = "fn record(&self) { self.cell.get().unwrap(); panic!(\"boom\"); }";
+        let d = run_lint("no-panic", "crates/obs/src/lib.rs", panicky);
+        assert_eq!(d.len(), 2, "{d:?}");
+        let clocky = "fn f() { let t = std::time::Instant::now(); }";
+        let d = run_lint("determinism", "crates/obs/src/lib.rs", clocky);
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     // ------------------------------------------------------------ L3 -------
